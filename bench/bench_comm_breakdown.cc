@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Analysis companion to Fig. 8: itemized communication of the HyPar
+ * plan for the large networks — which layers and hierarchy levels the
+ * remaining traffic comes from, and what fraction each of the paper's
+ * two sources (intra / inter) contributes. Not a paper figure; backs
+ * the Section 6.2.4 discussion with per-source detail.
+ */
+
+#include "bench_common.hh"
+
+#include "core/comm_report.hh"
+#include "core/strategies.hh"
+#include "dnn/model_zoo.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace hypar;
+
+int
+main()
+{
+    const auto cfg = bench::paperConfig();
+    bench::banner("Itemized HyPar communication", "Section 6.2.4 detail");
+
+    for (const auto &name : {"AlexNet", "VGG-A"}) {
+        dnn::Network net = dnn::modelByName(name);
+        core::CommModel model(net, cfg.comm);
+        const auto plan = core::makeHyparPlan(model, cfg.levels);
+        const auto report = core::buildCommReport(model, plan);
+
+        std::cout << name << " (HyPar plan, "
+                  << util::formatBytes(report.totalBytes)
+                  << " per step):\n\n"
+                  << report.toString() << "\n";
+
+        double intra = 0.0, inter = 0.0;
+        for (const auto &lv : report.levels) {
+            intra += lv.intraBytes;
+            inter += lv.interBytes;
+        }
+        std::cout << "intra (reductions): "
+                  << bench::ratio(100.0 * intra / report.totalBytes)
+                  << "%, inter (boundary conversions): "
+                  << bench::ratio(100.0 * inter / report.totalBytes)
+                  << "%\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harness: the paper's
+ * evaluation configuration (Section 6.1) and small printing utilities.
+ * Each bench binary regenerates one table or figure of the paper and
+ * prints paper-value annotations where the paper states them.
+ */
+
+#ifndef HYPAR_BENCH_BENCH_COMMON_HH
+#define HYPAR_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/evaluator.hh"
+
+namespace hypar::bench {
+
+/**
+ * The paper's evaluation setup: sixteen HMC-based accelerators (H = 4),
+ * batch 256, fp32, Eyeriss-like row-stationary PUs, H-tree interconnect
+ * with 1600 Mb/s leaf links.
+ */
+inline sim::SimConfig
+paperConfig()
+{
+    sim::SimConfig cfg; // defaults are the paper's values
+    return cfg;
+}
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "\n=== " << title << " ===\n"
+              << "(reproduces " << paper_ref << ")\n\n";
+}
+
+/** printf-style convenience with 3 significant digits. */
+inline std::string
+sig3(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+    return buf;
+}
+
+/** Fixed 2-decimal ratio formatting ("3.39"). */
+inline std::string
+ratio(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+}
+
+} // namespace hypar::bench
+
+#endif // HYPAR_BENCH_BENCH_COMMON_HH

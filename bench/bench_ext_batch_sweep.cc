@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Extension study: batch-size sensitivity of the optimal parallelism.
+ * Section 6.5.2 motivates evaluating both "large-throughput" (4096)
+ * and "good-generalization" (32) batch sizes; this sweep maps the
+ * whole regime for representative networks: communication of DP / OWT
+ * / HyPar and the plan HyPar picks, as B goes from 8 to 4096.
+ *
+ * The expected physics: gradient traffic (dp) is batch-invariant while
+ * activation traffic (mp) scales with B, so HyPar drifts from
+ * mp-heavy plans at small batch toward all-dp at large batch — with
+ * the crossover exactly where A(dW) ~ A(F).
+ */
+
+#include "bench_common.hh"
+
+#include "core/comm_model.hh"
+#include "core/strategies.hh"
+#include "dnn/model_zoo.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace hypar;
+
+int
+main()
+{
+    bench::banner("Batch-size sweep (extension)",
+                  "Section 3.4 / 6.5.2 motivation");
+
+    for (const auto &name : {"AlexNet", "SFC", "VGG-A"}) {
+        dnn::Network net = dnn::modelByName(name);
+        std::cout << name << ":\n";
+        util::Table t({"batch", "DP comm", "OWT comm", "HyPar comm",
+                       "HyPar H1 plan", "mp layers (all levels)"});
+        for (std::size_t batch = 8; batch <= 4096; batch *= 4) {
+            core::CommConfig cfg;
+            cfg.batch = batch;
+            core::CommModel model(net, cfg);
+            const auto plan = core::makeHyparPlan(model, 4);
+
+            std::size_t mp_count = 0;
+            for (const auto &level : plan.levels)
+                for (auto p : level)
+                    if (p == core::Parallelism::kModel)
+                        ++mp_count;
+
+            t.addRow({std::to_string(batch),
+                      util::formatBytes(model.planBytes(
+                          core::makeDataParallelPlan(net, 4))),
+                      util::formatBytes(model.planBytes(
+                          core::makeOneWeirdTrickPlan(net, 4))),
+                      util::formatBytes(model.planBytes(plan)),
+                      core::toBitString(plan.levels[0]),
+                      std::to_string(mp_count) + "/" +
+                          std::to_string(4 * net.size())});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "DP communication is batch-invariant (pure gradients); "
+                 "mp traffic grows linearly with B,\nso HyPar sheds mp "
+                 "choices as the batch grows.\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Figure 12: normalized performance (to Data Parallelism on
+ * the H-tree) of HyPar's plan executed on the torus vs the H-tree for
+ * all ten networks plus the geometric mean.
+ *
+ * Paper: H-tree 3.39x vs torus 2.23x gmean — the binary partition
+ * pattern matches the tree, and concentrates on a few torus links.
+ */
+
+#include "bench_common.hh"
+
+#include "dnn/model_zoo.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace hypar;
+
+int
+main()
+{
+    bench::banner("H-tree vs torus, HyPar plans", "Figure 12");
+
+    util::Table t({"network", "Torus", "H tree"});
+    std::vector<double> torus_gains, tree_gains;
+    for (const auto &net : dnn::allModels()) {
+        sim::SimConfig tree_cfg = bench::paperConfig();
+        sim::SimConfig torus_cfg = bench::paperConfig();
+        torus_cfg.topology = sim::TopologyKind::kTorus;
+
+        sim::Evaluator tree(net, tree_cfg);
+        sim::Evaluator torus(net, torus_cfg);
+
+        // Normalization baseline: Data Parallelism on the H-tree.
+        const double dp_time =
+            tree.evaluate(core::Strategy::kDataParallel).stepSeconds;
+        const auto plan = tree.plan(core::Strategy::kHypar);
+
+        const double tree_gain = dp_time / tree.evaluate(plan).stepSeconds;
+        const double torus_gain =
+            dp_time / torus.evaluate(plan).stepSeconds;
+        tree_gains.push_back(tree_gain);
+        torus_gains.push_back(torus_gain);
+        t.addRow({net.name(), bench::ratio(torus_gain),
+                  bench::ratio(tree_gain)});
+    }
+    t.addRow({"Gmean", bench::ratio(util::geomean(torus_gains)),
+              bench::ratio(util::geomean(tree_gains))});
+    t.print(std::cout);
+
+    std::cout << "\nPaper gmeans: torus 2.23x, H-tree 3.39x.\n";
+    return 0;
+}

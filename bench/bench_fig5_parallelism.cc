@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates Figure 5: the optimized parallelism for every weighted
+ * layer at all four hierarchy levels of the ten networks. Output is one
+ * block per network with a dp/mp token per (layer, level), matching the
+ * paper's color-coded chart.
+ *
+ * Paper observations to verify in the output:
+ *  - conv layers mostly dp, fc layers mostly mp;
+ *  - SFC: everything mp except fc1@H3 (dp);
+ *  - SCONV: everything dp.
+ */
+
+#include "bench_common.hh"
+
+#include "core/comm_model.hh"
+#include "core/hierarchical_partitioner.hh"
+#include "util/table.hh"
+
+#include "dnn/model_zoo.hh"
+
+using namespace hypar;
+
+int
+main()
+{
+    const auto cfg = bench::paperConfig();
+    bench::banner("Optimized parallelism per layer per hierarchy level",
+                  "Figure 5");
+
+    for (const auto &net : dnn::allModels()) {
+        core::CommModel model(net, cfg.comm);
+        const auto result =
+            core::HierarchicalPartitioner(model).partition(cfg.levels);
+
+        std::cout << net.name() << " (total communication "
+                  << bench::sig3(result.commBytes / 1e9) << " GB):\n";
+        util::Table t({"layer", "H1", "H2", "H3", "H4"});
+        for (std::size_t l = 0; l < net.size(); ++l) {
+            std::vector<std::string> row{net.layer(l).name};
+            for (std::size_t h = 0; h < cfg.levels; ++h)
+                row.push_back(core::toString(result.plan.levels[h][l]));
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the partition search itself,
+ * validating the paper's practicality claim: "the time complexity for
+ * the partition search in HyPar is linear" (Section 4). BM_Pairwise
+ * reports O(N) complexity over synthetic networks of 8..4096 weighted
+ * layers; BM_Hierarchical shows the O(H*L) scaling of Algorithm 2; the
+ * brute-force baseline shows the O(2^N) wall the paper avoids.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/brute_force.hh"
+#include "core/comm_model.hh"
+#include "core/hierarchical_partitioner.hh"
+#include "core/pairwise_partitioner.hh"
+#include "core/strategies.hh"
+#include "dnn/builder.hh"
+#include "dnn/model_zoo.hh"
+
+using namespace hypar;
+
+namespace {
+
+/** Deep synthetic fc chain with alternating widths. */
+dnn::Network
+deepNet(std::size_t layers)
+{
+    dnn::NetworkBuilder b("deep", {256, 1, 1});
+    for (std::size_t l = 0; l < layers; ++l)
+        b.fc("fc" + std::to_string(l), l % 2 ? 512 : 128);
+    return b.build();
+}
+
+void
+BM_PairwisePartition(benchmark::State &state)
+{
+    const auto layers = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(layers);
+    core::CommModel model(net, core::CommConfig{});
+    core::PairwisePartitioner partitioner(model);
+    core::History hist(net.size());
+    for (auto _ : state) {
+        auto result = partitioner.partition(hist);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_HierarchicalPartition(benchmark::State &state)
+{
+    const auto levels = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(64);
+    core::CommModel model(net, core::CommConfig{});
+    core::HierarchicalPartitioner partitioner(model);
+    for (auto _ : state) {
+        auto result = partitioner.partition(levels);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_BruteForcePairwise(benchmark::State &state)
+{
+    const auto layers = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(layers);
+    core::CommModel model(net, core::CommConfig{});
+    core::History hist(net.size());
+    for (auto _ : state) {
+        auto result = core::bruteForcePairwise(model, hist);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_HyparFullSearchZoo(benchmark::State &state)
+{
+    // End-to-end Algorithm 2 on the paper's largest network.
+    dnn::Network net = dnn::makeVggE();
+    core::CommModel model(net, core::CommConfig{});
+    core::HierarchicalPartitioner partitioner(model);
+    for (auto _ : state) {
+        auto result = partitioner.partition(4);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+}
+
+void
+BM_CommModelPlanBytes(benchmark::State &state)
+{
+    dnn::Network net = dnn::makeVggE();
+    core::CommModel model(net, core::CommConfig{});
+    const auto plan = core::makeDataParallelPlan(net, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.planBytes(plan));
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_PairwisePartition)
+    ->RangeMultiplier(4)
+    ->Range(8, 4096)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_HierarchicalPartition)->DenseRange(1, 6);
+BENCHMARK(BM_BruteForcePairwise)
+    ->DenseRange(8, 20, 4)
+    ->Complexity(benchmark::o1); // reported complexity is meaningless
+                                 // here; the point is the 2^N blow-up
+                                 // visible in the raw times
+BENCHMARK(BM_HyparFullSearchZoo);
+BENCHMARK(BM_CommModelPlanBytes);

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Regenerates Tables 1 & 2 and the worked communication examples of
+ * Sections 3.1 / 3.4 / 6.5.2: intra-layer amounts for dp/mp, the
+ * 56 KB vs 25.6 KB fc example, the 200 KB vs 819 KB conv example, and
+ * the conv5/fc3 element counts behind the "what is wrong with the
+ * Trick" discussion.
+ */
+
+#include "bench_common.hh"
+
+#include "core/comm_model.hh"
+#include "dnn/builder.hh"
+#include "dnn/model_zoo.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace hypar;
+using core::CommConfig;
+using core::CommModel;
+using core::History;
+using core::Parallelism;
+
+namespace {
+
+void
+tableOneAndTwo()
+{
+    bench::banner("Intra/inter-layer communication model",
+                  "Table 1 and Table 2");
+    util::Table t1({"parallelism", "intra-layer communication"});
+    t1.addRow({"dp", "A(dW_l)"});
+    t1.addRow({"mp", "A(F_{l+1})"});
+    t1.print(std::cout);
+
+    std::cout << "\n";
+    util::Table t2({"transition", "inter-layer communication"});
+    t2.addRow({"dp-dp", "0"});
+    t2.addRow({"dp-mp", "0.25 A(F_{l+1}) + 0.25 A(E_{l+1})"});
+    t2.addRow({"mp-mp", "0.5 A(E_{l+1})"});
+    t2.addRow({"mp-dp", "0.5 A(E_{l+1})"});
+    t2.print(std::cout);
+}
+
+void
+workedExamples()
+{
+    bench::banner("Worked examples, batch 32, two accelerators",
+                  "Section 3.1 / 3.4");
+
+    CommConfig cfg;
+    cfg.batch = 32;
+
+    dnn::Network fc = dnn::NetworkBuilder("fc 70->100", {70, 1, 1})
+                          .fc("fc", 100)
+                          .build();
+    dnn::Network conv =
+        dnn::NetworkBuilder("conv 12x12x20 -> 8x8x50", {20, 12, 12})
+            .conv("conv", 50, 5)
+            .build();
+
+    util::Table t({"layer", "dp intra", "mp intra", "paper"});
+    for (const auto *net : {&fc, &conv}) {
+        CommModel model(*net, cfg);
+        History hist(1);
+        t.addRow({net->name(),
+                  util::formatBytes(
+                      model.intraBytes(0, Parallelism::kData, hist)),
+                  util::formatBytes(
+                      model.intraBytes(0, Parallelism::kModel, hist)),
+                  net == &fc ? "56 KB / 25.6 KB" : "200 KB / 819 KB"});
+    }
+    t.print(std::cout);
+}
+
+void
+trickAmounts()
+{
+    bench::banner("Element counts behind the Trick analysis",
+                  "Section 6.5.2");
+
+    dnn::Network vgg_e = dnn::makeVggE();
+    util::Table t({"layer", "batch", "A(dW) elems", "A(F_l+1) elems",
+                   "paper"});
+
+    {
+        CommConfig cfg;
+        cfg.batch = 32;
+        CommModel model(vgg_e, cfg);
+        const auto conv5 = vgg_e.layerIndex("conv5_4");
+        t.addRow({"conv5 (b32)", "32",
+                  bench::sig3(model.weightBytes(conv5) / 4),
+                  bench::sig3(model.outRawBytes(conv5) / 4),
+                  "2,359,296 / 3,211,264"});
+    }
+    {
+        CommConfig cfg;
+        cfg.batch = 4096;
+        CommModel model(vgg_e, cfg);
+        const auto fc3 = vgg_e.layerIndex("fc3");
+        t.addRow({"fc3 (b4096)", "4096",
+                  bench::sig3(model.weightBytes(fc3) / 4),
+                  bench::sig3(model.outRawBytes(fc3) / 4),
+                  "4,096,000 / 4,096,000"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nconv5@b32: A(dW) < A(F): dp is the cheaper intra "
+                 "choice at the top level;\nfc3: tie on intra, broken "
+                 "by dp-dp's free inter-layer transition -- the Trick\n"
+                 "hard-codes mp and loses (Section 6.5.2).\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    tableOneAndTwo();
+    workedExamples();
+    trickAmounts();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates Table 3 (the SFC / SCONV hyper-parameters) and the model
+ * inventory the evaluation section relies on: weighted layer counts
+ * (four to nineteen), parameter and MAC totals for all ten networks.
+ */
+
+#include "bench_common.hh"
+
+#include "dnn/model_zoo.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace hypar;
+
+int
+main()
+{
+    bench::banner("SFC and SCONV hyper-parameters", "Table 3");
+    util::Table t3({"network", "hyper parameters"});
+    t3.addRow({"SFC", "784-8192-8192-8192-10"});
+    t3.addRow({"SCONV", "20@5x5, 50@5x5 (2x2 max pool), 50@5x5, "
+                        "10@5x5 (2x2 max pool)"});
+    t3.print(std::cout);
+
+    bench::banner("Model inventory (ten networks, Section 6.1)",
+                  "Section 6.1 / Fig. 5 layer lists");
+    util::Table t({"network", "input", "weighted layers", "conv", "fc",
+                   "params", "fwd GMACs/sample"});
+    for (const auto &net : dnn::allModels()) {
+        std::size_t convs = 0, fcs = 0;
+        for (const auto &layer : net.layers())
+            (layer.isConv() ? convs : fcs) += 1;
+        const auto &in = net.inputShape();
+        t.addRow({net.name(),
+                  std::to_string(in.c) + "x" + std::to_string(in.h) + "x" +
+                      std::to_string(in.w),
+                  std::to_string(net.size()), std::to_string(convs),
+                  std::to_string(fcs),
+                  bench::sig3(static_cast<double>(net.totalParamElems())),
+                  bench::ratio(net.totalFwdMacsPerSample() / 1e9)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPer-layer shapes:\n\n";
+    for (const auto &net : dnn::allModels())
+        std::cout << net.describe() << "\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ImageNet training planner: the workload the paper's introduction
+ * motivates (large models, frequent off-chip access, multi-accelerator
+ * training). Plans AlexNet training on a sixteen-accelerator HMC array,
+ * compares all four strategies, prints the per-layer hybrid plan and a
+ * timeline excerpt from the event-driven simulator.
+ */
+
+#include <iostream>
+
+#include "core/comm_model.hh"
+#include "core/strategies.hh"
+#include "dnn/model_zoo.hh"
+#include "sim/evaluator.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace hypar;
+
+int
+main()
+{
+    dnn::Network alexnet = dnn::makeAlexNet();
+    std::cout << alexnet.describe() << "\n";
+
+    sim::SimConfig cfg; // paper defaults: batch 256, H = 4, H-tree
+    cfg.options.recordTrace = true;
+    sim::Evaluator evaluator(alexnet, cfg);
+
+    // Compare the four strategies on time, energy and communication.
+    util::Table t({"strategy", "step time", "speedup vs DP", "energy",
+                   "comm volume"});
+    const auto dp = evaluator.evaluate(core::Strategy::kDataParallel);
+    for (auto s : {core::Strategy::kDataParallel,
+                   core::Strategy::kModelParallel,
+                   core::Strategy::kOneWeirdTrick, core::Strategy::kHypar}) {
+        const auto m = evaluator.evaluate(s);
+        t.addRow({core::toString(s), util::formatSeconds(m.stepSeconds),
+                  util::formatRatio(dp.stepSeconds / m.stepSeconds),
+                  util::formatJoules(m.energy.totalJ()),
+                  util::formatBytes(m.commBytes)});
+    }
+    t.print(std::cout);
+
+    // The hybrid plan HyPar found.
+    const auto plan = evaluator.plan(core::Strategy::kHypar);
+    std::cout << "\nHyPar per-layer plan (H1..H4):\n";
+    util::Table p({"layer", "kind", "H1", "H2", "H3", "H4"});
+    for (std::size_t l = 0; l < alexnet.size(); ++l) {
+        std::vector<std::string> row{alexnet.layer(l).name,
+                                     dnn::toString(alexnet.layer(l).kind)};
+        for (std::size_t h = 0; h < 4; ++h)
+            row.push_back(core::toString(plan.levels[h][l]));
+        p.addRow(row);
+    }
+    p.print(std::cout);
+
+    // A timeline excerpt from the event-driven simulation.
+    (void)evaluator.evaluate(plan);
+    std::cout << "\nFirst simulated tasks of one training step:\n";
+    // Rebuild with tracing through a dedicated simulator run.
+    core::CommModel model(alexnet, cfg.comm);
+    auto topo = sim::makeTopology(cfg.topology, cfg.levels, cfg.noc);
+    sim::SimOptions opts;
+    opts.recordTrace = true;
+    sim::TrainingSimulator simulator(model, cfg.acc, cfg.energy, *topo,
+                                     opts);
+    (void)simulator.simulate(plan);
+    const auto &trace = simulator.lastTrace();
+    util::Table tr({"start", "end", "task"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(trace.size(), 12);
+         ++i) {
+        tr.addRow({util::formatSeconds(trace[i].start),
+                   util::formatSeconds(trace[i].end), trace[i].label});
+    }
+    tr.print(std::cout);
+    std::cout << "(" << trace.size() << " tasks total)\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Topology and bandwidth study: how the choice of interconnect (H-tree
+ * fat tree vs 2-D torus) and the link budget change HyPar's advantage.
+ * Useful when sizing a new accelerator array for a given model family:
+ * it shows where the communication-bound regime starts and how much a
+ * better partition buys at each design point.
+ */
+
+#include <iostream>
+
+#include "dnn/model_zoo.hh"
+#include "sim/evaluator.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace hypar;
+
+namespace {
+
+void
+topologySweep(const dnn::Network &net)
+{
+    std::cout << "HyPar speedup over Data Parallelism on " << net.name()
+              << " (16 accelerators):\n";
+    util::Table t({"topology", "DP step", "HyPar step", "speedup"});
+    for (auto kind : {sim::TopologyKind::kHTree, sim::TopologyKind::kTorus}) {
+        sim::SimConfig cfg;
+        cfg.topology = kind;
+        sim::Evaluator ev(net, cfg);
+        const auto dp = ev.evaluate(core::Strategy::kDataParallel);
+        const auto hp = ev.evaluate(core::Strategy::kHypar);
+        t.addRow({kind == sim::TopologyKind::kHTree ? "H-tree" : "Torus",
+                  util::formatSeconds(dp.stepSeconds),
+                  util::formatSeconds(hp.stepSeconds),
+                  util::formatRatio(dp.stepSeconds / hp.stepSeconds)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+bandwidthSweep(const dnn::Network &net)
+{
+    std::cout << "Link-budget sweep on " << net.name()
+              << " (H-tree, root bisection scaled):\n";
+    util::Table t({"root bisection", "DP step", "HyPar step", "speedup"});
+    for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        sim::SimConfig cfg;
+        cfg.noc.rootBisection *= scale;
+        cfg.noc.linkBandwidth *= scale;
+        sim::Evaluator ev(net, cfg);
+        const auto dp = ev.evaluate(core::Strategy::kDataParallel);
+        const auto hp = ev.evaluate(core::Strategy::kHypar);
+        t.addRow({util::formatSig(12.8 * scale, 3) + " Gb/s",
+                  util::formatSeconds(dp.stepSeconds),
+                  util::formatSeconds(hp.stepSeconds),
+                  util::formatRatio(dp.stepSeconds / hp.stepSeconds)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+arraySizeSweep(const dnn::Network &net)
+{
+    std::cout << "Array-size sweep on " << net.name()
+              << " (throughput in samples/s):\n";
+    util::Table t({"accelerators", "DP throughput", "HyPar throughput"});
+    for (std::size_t levels : {1u, 2u, 3u, 4u, 5u, 6u}) {
+        sim::SimConfig cfg;
+        cfg.levels = levels;
+        sim::Evaluator ev(net, cfg);
+        const auto dp = ev.evaluate(core::Strategy::kDataParallel);
+        const auto hp = ev.evaluate(core::Strategy::kHypar);
+        t.addRow({std::to_string(1u << levels),
+                  util::formatSig(dp.samplesPerSec(cfg.comm.batch), 3),
+                  util::formatSig(hp.samplesPerSec(cfg.comm.batch), 3)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    dnn::Network vgg_a = dnn::makeVggA();
+    topologySweep(vgg_a);
+    bandwidthSweep(vgg_a);
+    arraySizeSweep(vgg_a);
+    return 0;
+}

@@ -1,0 +1,4 @@
+#include "arch/accelerator.hh"
+
+// AcceleratorConfig is a header-only aggregate; this translation unit
+// anchors the library target.

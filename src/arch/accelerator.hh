@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Configuration of one HMC-based accelerator (paper Section 5 / 6.1):
+ * an Eyeriss-like row-stationary processing unit with 168 PEs (12 x 14)
+ * at 250 MHz (84 GOPS at 2 ops per MAC), a 108 KB on-chip buffer, placed
+ * on the logic die of a Hybrid Memory Cube with 320 GB/s of internal
+ * DRAM bandwidth and 8 GB of stacked DRAM.
+ */
+
+#ifndef HYPAR_ARCH_ACCELERATOR_HH
+#define HYPAR_ARCH_ACCELERATOR_HH
+
+#include <cstddef>
+
+#include "util/units.hh"
+
+namespace hypar::arch {
+
+/** Static parameters of one accelerator (PU + HMC). */
+struct AcceleratorConfig
+{
+    // --- processing unit ----------------------------------------------
+    std::size_t peRows = 12;
+    std::size_t peCols = 14;
+    double clockHz = 250e6;
+
+    /** On-chip (global buffer) capacity in bytes. */
+    double bufferBytes = 108.0 * util::kKiB;
+
+    // --- hybrid memory cube -------------------------------------------
+    double dramBandwidth = util::gbytesPerSec(320.0);
+    double dramCapacity = 8.0 * util::kGiB;
+
+    /** Total PEs in the array. */
+    std::size_t numPes() const { return peRows * peCols; }
+
+    /** Peak MACs/second with every PE busy (1 MAC per PE per cycle). */
+    double
+    peakMacsPerSec() const
+    {
+        return static_cast<double>(numPes()) * clockHz;
+    }
+
+    /** Peak ops/second as marketed (2 ops per MAC): 84 GOPS default. */
+    double peakOpsPerSec() const { return 2.0 * peakMacsPerSec(); }
+};
+
+} // namespace hypar::arch
+
+#endif // HYPAR_ARCH_ACCELERATOR_HH

@@ -1,0 +1,4 @@
+#include "arch/energy_model.hh"
+
+// EnergyModel is a header-only aggregate; this translation unit anchors
+// the library target so every module ships a .cc with its header.

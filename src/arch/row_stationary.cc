@@ -1,0 +1,87 @@
+#include "arch/row_stationary.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace hypar::arch {
+
+RowStationaryMapper::RowStationaryMapper(const AcceleratorConfig &config)
+    : config_(config)
+{
+    if (config_.peRows == 0 || config_.peCols == 0)
+        util::fatal("RowStationaryMapper: empty PE array");
+    if (config_.clockHz <= 0.0)
+        util::fatal("RowStationaryMapper: non-positive clock");
+}
+
+Mapping
+RowStationaryMapper::map(const dnn::Layer &layer,
+                         std::size_t batch_shard) const
+{
+    if (batch_shard == 0)
+        util::fatal("RowStationaryMapper: empty batch shard");
+
+    const std::size_t rows = config_.peRows;
+    const std::size_t cols = config_.peCols;
+
+    // Spatial extent of one PE set.
+    std::size_t set_h; // kernel rows pinned down a column of PEs
+    std::size_t set_w; // output rows spread across PE columns
+    if (layer.isConv()) {
+        set_h = std::min(layer.kernel, rows);
+        set_w = std::min(layer.outRaw.h, cols);
+    } else {
+        // FC: the batch plays the role of the sliding output dimension.
+        set_h = 1;
+        set_w = std::min(batch_shard, cols);
+    }
+
+    // Concurrent sets on distinct output channels / neurons.
+    const std::size_t sets_v = std::max<std::size_t>(rows / set_h, 1);
+    const std::size_t sets_h = std::max<std::size_t>(cols / set_w, 1);
+    std::size_t channel_limit = layer.outChannels;
+    if (layer.isConv()) {
+        // Additional replication across unused columns processes more
+        // output rows, not more channels; keep the channel dimension on
+        // the vertical replication only.
+        channel_limit = layer.outChannels;
+    }
+    const std::size_t sets =
+        std::min(sets_v * sets_h, std::max<std::size_t>(channel_limit, 1));
+
+    Mapping m;
+    m.usedPes = static_cast<double>(
+        std::min(sets * set_h * set_w, rows * cols));
+    m.utilization = m.usedPes / static_cast<double>(config_.numPes());
+
+    // Row-stationary reuse: weights are reused across the output row
+    // sliding (W_out positions), feature rows across the K kernel rows,
+    // and partial sums accumulate inside the array over the K rows
+    // (one read + one write per K MACs).
+    const double k = layer.isConv() ? static_cast<double>(layer.kernel)
+                                    : 1.0;
+    const double w_out = layer.isConv()
+                             ? static_cast<double>(layer.outRaw.w)
+                             : static_cast<double>(batch_shard);
+    const double weight_words = 1.0 / std::max(w_out, 1.0);
+    const double ifmap_words = 1.0 / std::max(k, 1.0);
+    const double psum_words = 2.0 / std::max(k, 1.0);
+    m.sramWordsPerMac = weight_words + ifmap_words + psum_words;
+    return m;
+}
+
+double
+RowStationaryMapper::phaseSeconds(const dnn::Layer &layer,
+                                  std::size_t batch_shard,
+                                  double macs) const
+{
+    if (macs <= 0.0)
+        return 0.0;
+    const Mapping m = map(layer, batch_shard);
+    const double macs_per_sec = m.usedPes * config_.clockHz;
+    HYPAR_ASSERT(macs_per_sec > 0.0, "zero effective throughput");
+    return macs / macs_per_sec;
+}
+
+} // namespace hypar::arch

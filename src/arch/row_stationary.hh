@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Row-stationary mapping model (Eyeriss-style, paper Section 5).
+ *
+ * The paper's PUs use Eyeriss's row-stationary dataflow: kernel rows are
+ * pinned to PE rows (reused across output columns), feature-map rows move
+ * diagonally (reused across kernel rows), and partial sums accumulate
+ * vertically. We model the mapping analytically:
+ *
+ *  - a PE *set* for a conv layer occupies K PE rows by min(H_out, cols)
+ *    PE columns; floor(rows/K) sets run concurrently on distinct output
+ *    channels; K > rows folds over multiple passes.
+ *  - a fully-connected layer is mapped with the batch taking the role of
+ *    output columns (K = 1, H_out = batch shard).
+ *
+ * This yields a utilization factor and SRAM-traffic-per-MAC estimate.
+ * The intra-accelerator dataflow is intentionally approximate: HyPar's
+ * contribution is the coarse-grain organization *between* accelerators
+ * and the paper treats the stand-alone PU design as orthogonal.
+ */
+
+#ifndef HYPAR_ARCH_ROW_STATIONARY_HH
+#define HYPAR_ARCH_ROW_STATIONARY_HH
+
+#include <cstddef>
+
+#include "arch/accelerator.hh"
+#include "dnn/layer.hh"
+
+namespace hypar::arch {
+
+/** Result of mapping one layer's phase onto the PE array. */
+struct Mapping
+{
+    /** PEs doing useful work each cycle, <= config.numPes(). */
+    double usedPes = 0.0;
+
+    /** usedPes / numPes in (0, 1]. */
+    double utilization = 0.0;
+
+    /** Estimated SRAM words touched per MAC (RS reuse applied). */
+    double sramWordsPerMac = 0.0;
+};
+
+/** Analytic row-stationary mapper for one accelerator configuration. */
+class RowStationaryMapper
+{
+  public:
+    explicit RowStationaryMapper(const AcceleratorConfig &config);
+
+    /**
+     * Map one layer processed with the given per-accelerator batch
+     * shard. The mapping (and thus utilization) is identical for the
+     * forward, error-backward and gradient phases — all three multiply
+     * the same matrices in different orders.
+     */
+    Mapping map(const dnn::Layer &layer, std::size_t batch_shard) const;
+
+    /**
+     * Seconds to execute `macs` multiply-accumulates of this layer on
+     * one accelerator, at the mapped utilization.
+     */
+    double phaseSeconds(const dnn::Layer &layer, std::size_t batch_shard,
+                        double macs) const;
+
+    const AcceleratorConfig &config() const { return config_; }
+
+  private:
+    AcceleratorConfig config_;
+};
+
+} // namespace hypar::arch
+
+#endif // HYPAR_ARCH_ROW_STATIONARY_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Exhaustive enumeration baselines.
+ *
+ * The paper motivates Algorithm 1 by the O(2^N) cost of enumerating all
+ * per-layer assignments (Section 3.4). These enumerators implement that
+ * brute force for two purposes:
+ *   1. validating that Algorithm 1 returns the exact optimum (tests),
+ *   2. the parallelism-space exploration studies of Fig. 9 and Fig. 10.
+ */
+
+#ifndef HYPAR_CORE_BRUTE_FORCE_HH
+#define HYPAR_CORE_BRUTE_FORCE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "core/comm_model.hh"
+#include "core/pairwise_partitioner.hh"
+#include "core/plan.hh"
+
+namespace hypar::core {
+
+/** Result of the exhaustive hierarchical search. */
+struct BruteForceResult
+{
+    HierarchicalPlan plan;
+    double commBytes = 0.0;
+};
+
+/**
+ * Enumerate all 2^L single-level assignments under `hist` and return the
+ * cheapest (ties resolved toward the smaller mask, i.e. dp-heavy).
+ * Fatal for L > 24 — this is a validation tool, not a search engine.
+ */
+PairwiseResult bruteForcePairwise(const CommModel &model,
+                                  const History &hist);
+
+/**
+ * Enumerate all (2^L)^H hierarchical plans and return the cheapest by
+ * total communication. Fatal when L*H > 24.
+ */
+BruteForceResult bruteForceHierarchical(const CommModel &model,
+                                        std::size_t levels);
+
+/**
+ * Visit every plan produced by substituting all 2^(layers) masks at the
+ * given hierarchy level of `base` (the Fig. 9/10 sweep building block).
+ * The visitor receives the mask and the substituted plan.
+ */
+void sweepLevelMasks(
+    const HierarchicalPlan &base, std::size_t level,
+    const std::function<void(std::uint64_t, const HierarchicalPlan &)>
+        &visit);
+
+} // namespace hypar::core
+
+#endif // HYPAR_CORE_BRUTE_FORCE_HH

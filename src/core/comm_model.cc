@@ -1,0 +1,196 @@
+#include "core/comm_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hypar::core {
+
+CommModel::CommModel(const dnn::Network &network, const CommConfig &config)
+    : network_(&network), config_(config)
+{
+    if (config_.batch == 0)
+        util::fatal("CommModel: batch must be positive");
+    if (config_.wordBytes <= 0.0)
+        util::fatal("CommModel: word size must be positive");
+    if (config_.exchangeFactor <= 0.0)
+        util::fatal("CommModel: exchange factor must be positive");
+
+    const auto batch = static_cast<double>(config_.batch);
+    weightBytes_.reserve(network.size());
+    outRawBytes_.reserve(network.size());
+    boundaryBytes_.reserve(network.size());
+    for (const auto &layer : network.layers()) {
+        weightBytes_.push_back(
+            static_cast<double>(layer.weightElems()) * config_.wordBytes);
+        outRawBytes_.push_back(
+            static_cast<double>(layer.outRawElemsPerSample()) * batch *
+            config_.wordBytes);
+        boundaryBytes_.push_back(
+            static_cast<double>(layer.outElemsPerSample()) * batch *
+            config_.wordBytes);
+    }
+}
+
+double
+CommModel::weightBytes(std::size_t l) const
+{
+    HYPAR_ASSERT(l < weightBytes_.size(), "layer index");
+    return weightBytes_[l];
+}
+
+double
+CommModel::outRawBytes(std::size_t l) const
+{
+    HYPAR_ASSERT(l < outRawBytes_.size(), "layer index");
+    return outRawBytes_[l];
+}
+
+double
+CommModel::boundaryBytes(std::size_t l) const
+{
+    HYPAR_ASSERT(l < boundaryBytes_.size(), "layer index");
+    return boundaryBytes_[l];
+}
+
+double
+CommModel::halvings(unsigned n)
+{
+    return std::ldexp(1.0, -static_cast<int>(n));
+}
+
+double
+CommModel::gradScale(std::size_t l, const History &hist) const
+{
+    if (config_.scaling == CommConfig::Scaling::kNone)
+        return 1.0;
+    return halvings(hist.mpCount(l));
+}
+
+double
+CommModel::featScale(std::size_t l, const History &hist) const
+{
+    if (config_.scaling == CommConfig::Scaling::kNone)
+        return 1.0;
+    return halvings(hist.dpCount(l));
+}
+
+double
+CommModel::intraBytesAt(std::size_t l, Parallelism p, unsigned dp_above,
+                        unsigned mp_above) const
+{
+    const bool scale = config_.scaling == CommConfig::Scaling::kPartitioned;
+    if (p == Parallelism::kData) {
+        return config_.exchangeFactor * weightBytes(l) *
+               (scale ? halvings(mp_above) : 1.0);
+    }
+    return config_.exchangeFactor * outRawBytes(l) *
+           (scale ? halvings(dp_above) : 1.0);
+}
+
+double
+CommModel::interBytesAt(std::size_t l, Parallelism prev, Parallelism cur,
+                        unsigned dp_above_l, unsigned dp_above_next) const
+{
+    HYPAR_ASSERT(l + 1 < numLayers(), "inter-layer transition index");
+    const bool scale = config_.scaling == CommConfig::Scaling::kPartitioned;
+    const double f_bytes =
+        boundaryBytes(l) * (scale ? halvings(dp_above_l) : 1.0);
+    const double e_bytes =
+        boundaryBytes(l) * (scale ? halvings(dp_above_next) : 1.0);
+
+    double coeff_f = 0.0;
+    double coeff_e = 0.0;
+    if (prev == Parallelism::kData && cur == Parallelism::kModel) {
+        coeff_f = 0.25;
+        coeff_e = 0.25;
+    } else if (prev == Parallelism::kModel) {
+        coeff_e = 0.5;
+    }
+    return config_.exchangeFactor * (coeff_f * f_bytes + coeff_e * e_bytes);
+}
+
+double
+CommModel::intraBytes(std::size_t l, Parallelism p,
+                      const History &hist) const
+{
+    if (p == Parallelism::kData) {
+        // Gradient partial sums: each peer holds a full-shape partial
+        // gradient; kernels shrink under upper mp splits.
+        return config_.exchangeFactor * weightBytes(l) * gradScale(l, hist);
+    }
+    // Output partial sums on the raw (pre-pooling) output; the batch
+    // shrinks under upper dp splits.
+    return config_.exchangeFactor * outRawBytes(l) * featScale(l, hist);
+}
+
+double
+CommModel::interBytesF(std::size_t l, Parallelism prev, Parallelism cur,
+                       const History &hist) const
+{
+    HYPAR_ASSERT(l + 1 < numLayers(), "inter-layer transition index");
+
+    // Boundary feature tensor: produced by layer l's forward pass, so
+    // its batch dimension follows layer l's upper dp splits.
+    const double f_bytes = boundaryBytes(l) * featScale(l, hist);
+    const double coeff_f =
+        (prev == Parallelism::kData && cur == Parallelism::kModel) ? 0.25
+                                                                   : 0.0;
+    return config_.exchangeFactor * coeff_f * f_bytes;
+}
+
+double
+CommModel::interBytesE(std::size_t l, Parallelism prev, Parallelism cur,
+                       const History &hist) const
+{
+    HYPAR_ASSERT(l + 1 < numLayers(), "inter-layer transition index");
+
+    // Boundary error tensor: produced by layer l+1's backward pass.
+    const double e_bytes = boundaryBytes(l) * featScale(l + 1, hist);
+    double coeff_e = 0.0;
+    if (prev == Parallelism::kData && cur == Parallelism::kModel)
+        coeff_e = 0.25;
+    else if (prev == Parallelism::kModel)
+        coeff_e = 0.5; // mp-mp and mp-dp (Table 2)
+    // dp-dp stays zero.
+    return config_.exchangeFactor * coeff_e * e_bytes;
+}
+
+double
+CommModel::interBytes(std::size_t l, Parallelism prev, Parallelism cur,
+                      const History &hist) const
+{
+    return interBytesF(l, prev, cur, hist) +
+           interBytesE(l, prev, cur, hist);
+}
+
+double
+CommModel::pairBytes(const LevelPlan &plan, const History &hist) const
+{
+    if (plan.size() != numLayers())
+        util::fatal("CommModel::pairBytes: plan size mismatch");
+
+    double total = 0.0;
+    for (std::size_t l = 0; l < plan.size(); ++l) {
+        total += intraBytes(l, plan[l], hist);
+        if (l + 1 < plan.size())
+            total += interBytes(l, plan[l], plan[l + 1], hist);
+    }
+    return total;
+}
+
+double
+CommModel::planBytes(const HierarchicalPlan &plan) const
+{
+    History hist(numLayers());
+    double total = 0.0;
+    double pairs = 1.0; // 2^h group pairs at level h
+    for (const auto &level : plan.levels) {
+        total += pairs * pairBytes(level, hist);
+        hist.push(level);
+        pairs *= 2.0;
+    }
+    return total;
+}
+
+} // namespace hypar::core

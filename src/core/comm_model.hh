@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The HyPar communication model (paper Section 3, Tables 1 and 2).
+ *
+ * For a pair of accelerator groups the model charges, per weighted layer:
+ *
+ *   intra-layer   dp: A(dW_l)        (gradient partial-sum exchange)
+ *                 mp: A(F^out_l)     (output partial-sum exchange,
+ *                                     pre-pooling)
+ *
+ *   inter-layer   dp-dp: 0
+ *   (l -> l+1)    dp-mp: 0.25 A(F_{l+1}) + 0.25 A(E_{l+1})
+ *                 mp-mp: 0.5 A(E_{l+1})
+ *                 mp-dp: 0.5 A(E_{l+1})
+ *
+ * where F_{l+1}/E_{l+1} are the boundary tensors between the layers
+ * (post-pooling). Every charge is multiplied by the exchange factor 2
+ * because both peers fetch the remote half (the paper's 56 KB example in
+ * Section 3.4 counts 2 x 70x100 x 4 B).
+ *
+ * Hierarchical scaling ("Partitioned" policy, DESIGN.md Section 2): at
+ * level h the amounts shrink according to the choices made above --
+ * upper mp halves kernels/gradients, upper dp halves batches (feature
+ * and error tensors). This reproduces the paper's Fig. 8 Data
+ * Parallelism column exactly and Fig. 5(a)'s fc1@H3 flip for SFC.
+ */
+
+#ifndef HYPAR_CORE_COMM_MODEL_HH
+#define HYPAR_CORE_COMM_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/plan.hh"
+#include "dnn/network.hh"
+
+namespace hypar::core {
+
+/** Tunables of the communication model. */
+struct CommConfig
+{
+    /** Hierarchical tensor-amount scaling policy. */
+    enum class Scaling {
+        kNone,        //!< every level sees full-size tensors (ablation)
+        kPartitioned, //!< amounts follow the physical partitioning
+    };
+
+    /** Mini-batch size B (the paper evaluates with 256). */
+    std::size_t batch = 256;
+
+    /** Bytes per tensor element (fp32). */
+    double wordBytes = 4.0;
+
+    /**
+     * Per-pair exchange factor: 2.0 means both peers fetch the remote
+     * part (paper Section 3.4); 1.0 counts one-directional traffic.
+     */
+    double exchangeFactor = 2.0;
+
+    Scaling scaling = Scaling::kPartitioned;
+};
+
+/**
+ * Precomputes per-layer tensor amounts for one network and evaluates
+ * intra-/inter-layer and whole-plan communication. All results are in
+ * bytes. Immutable and cheap to copy around by reference.
+ */
+class CommModel
+{
+  public:
+    CommModel(const dnn::Network &network, const CommConfig &config);
+
+    const dnn::Network &network() const { return *network_; }
+    const CommConfig &config() const { return config_; }
+    std::size_t numLayers() const { return weightBytes_.size(); }
+
+    // --- unscaled amounts (bytes) -------------------------------------
+
+    /** A(W_l) = A(dW_l): kernel/gradient tensor bytes. */
+    double weightBytes(std::size_t l) const;
+
+    /** A(F^out_l): raw (pre-pooling) output for the whole batch. */
+    double outRawBytes(std::size_t l) const;
+
+    /** A(F_{l+1}) = A(E_{l+1}): boundary tensor after layer l's pool. */
+    double boundaryBytes(std::size_t l) const;
+
+    // --- scaled model (bytes, includes the exchange factor) ------------
+
+    /** Intra-layer communication of layer l under choice p at the level
+     *  whose upper choices are recorded in hist. */
+    double intraBytes(std::size_t l, Parallelism p,
+                      const History &hist) const;
+
+    /** Inter-layer communication of the transition layer l -> l+1. */
+    double interBytes(std::size_t l, Parallelism prev, Parallelism cur,
+                      const History &hist) const;
+
+    /**
+     * Feature-map part of the inter-layer cost (moves during the
+     * forward pass): 0.25 A(F_{l+1}) for dp-mp, otherwise 0.
+     */
+    double interBytesF(std::size_t l, Parallelism prev, Parallelism cur,
+                       const History &hist) const;
+
+    /**
+     * Error part of the inter-layer cost (moves during error backward):
+     * 0.25 A(E_{l+1}) for dp-mp, 0.5 A(E_{l+1}) for mp-mp and mp-dp.
+     */
+    double interBytesE(std::size_t l, Parallelism prev, Parallelism cur,
+                       const History &hist) const;
+
+    /** Per-pair communication of a whole level plan. */
+    double pairBytes(const LevelPlan &plan, const History &hist) const;
+
+    /**
+     * Total communication of a hierarchical plan: sum over levels of
+     * 2^h * per-pair bytes, i.e. Algorithm 2's com = com_h + 2 com_n.
+     */
+    double planBytes(const HierarchicalPlan &plan) const;
+
+    // --- count-based variants (exact joint optimization) ---------------
+    //
+    // The History overloads above derive the upper-level dp/mp counts
+    // from a recorded history; these take the counts directly, which
+    // lets OptimalPartitioner evaluate arbitrary per-layer level
+    // vectors without materializing History objects.
+
+    /** Intra-layer bytes with explicit upper-level counts for layer l. */
+    double intraBytesAt(std::size_t l, Parallelism p, unsigned dp_above,
+                        unsigned mp_above) const;
+
+    /**
+     * Inter-layer bytes for the l -> l+1 transition with explicit
+     * upper-level dp counts of the producing layers (layer l for the
+     * feature boundary, layer l+1 for the error boundary).
+     */
+    double interBytesAt(std::size_t l, Parallelism prev, Parallelism cur,
+                        unsigned dp_above_l, unsigned dp_above_next) const;
+
+  private:
+    static double halvings(unsigned n);
+
+    double gradScale(std::size_t l, const History &hist) const;
+    double featScale(std::size_t l, const History &hist) const;
+
+    const dnn::Network *network_;
+    CommConfig config_;
+    std::vector<double> weightBytes_;
+    std::vector<double> outRawBytes_;
+    std::vector<double> boundaryBytes_;
+};
+
+} // namespace hypar::core
+
+#endif // HYPAR_CORE_COMM_MODEL_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Itemized communication report: where a plan's traffic actually comes
+ * from, per layer and per hierarchy level, split into the paper's two
+ * sources (intra-layer partial-sum reductions, inter-layer boundary
+ * conversions). Backs the analysis-style output of the bench harness
+ * and gives library users the "why is this plan expensive" view.
+ */
+
+#ifndef HYPAR_CORE_COMM_REPORT_HH
+#define HYPAR_CORE_COMM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/comm_model.hh"
+#include "core/plan.hh"
+
+namespace hypar::core {
+
+/** Traffic attributed to one weighted layer (bytes, all levels). */
+struct LayerCommBreakdown
+{
+    std::string layer;
+
+    /** Gradient reductions (dp) — the Table 1 dp column. */
+    double gradBytes = 0.0;
+
+    /** Output partial-sum reductions (mp) — the Table 1 mp column. */
+    double psumBytes = 0.0;
+
+    /** Boundary feature transfers to the next layer (Table 2, F). */
+    double featBytes = 0.0;
+
+    /** Boundary error transfers from the next layer (Table 2, E). */
+    double errBytes = 0.0;
+
+    double
+    totalBytes() const
+    {
+        return gradBytes + psumBytes + featBytes + errBytes;
+    }
+};
+
+/** Traffic attributed to one hierarchy level (bytes, all layers). */
+struct LevelCommBreakdown
+{
+    std::size_t level = 0;  //!< 0-based (H1 == 0)
+    double intraBytes = 0.0;
+    double interBytes = 0.0;
+
+    double totalBytes() const { return intraBytes + interBytes; }
+};
+
+/** Full itemization of a hierarchical plan's communication. */
+struct CommReport
+{
+    std::vector<LayerCommBreakdown> layers;
+    std::vector<LevelCommBreakdown> levels;
+    double totalBytes = 0.0;
+
+    /** Render as an aligned two-table summary. */
+    std::string toString() const;
+};
+
+/**
+ * Itemize `plan` under `model`. The report's totalBytes equals
+ * CommModel::planBytes(plan) exactly (tested invariant).
+ */
+CommReport buildCommReport(const CommModel &model,
+                           const HierarchicalPlan &plan);
+
+} // namespace hypar::core
+
+#endif // HYPAR_CORE_COMM_REPORT_HH

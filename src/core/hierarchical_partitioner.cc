@@ -1,0 +1,43 @@
+#include "core/hierarchical_partitioner.hh"
+
+#include "util/logging.hh"
+
+namespace hypar::core {
+
+HierarchicalPartitioner::HierarchicalPartitioner(const CommModel &model)
+    : model_(&model), pairwise_(model)
+{}
+
+HierarchicalResult
+HierarchicalPartitioner::partition(std::size_t levels) const
+{
+    if (levels > 20)
+        util::fatal("HierarchicalPartitioner: unreasonable level count");
+
+    HierarchicalResult result;
+    History hist(model_->numLayers());
+    result.commBytes = partitionRecursive(levels, hist, result.plan.levels);
+    return result;
+}
+
+double
+HierarchicalPartitioner::partitionRecursive(
+    std::size_t levels, History &hist, std::vector<LevelPlan> &out) const
+{
+    // Algorithm 2 line 1-2: a single accelerator left, nothing to split.
+    if (levels == 0)
+        return 0.0;
+
+    // Line 4: partition between the two subarrays of this level.
+    PairwiseResult here = pairwise_.partition(hist);
+
+    // Line 5-6: recurse into the subarrays with the choice recorded.
+    out.push_back(here.plan);
+    hist.push(here.plan);
+    const double below = partitionRecursive(levels - 1, hist, out);
+
+    // Line 7: com = com_h + 2 * com_n (two subarrays below).
+    return here.commBytes + 2.0 * below;
+}
+
+} // namespace hypar::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Algorithm 2 of the paper: "Hierarchical Partition".
+ *
+ * The array of 2^H accelerators is split recursively: Algorithm 1
+ * partitions the workload between two subarrays, then each subarray is
+ * partitioned the same way with the upper-level choices recorded, until
+ * single accelerators remain. Total communication follows the paper's
+ * recursion com = com_h + 2 * com_n (level h has 2^h independent group
+ * pairs). Because both subarrays of a level share the same upper-level
+ * history, the recursion visits a single path, making the whole search
+ * O(H * L).
+ */
+
+#ifndef HYPAR_CORE_HIERARCHICAL_PARTITIONER_HH
+#define HYPAR_CORE_HIERARCHICAL_PARTITIONER_HH
+
+#include "core/comm_model.hh"
+#include "core/pairwise_partitioner.hh"
+#include "core/plan.hh"
+
+namespace hypar::core {
+
+/** Result of the hierarchical search. */
+struct HierarchicalResult
+{
+    HierarchicalPlan plan;
+    /** Total communication, com = sum_h 2^h * com_h, in bytes. */
+    double commBytes = 0.0;
+};
+
+/**
+ * The HyPar search: stack Algorithm 1 over H hierarchy levels.
+ * H == 0 yields an empty plan with zero communication (one accelerator).
+ */
+class HierarchicalPartitioner
+{
+  public:
+    explicit HierarchicalPartitioner(const CommModel &model);
+
+    /** Run Algorithm 2 for `levels` hierarchy levels (2^levels accs). */
+    HierarchicalResult partition(std::size_t levels) const;
+
+  private:
+    /**
+     * The paper's literal recursion; `hist` carries upper choices and
+     * `out` collects one LevelPlan per level. Returns com_h + 2*com_n.
+     */
+    double partitionRecursive(std::size_t levels, History &hist,
+                              std::vector<LevelPlan> &out) const;
+
+    const CommModel *model_;
+    PairwisePartitioner pairwise_;
+};
+
+} // namespace hypar::core
+
+#endif // HYPAR_CORE_HIERARCHICAL_PARTITIONER_HH

@@ -1,0 +1,136 @@
+#include "core/optimal_partitioner.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace hypar::core {
+
+namespace {
+
+/** dp count among the bits of `v` strictly below level h (bit = mp). */
+unsigned
+dpAbove(std::uint32_t v, std::size_t h)
+{
+    const auto mask = static_cast<std::uint32_t>((1u << h) - 1u);
+    const auto mp = static_cast<unsigned>(std::popcount(v & mask));
+    return static_cast<unsigned>(h) - mp;
+}
+
+unsigned
+mpAbove(std::uint32_t v, std::size_t h)
+{
+    const auto mask = static_cast<std::uint32_t>((1u << h) - 1u);
+    return static_cast<unsigned>(std::popcount(v & mask));
+}
+
+Parallelism
+choiceAt(std::uint32_t v, std::size_t h)
+{
+    return (v >> h) & 1u ? Parallelism::kModel : Parallelism::kData;
+}
+
+} // namespace
+
+OptimalPartitioner::OptimalPartitioner(const CommModel &model)
+    : model_(&model)
+{}
+
+double
+OptimalPartitioner::intraCost(std::size_t layer, std::uint32_t v,
+                              std::size_t levels) const
+{
+    double total = 0.0;
+    double pairs = 1.0;
+    for (std::size_t h = 0; h < levels; ++h) {
+        total += pairs * model_->intraBytesAt(layer, choiceAt(v, h),
+                                              dpAbove(v, h),
+                                              mpAbove(v, h));
+        pairs *= 2.0;
+    }
+    return total;
+}
+
+double
+OptimalPartitioner::interCost(std::size_t layer, std::uint32_t v_l,
+                              std::uint32_t v_next,
+                              std::size_t levels) const
+{
+    double total = 0.0;
+    double pairs = 1.0;
+    for (std::size_t h = 0; h < levels; ++h) {
+        total += pairs * model_->interBytesAt(layer, choiceAt(v_l, h),
+                                              choiceAt(v_next, h),
+                                              dpAbove(v_l, h),
+                                              dpAbove(v_next, h));
+        pairs *= 2.0;
+    }
+    return total;
+}
+
+HierarchicalResult
+OptimalPartitioner::partition(std::size_t levels) const
+{
+    if (levels > 10)
+        util::fatal("OptimalPartitioner: 4^H transitions explode past "
+                    "H = 10");
+
+    const std::size_t num_layers = model_->numLayers();
+    HierarchicalResult result;
+    result.plan.levels.assign(levels,
+                              LevelPlan(num_layers, Parallelism::kData));
+    if (levels == 0)
+        return result;
+
+    const std::uint32_t states = 1u << levels;
+
+    // Chain DP: cost[s] = best total with layer l in level vector s.
+    std::vector<double> cost(states);
+    std::vector<std::vector<std::uint32_t>> parent(
+        num_layers, std::vector<std::uint32_t>(states, 0));
+
+    for (std::uint32_t s = 0; s < states; ++s)
+        cost[s] = intraCost(0, s, levels);
+
+    for (std::size_t l = 1; l < num_layers; ++l) {
+        std::vector<double> next(states,
+                                 std::numeric_limits<double>::infinity());
+        for (std::uint32_t s = 0; s < states; ++s) {
+            double best = std::numeric_limits<double>::infinity();
+            std::uint32_t best_prev = 0;
+            for (std::uint32_t p = 0; p < states; ++p) {
+                const double c =
+                    cost[p] + interCost(l - 1, p, s, levels);
+                if (c < best) {
+                    best = c;
+                    best_prev = p;
+                }
+            }
+            next[s] = best + intraCost(l, s, levels);
+            parent[l][s] = best_prev;
+        }
+        cost = std::move(next);
+    }
+
+    std::uint32_t state = 0;
+    double best = cost[0];
+    for (std::uint32_t s = 1; s < states; ++s) {
+        if (cost[s] < best) {
+            best = cost[s];
+            state = s;
+        }
+    }
+
+    result.commBytes = best;
+    for (std::size_t l = num_layers; l-- > 0;) {
+        for (std::size_t h = 0; h < levels; ++h)
+            result.plan.levels[h][l] = choiceAt(state, h);
+        if (l > 0)
+            state = parent[l][state];
+    }
+    return result;
+}
+
+} // namespace hypar::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Exact joint partitioner across all hierarchy levels — an extension
+ * beyond the paper.
+ *
+ * Algorithm 2 is greedy across levels: it fixes level h's plan before
+ * considering level h+1, even though the upper choice changes the
+ * tensor amounts the lower levels see. The joint problem is still a
+ * chain: give every layer a *level vector* v in {dp,mp}^H (bit h =
+ * choice at level h). Then
+ *
+ *   total(v_0..v_{L-1}) = sum_l I(l, v_l)
+ *                       + sum_l T(l, v_l, v_{l+1})
+ *
+ * where I and T expand over levels with the 2^h pair weighting and the
+ * partitioned scaling derived from the vector's own prefix. That is a
+ * standard chain DP over 2^H states per layer: O(L * 4^H) time — for
+ * the paper's H = 4, a 256-state DP, exactly optimal.
+ *
+ * Used by the ablation harness to measure how much the greedy
+ * hierarchical search leaves on the table (empirically: nothing for
+ * most of the zoo, small single-digit percentages elsewhere).
+ */
+
+#ifndef HYPAR_CORE_OPTIMAL_PARTITIONER_HH
+#define HYPAR_CORE_OPTIMAL_PARTITIONER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/comm_model.hh"
+#include "core/hierarchical_partitioner.hh"
+#include "core/plan.hh"
+
+namespace hypar::core {
+
+/** Exact minimum-communication partitioner over all level vectors. */
+class OptimalPartitioner
+{
+  public:
+    explicit OptimalPartitioner(const CommModel &model);
+
+    /**
+     * Globally optimal hierarchical plan for `levels` levels.
+     * Fatal for levels > 10 (4^H transition blow-up).
+     */
+    HierarchicalResult partition(std::size_t levels) const;
+
+    /**
+     * Total communication of a single layer under level vector `v`
+     * (bit h set = mp at level h), including the 2^h pair weighting.
+     * Exposed for tests.
+     */
+    double intraCost(std::size_t layer, std::uint32_t v,
+                     std::size_t levels) const;
+
+    /** Total inter-layer cost of the l -> l+1 transition. */
+    double interCost(std::size_t layer, std::uint32_t v_l,
+                     std::uint32_t v_next, std::size_t levels) const;
+
+  private:
+    const CommModel *model_;
+};
+
+} // namespace hypar::core
+
+#endif // HYPAR_CORE_OPTIMAL_PARTITIONER_HH

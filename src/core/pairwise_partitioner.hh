@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Algorithm 1 of the paper: "Partition Between Two Accelerators".
+ *
+ * A layer-wise dynamic program over the two per-layer states {dp, mp}:
+ *
+ *   com_dp[l] = min(com_dp[l-1] + inter(dp,dp),
+ *                   com_mp[l-1] + inter(mp,dp)) + intra_dp(l)
+ *   com_mp[l] = min(com_dp[l-1] + inter(dp,mp),
+ *                   com_mp[l-1] + inter(mp,mp)) + intra_mp(l)
+ *
+ * and the answer is min(com_dp[L-1], com_mp[L-1]) with the parallelism
+ * list recovered through back-pointers. Time complexity is O(L) — the
+ * linearity the paper emphasizes (validated by bench_partitioner_micro).
+ *
+ * The same routine partitions two *groups* of accelerators: the History
+ * argument carries the upper-level choices so the communication model
+ * can scale tensor amounts (see Algorithm 2 / HierarchicalPartitioner).
+ */
+
+#ifndef HYPAR_CORE_PAIRWISE_PARTITIONER_HH
+#define HYPAR_CORE_PAIRWISE_PARTITIONER_HH
+
+#include "core/comm_model.hh"
+#include "core/plan.hh"
+
+namespace hypar::core {
+
+/** Result of one pairwise partition: the per-layer choices and cost. */
+struct PairwiseResult
+{
+    LevelPlan plan;
+    double commBytes = 0.0;
+};
+
+/**
+ * Dynamic-programming partitioner between two accelerator groups.
+ * Deterministic tie-breaking: on equal cost, data parallelism wins
+ * (dp-dp transitions are free, which makes dp the safer default).
+ */
+class PairwisePartitioner
+{
+  public:
+    explicit PairwisePartitioner(const CommModel &model);
+
+    /** Run Algorithm 1 beneath the given upper-level history. */
+    PairwiseResult partition(const History &hist) const;
+
+    /** Convenience overload: top level (empty history). */
+    PairwiseResult partition() const;
+
+  private:
+    const CommModel *model_;
+};
+
+} // namespace hypar::core
+
+#endif // HYPAR_CORE_PAIRWISE_PARTITIONER_HH

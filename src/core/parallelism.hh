@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The two per-layer parallelism choices of HyPar (paper Section 3.1).
+ *
+ * Lowercase "data parallelism" (dp): both peer accelerator groups hold a
+ * full copy of the layer's kernel; the batch is split between them.
+ * Lowercase "model parallelism" (mp): the kernel is split along its input
+ * dimension; both groups process the full batch and the layer's output is
+ * produced as partial sums that must be reduced.
+ */
+
+#ifndef HYPAR_CORE_PARALLELISM_HH
+#define HYPAR_CORE_PARALLELISM_HH
+
+#include <cstdint>
+
+namespace hypar::core {
+
+/** Per-layer, per-hierarchy-level parallelism choice. */
+enum class Parallelism : std::uint8_t {
+    kData = 0,  //!< "dp": split batch, replicate kernel
+    kModel = 1, //!< "mp": split kernel (input dim), replicate batch
+};
+
+/** Short token used in reports: "dp" / "mp". */
+constexpr const char *
+toString(Parallelism p)
+{
+    return p == Parallelism::kData ? "dp" : "mp";
+}
+
+/** Single-character token used in Fig. 9/10 style bitstrings: 0 / 1. */
+constexpr char
+toBit(Parallelism p)
+{
+    return p == Parallelism::kData ? '0' : '1';
+}
+
+} // namespace hypar::core
+
+#endif // HYPAR_CORE_PARALLELISM_HH

@@ -1,0 +1,104 @@
+#include "core/plan.hh"
+
+#include <sstream>
+
+#include "dnn/network.hh"
+#include "util/logging.hh"
+
+namespace hypar::core {
+
+History::History(std::size_t layers)
+    : dp_(layers, 0), mp_(layers, 0)
+{}
+
+void
+History::push(const LevelPlan &plan)
+{
+    if (plan.size() != dp_.size())
+        util::panic("History::push: layer count mismatch");
+    for (std::size_t l = 0; l < plan.size(); ++l) {
+        if (plan[l] == Parallelism::kData)
+            ++dp_[l];
+        else
+            ++mp_[l];
+    }
+    ++depth_;
+}
+
+unsigned
+History::dpCount(std::size_t l) const
+{
+    HYPAR_ASSERT(l < dp_.size(), "History layer index");
+    return dp_[l];
+}
+
+unsigned
+History::mpCount(std::size_t l) const
+{
+    HYPAR_ASSERT(l < mp_.size(), "History layer index");
+    return mp_[l];
+}
+
+LevelPlan
+uniformLevelPlan(std::size_t layers, Parallelism p)
+{
+    return LevelPlan(layers, p);
+}
+
+HierarchicalPlan
+uniformPlan(std::size_t layers, std::size_t levels, Parallelism p)
+{
+    HierarchicalPlan plan;
+    plan.levels.assign(levels, uniformLevelPlan(layers, p));
+    return plan;
+}
+
+LevelPlan
+levelPlanFromMask(std::uint64_t mask, std::size_t layers)
+{
+    if (layers > 63)
+        util::fatal("levelPlanFromMask supports at most 63 layers");
+    LevelPlan plan(layers, Parallelism::kData);
+    for (std::size_t l = 0; l < layers; ++l)
+        if (mask & (std::uint64_t{1} << l))
+            plan[l] = Parallelism::kModel;
+    return plan;
+}
+
+std::string
+toBitString(const LevelPlan &plan)
+{
+    std::string s;
+    s.reserve(plan.size());
+    for (Parallelism p : plan)
+        s.push_back(toBit(p));
+    return s;
+}
+
+std::string
+toString(const HierarchicalPlan &plan)
+{
+    std::ostringstream os;
+    for (std::size_t h = 0; h < plan.levels.size(); ++h) {
+        os << "H" << (h + 1) << ":";
+        for (Parallelism p : plan.levels[h])
+            os << " " << core::toString(p);
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+validatePlan(const HierarchicalPlan &plan, const dnn::Network &network)
+{
+    for (const auto &level : plan.levels) {
+        if (level.size() != network.size()) {
+            util::fatal("plan does not match network '" + network.name() +
+                        "': level has " + std::to_string(level.size()) +
+                        " layers, network has " +
+                        std::to_string(network.size()));
+        }
+    }
+}
+
+} // namespace hypar::core

@@ -1,0 +1,123 @@
+#include "core/shard_geometry.hh"
+
+#include "util/logging.hh"
+
+namespace hypar::core {
+
+IndexRange
+IndexRange::intersect(const IndexRange &other) const
+{
+    IndexRange r;
+    r.lo = lo > other.lo ? lo : other.lo;
+    r.hi = hi < other.hi ? hi : other.hi;
+    if (r.hi < r.lo)
+        r.hi = r.lo;
+    return r;
+}
+
+std::size_t
+TensorRegion::missingFrom(const TensorRegion &held) const
+{
+    const std::size_t covered =
+        batch.intersect(held.batch).size() *
+        channel.intersect(held.channel).size();
+    HYPAR_ASSERT(covered <= volume(), "overlap exceeds region");
+    return volume() - covered;
+}
+
+BoundaryGeometry::BoundaryGeometry(std::size_t batch, std::size_t channels)
+    : batch_(batch), channels_(channels)
+{
+    if (batch_ == 0 || channels_ == 0)
+        util::fatal("BoundaryGeometry: empty tensor");
+}
+
+TensorRegion
+BoundaryGeometry::full() const
+{
+    return TensorRegion{{0, batch_}, {0, channels_}};
+}
+
+TensorRegion
+BoundaryGeometry::batchHalf(Group g) const
+{
+    const std::size_t mid = batch_ / 2;
+    if (g == Group::kFirst)
+        return TensorRegion{{0, mid}, {0, channels_}};
+    return TensorRegion{{mid, batch_}, {0, channels_}};
+}
+
+TensorRegion
+BoundaryGeometry::channelHalf(Group g) const
+{
+    const std::size_t mid = channels_ / 2;
+    if (g == Group::kFirst)
+        return TensorRegion{{0, batch_}, {0, mid}};
+    return TensorRegion{{0, batch_}, {mid, channels_}};
+}
+
+TensorRegion
+BoundaryGeometry::featureHeld(Parallelism producer, Group g) const
+{
+    // dp: layer l produced its batch half of F_{l+1}. mp: after the
+    // output partial-sum reduction each group holds the full tensor
+    // (this is exactly why Table 2's mp-* rows charge nothing for F).
+    return producer == Parallelism::kData ? batchHalf(g) : full();
+}
+
+TensorRegion
+BoundaryGeometry::featureNeeded(Parallelism consumer, Group g) const
+{
+    // dp: layer l+1 consumes its batch half. mp: layer l+1 holds the
+    // kernel slice over a channel half of its input.
+    return consumer == Parallelism::kData ? batchHalf(g)
+                                          : channelHalf(g);
+}
+
+TensorRegion
+BoundaryGeometry::errorHeld(Parallelism producer_next, Group g) const
+{
+    // E_{l+1} comes out of layer l+1's backward pass: under dp each
+    // group computes its batch half; under mp each group's kernel
+    // slice yields exactly its input-channel half of the error.
+    return producer_next == Parallelism::kData ? batchHalf(g)
+                                               : channelHalf(g);
+}
+
+TensorRegion
+BoundaryGeometry::errorNeeded(Parallelism consumer_prev, Group g) const
+{
+    // Layer l's backward/gradient steps need E over its own output
+    // region: the batch half under dp, the full tensor under mp (its
+    // full-shape output partial sums touched every element).
+    return consumer_prev == Parallelism::kData ? batchHalf(g) : full();
+}
+
+std::size_t
+BoundaryGeometry::featureTraffic(Parallelism prev, Parallelism cur) const
+{
+    std::size_t total = 0;
+    for (Group g : {Group::kFirst, Group::kSecond})
+        total += featureNeeded(cur, g).missingFrom(featureHeld(prev, g));
+    return total;
+}
+
+std::size_t
+BoundaryGeometry::errorTraffic(Parallelism prev, Parallelism cur) const
+{
+    std::size_t total = 0;
+    for (Group g : {Group::kFirst, Group::kSecond})
+        total += errorNeeded(prev, g).missingFrom(errorHeld(cur, g));
+    return total;
+}
+
+std::size_t
+intraTraffic(Parallelism p, std::size_t weight_elems,
+             std::size_t out_raw_elems)
+{
+    // Both groups hold a full-shape partial sum of the reduced tensor
+    // and fetch the peer's copy: 2x the tensor volume either way.
+    return 2 * (p == Parallelism::kData ? weight_elems : out_raw_elems);
+}
+
+} // namespace hypar::core

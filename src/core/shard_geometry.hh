@@ -1,0 +1,136 @@
+/**
+ * @file
+ * First-principles derivation of the communication model from tensor
+ * shard geometry.
+ *
+ * The paper's Tables 1 and 2 state the communication amounts; Figure 2
+ * justifies them pictorially by overlapping the "R" tensor a group
+ * holds after producing a boundary tensor with the "L" tensor it needs
+ * to consume it. This module implements that picture literally: each
+ * group's shard of a boundary tensor is an axis-aligned region in
+ * (batch x channel) index space; the traffic a group must pull is the
+ * volume of its L region not covered by its R region.
+ *
+ * Geometry facts encoded (Section 3.1):
+ *  - dp splits the batch axis; each group *retains* its batch half.
+ *  - mp splits the kernel input axis; the consumer's L region is its
+ *    channel half of the boundary tensor, and the producer's R region
+ *    after the forward partial-sum reduction is the FULL tensor.
+ *  - the error boundary E_{l+1} is produced by layer l+1's backward:
+ *    dp there yields a batch-half R region, mp a channel-half R
+ *    region; layer l needs E over its own output region (full under
+ *    mp, batch half under dp).
+ *
+ * CommModel never calls into this module; instead the test suite
+ * verifies that the closed-form table and the geometric derivation
+ * agree on arbitrary shapes — Table 2's 0 / 0.25+0.25 / 0.5 / 0.5
+ * coefficients are *theorems* here, not inputs.
+ */
+
+#ifndef HYPAR_CORE_SHARD_GEOMETRY_HH
+#define HYPAR_CORE_SHARD_GEOMETRY_HH
+
+#include <cstddef>
+
+#include "core/parallelism.hh"
+
+namespace hypar::core {
+
+/** Half-open index interval [lo, hi). */
+struct IndexRange
+{
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+
+    std::size_t size() const { return hi > lo ? hi - lo : 0; }
+
+    /** Intersection (empty ranges collapse to [0,0)). */
+    IndexRange intersect(const IndexRange &other) const;
+
+    bool operator==(const IndexRange &) const = default;
+};
+
+/**
+ * An axis-aligned region of a boundary tensor in (batch, channel)
+ * index space. Spatial dimensions are never split by dp or mp, so two
+ * axes fully describe a shard.
+ */
+struct TensorRegion
+{
+    IndexRange batch;
+    IndexRange channel;
+
+    std::size_t volume() const { return batch.size() * channel.size(); }
+
+    /**
+     * Elements of this region NOT covered by `held` — the volume the
+     * owner must fetch remotely. Because regions are axis-aligned
+     * boxes sharing the same outer bounds, the uncovered part of
+     * box-minus-box decomposes exactly (inclusion-exclusion).
+     */
+    std::size_t missingFrom(const TensorRegion &held) const;
+
+    bool operator==(const TensorRegion &) const = default;
+};
+
+/** Which of the two peer groups a shard belongs to. */
+enum class Group : std::uint8_t { kFirst = 0, kSecond = 1 };
+
+/**
+ * Shard geometry of one boundary tensor (F_{l+1} / E_{l+1}) between
+ * layer l (producer side for F, consumer side for E) and layer l+1,
+ * for a pair exchange with total `batch` samples and `channels`
+ * boundary channels.
+ */
+class BoundaryGeometry
+{
+  public:
+    BoundaryGeometry(std::size_t batch, std::size_t channels);
+
+    /** R region of F_{l+1}: what `g` holds after layer l's forward. */
+    TensorRegion featureHeld(Parallelism producer, Group g) const;
+
+    /** L region of F_{l+1}: what `g` needs to run layer l+1 forward. */
+    TensorRegion featureNeeded(Parallelism consumer, Group g) const;
+
+    /** R region of E_{l+1}: what `g` holds after layer l+1 backward. */
+    TensorRegion errorHeld(Parallelism producer_next, Group g) const;
+
+    /** L region of E_{l+1}: what `g` needs for layer l's backward and
+     *  gradient steps. */
+    TensorRegion errorNeeded(Parallelism consumer_prev, Group g) const;
+
+    /**
+     * Total elements both groups must fetch for the feature boundary
+     * under the transition prev -> cur. Equals Table 2's F coefficient
+     * times batch*channels times the exchange factor 2.
+     */
+    std::size_t featureTraffic(Parallelism prev, Parallelism cur) const;
+
+    /** Same for the error boundary. */
+    std::size_t errorTraffic(Parallelism prev, Parallelism cur) const;
+
+    std::size_t batch() const { return batch_; }
+    std::size_t channels() const { return channels_; }
+
+  private:
+    TensorRegion full() const;
+    TensorRegion batchHalf(Group g) const;
+    TensorRegion channelHalf(Group g) const;
+
+    std::size_t batch_;
+    std::size_t channels_;
+};
+
+/**
+ * Intra-layer traffic derived from shard geometry (Table 1): in dp both
+ * groups hold full-shape gradient partial sums and fetch each other's
+ * (2 x weight elements); in mp both hold full-shape output partial sums
+ * (2 x raw output elements).
+ */
+std::size_t intraTraffic(Parallelism p, std::size_t weight_elems,
+                         std::size_t out_raw_elems);
+
+} // namespace hypar::core
+
+#endif // HYPAR_CORE_SHARD_GEOMETRY_HH

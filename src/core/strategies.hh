@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Baseline partition strategies the paper compares against:
+ *
+ *  - default Data Parallelism: every layer dp at every level,
+ *  - default Model Parallelism: every layer mp at every level,
+ *  - "one weird trick" (Krizhevsky 2014): conv layers dp, fc layers mp,
+ *    at every level,
+ *  - HyPar itself (a thin wrapper over HierarchicalPartitioner).
+ */
+
+#ifndef HYPAR_CORE_STRATEGIES_HH
+#define HYPAR_CORE_STRATEGIES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/comm_model.hh"
+#include "core/plan.hh"
+#include "dnn/network.hh"
+
+namespace hypar::core {
+
+/** All layers data parallel at all `levels` hierarchy levels. */
+HierarchicalPlan makeDataParallelPlan(const dnn::Network &network,
+                                      std::size_t levels);
+
+/** All layers model parallel at all `levels` hierarchy levels. */
+HierarchicalPlan makeModelParallelPlan(const dnn::Network &network,
+                                       std::size_t levels);
+
+/** Krizhevsky's "one weird trick": conv -> dp, fc -> mp, all levels. */
+HierarchicalPlan makeOneWeirdTrickPlan(const dnn::Network &network,
+                                       std::size_t levels);
+
+/** The HyPar plan for this model/config (Algorithm 2). */
+HierarchicalPlan makeHyparPlan(const CommModel &model, std::size_t levels);
+
+/** Identifier for the four named strategies. */
+enum class Strategy { kDataParallel, kModelParallel, kOneWeirdTrick,
+                      kHypar };
+
+/** Human-readable strategy name as used in the paper's figures. */
+const char *toString(Strategy s);
+
+/** Build the plan for a named strategy. */
+HierarchicalPlan makePlan(Strategy s, const CommModel &model,
+                          std::size_t levels);
+
+} // namespace hypar::core
+
+#endif // HYPAR_CORE_STRATEGIES_HH

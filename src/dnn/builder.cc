@@ -1,0 +1,82 @@
+#include "dnn/builder.hh"
+
+#include "util/logging.hh"
+
+namespace hypar::dnn {
+
+NetworkBuilder::NetworkBuilder(std::string name, SampleShape input)
+    : name_(std::move(name)), input_(input)
+{}
+
+Layer &
+NetworkBuilder::last()
+{
+    if (layers_.empty())
+        util::fatal(name_ + ": layer attribute before any layer was added");
+    return layers_.back();
+}
+
+NetworkBuilder &
+NetworkBuilder::conv(const std::string &layer_name, std::size_t out_channels,
+                     std::size_t kernel)
+{
+    Layer layer;
+    layer.name = layer_name;
+    layer.kind = LayerKind::kConv;
+    layer.outChannels = out_channels;
+    layer.kernel = kernel;
+    layers_.push_back(layer);
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::fc(const std::string &layer_name, std::size_t out_neurons)
+{
+    Layer layer;
+    layer.name = layer_name;
+    layer.kind = LayerKind::kFullyConnected;
+    layer.outChannels = out_neurons;
+    layers_.push_back(layer);
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::stride(std::size_t s)
+{
+    if (!last().isConv())
+        util::fatal(name_ + ": stride on a non-conv layer");
+    last().stride = s;
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::pad(std::size_t p)
+{
+    if (!last().isConv())
+        util::fatal(name_ + ": pad on a non-conv layer");
+    last().pad = p;
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::maxPool(std::size_t window, std::size_t pool_stride)
+{
+    last().pool.window = window;
+    last().pool.stride = pool_stride ? pool_stride : window;
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::activation(Activation act)
+{
+    last().act = act;
+    return *this;
+}
+
+Network
+NetworkBuilder::build() const
+{
+    return Network(name_, input_, layers_);
+}
+
+} // namespace hypar::dnn

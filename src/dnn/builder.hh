@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fluent builder for Network instances.
+ *
+ *   Network lenet = NetworkBuilder("Lenet-c", {1, 28, 28})
+ *       .conv("conv1", 20, 5).maxPool(2)
+ *       .conv("conv2", 50, 5).maxPool(2)
+ *       .fc("fc1", 500)
+ *       .fc("fc2", 10).activation(Activation::kNone)
+ *       .build();
+ */
+
+#ifndef HYPAR_DNN_BUILDER_HH
+#define HYPAR_DNN_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "dnn/network.hh"
+
+namespace hypar::dnn {
+
+/** Incrementally authors a layer list, then materializes a Network. */
+class NetworkBuilder
+{
+  public:
+    NetworkBuilder(std::string name, SampleShape input);
+
+    /** Append a conv layer (defaults: stride 1, pad 0, ReLU, no pool). */
+    NetworkBuilder &conv(const std::string &layer_name,
+                         std::size_t out_channels, std::size_t kernel);
+
+    /** Append a fully-connected layer (defaults: ReLU, no pool). */
+    NetworkBuilder &fc(const std::string &layer_name,
+                       std::size_t out_neurons);
+
+    /** Modify the most recent layer. Fatal if no layer exists yet. */
+    NetworkBuilder &stride(std::size_t s);
+    NetworkBuilder &pad(std::size_t p);
+    NetworkBuilder &maxPool(std::size_t window, std::size_t pool_stride = 0);
+    NetworkBuilder &activation(Activation act);
+
+    /** Validate, run shape inference, and return the network. */
+    Network build() const;
+
+  private:
+    Layer &last();
+
+    std::string name_;
+    SampleShape input_;
+    std::vector<Layer> layers_;
+};
+
+} // namespace hypar::dnn
+
+#endif // HYPAR_DNN_BUILDER_HH

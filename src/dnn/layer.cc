@@ -1,0 +1,79 @@
+#include "dnn/layer.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace hypar::dnn {
+
+std::size_t
+Layer::weightElems() const
+{
+    if (isConv())
+        return kernel * kernel * in.c * outChannels;
+    return fcInputs() * outChannels;
+}
+
+double
+Layer::fwdMacsPerSample() const
+{
+    if (isConv()) {
+        return static_cast<double>(outRaw.h) * static_cast<double>(outRaw.w)
+             * static_cast<double>(outChannels)
+             * static_cast<double>(kernel) * static_cast<double>(kernel)
+             * static_cast<double>(in.c);
+    }
+    return static_cast<double>(fcInputs())
+         * static_cast<double>(outChannels);
+}
+
+std::string
+Layer::describe() const
+{
+    std::ostringstream os;
+    os << name << ": ";
+    if (isConv()) {
+        os << outChannels << "@" << kernel << "x" << kernel;
+        if (stride != 1)
+            os << " s" << stride;
+        if (pad != 0)
+            os << " p" << pad;
+    } else {
+        os << "fc " << fcInputs() << "->" << outChannels;
+    }
+    if (pool.enabled())
+        os << " +pool" << pool.window << "/" << pool.stride;
+    os << " [" << in.c << "x" << in.h << "x" << in.w << " -> "
+       << outPooled.c << "x" << outPooled.h << "x" << outPooled.w << "]";
+    return os.str();
+}
+
+const char *
+toString(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::kConv:
+        return "conv";
+      case LayerKind::kFullyConnected:
+        return "fc";
+    }
+    util::panic("unknown LayerKind");
+}
+
+const char *
+toString(Activation act)
+{
+    switch (act) {
+      case Activation::kNone:
+        return "none";
+      case Activation::kReLU:
+        return "relu";
+      case Activation::kSigmoid:
+        return "sigmoid";
+      case Activation::kTanh:
+        return "tanh";
+    }
+    util::panic("unknown Activation");
+}
+
+} // namespace hypar::dnn

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Weighted-layer description for the HyPar cost model.
+ *
+ * HyPar reasons about *weighted* layers only (convolutional and
+ * fully-connected); pooling and activation are attributes attached to the
+ * producing weighted layer, exactly like the paper's hyper-parameter list
+ * HP[l] = (layer type, kernel sizes, parameter for pooling, activation).
+ */
+
+#ifndef HYPAR_DNN_LAYER_HH
+#define HYPAR_DNN_LAYER_HH
+
+#include <cstddef>
+#include <string>
+
+namespace hypar::dnn {
+
+/** Word size of all tensors: the paper computes in 32-bit floating point. */
+constexpr std::size_t kWordBytes = 4;
+
+/** Per-sample feature-map shape [C x H x W] (the paper's [H x W x C]). */
+struct SampleShape
+{
+    std::size_t c = 0; //!< channels (depth)
+    std::size_t h = 0; //!< height
+    std::size_t w = 0; //!< width
+
+    /** Elements in one sample's feature map slice. */
+    std::size_t elems() const { return c * h * w; }
+
+    bool operator==(const SampleShape &) const = default;
+};
+
+/** Kind of weighted layer. */
+enum class LayerKind { kConv, kFullyConnected };
+
+/** Element-wise non-linearity attached to a weighted layer. */
+enum class Activation { kNone, kReLU, kSigmoid, kTanh };
+
+/**
+ * Max-pooling attached after a weighted layer; window == 0 disables it.
+ * Pooling is a local operation: it changes the boundary tensor shape
+ * handed to the next layer but incurs no inter-accelerator traffic.
+ */
+struct PoolSpec
+{
+    std::size_t window = 0;
+    std::size_t stride = 0;
+
+    bool enabled() const { return window > 0; }
+};
+
+/**
+ * One weighted layer. The spec fields (name/kind/kernel/...) are authored
+ * via NetworkBuilder; the shape fields (in/outRaw/outPooled) are filled in
+ * by Network's shape inference and must not be set by hand.
+ */
+class Layer
+{
+  public:
+    // --- specification -----------------------------------------------
+
+    std::string name;
+    LayerKind kind = LayerKind::kConv;
+
+    /** conv: output channels C_{l+1}; fc: output neurons N_out. */
+    std::size_t outChannels = 0;
+
+    /** conv only: square kernel height/width K. */
+    std::size_t kernel = 0;
+    std::size_t stride = 1;
+    std::size_t pad = 0;
+
+    PoolSpec pool;
+    Activation act = Activation::kReLU;
+
+    // --- inferred by Network::Network --------------------------------
+
+    SampleShape in;        //!< input feature map slice (post-pool of prev)
+    SampleShape outRaw;    //!< raw output before pooling (F^out_l)
+    SampleShape outPooled; //!< output after pooling (boundary F_{l+1})
+
+    // --- derived amounts ----------------------------------------------
+
+    bool isConv() const { return kind == LayerKind::kConv; }
+    bool isFc() const { return kind == LayerKind::kFullyConnected; }
+
+    /** fc input width: the flattened input slice. */
+    std::size_t fcInputs() const { return in.elems(); }
+
+    /**
+     * Kernel tensor elements: conv [K x K x C_l] x C_{l+1}, fc N_in x
+     * N_out. Gradient tensor dW_l has the same size. Biases are omitted,
+     * matching the paper's A(dW) = C_i C_o K^2 formula.
+     */
+    std::size_t weightElems() const;
+
+    /** Raw output elements per sample (pre-pooling), A(F^out_l)/B. */
+    std::size_t outRawElemsPerSample() const { return outRaw.elems(); }
+
+    /** Boundary output elements per sample (post-pooling). */
+    std::size_t outElemsPerSample() const { return outPooled.elems(); }
+
+    /** Input elements per sample. */
+    std::size_t inElemsPerSample() const { return in.elems(); }
+
+    /**
+     * Multiply-accumulate operations for one sample's forward pass.
+     * conv: H_out * W_out * C_out * K * K * C_in; fc: N_in * N_out.
+     * Error backward and gradient computation perform the same number of
+     * MACs (they are the same matrices multiplied in different orders).
+     */
+    double fwdMacsPerSample() const;
+
+    /** Human-readable one-line description (for reports). */
+    std::string describe() const;
+};
+
+/** Short lowercase token for a layer kind ("conv" / "fc"). */
+const char *toString(LayerKind kind);
+
+/** Token for an activation ("none" / "relu" / ...). */
+const char *toString(Activation act);
+
+} // namespace hypar::dnn
+
+#endif // HYPAR_DNN_LAYER_HH

@@ -1,0 +1,229 @@
+#include "dnn/model_zoo.hh"
+
+#include "dnn/builder.hh"
+#include "util/logging.hh"
+
+namespace hypar::dnn {
+
+namespace {
+
+constexpr SampleShape kMnist{1, 28, 28};
+constexpr SampleShape kCifar{3, 32, 32};
+constexpr SampleShape kImageNetVgg{3, 224, 224};
+constexpr SampleShape kImageNetAlex{3, 227, 227};
+
+/**
+ * Append one VGG block: `count` 3x3 pad-1 convolutions of width
+ * `channels` (the last `ones` of them 1x1 for VGG-C) followed by a 2x2
+ * max-pool on the final conv of the block.
+ */
+void
+vggBlock(NetworkBuilder &b, int block, int count, std::size_t channels,
+         int ones = 0)
+{
+    for (int i = 1; i <= count; ++i) {
+        const std::string name =
+            "conv" + std::to_string(block) + "_" + std::to_string(i);
+        if (i > count - ones)
+            b.conv(name, channels, 1); // VGG-C 1x1 convolution
+        else
+            b.conv(name, channels, 3).pad(1);
+    }
+    b.maxPool(2);
+}
+
+/** Append the common VGG classifier head. */
+void
+vggHead(NetworkBuilder &b)
+{
+    b.fc("fc1", 4096)
+     .fc("fc2", 4096)
+     .fc("fc3", 1000).activation(Activation::kNone);
+}
+
+} // namespace
+
+Network
+makeSfc()
+{
+    // Table 3: 784-8192-8192-8192-10; reaches 98.28% on MNIST.
+    return NetworkBuilder("SFC", kMnist)
+        .fc("fc1", 8192)
+        .fc("fc2", 8192)
+        .fc("fc3", 8192)
+        .fc("fc4", 10).activation(Activation::kNone)
+        .build();
+}
+
+Network
+makeSconv()
+{
+    // Table 3: 20@5x5, 50@5x5 (2x2 max pool), 50@5x5, 10@5x5 (2x2 max
+    // pool); reaches 98.71% on MNIST.
+    return NetworkBuilder("SCONV", kMnist)
+        .conv("conv1", 20, 5)
+        .conv("conv2", 50, 5).maxPool(2)
+        .conv("conv3", 50, 5)
+        .conv("conv4", 10, 5).maxPool(2).activation(Activation::kNone)
+        .build();
+}
+
+Network
+makeLenetC()
+{
+    // LeNet for MNIST with four weighted layers (Fig. 5(c)).
+    return NetworkBuilder("Lenet-c", kMnist)
+        .conv("conv1", 20, 5).maxPool(2)
+        .conv("conv2", 50, 5).maxPool(2)
+        .fc("fc1", 500)
+        .fc("fc2", 10).activation(Activation::kNone)
+        .build();
+}
+
+Network
+makeCifarC()
+{
+    // CIFAR-10 "quick" style network with five weighted layers
+    // (Fig. 5(d): conv1..conv3, fc1, fc2).
+    return NetworkBuilder("Cifar-c", kCifar)
+        .conv("conv1", 32, 5).pad(2).maxPool(2)
+        .conv("conv2", 32, 5).pad(2).maxPool(2)
+        .conv("conv3", 64, 5).pad(2).maxPool(2)
+        .fc("fc1", 64)
+        .fc("fc2", 10).activation(Activation::kNone)
+        .build();
+}
+
+Network
+makeAlexNet()
+{
+    // Krizhevsky 2012, single-tower (ungrouped) variant.
+    return NetworkBuilder("AlexNet", kImageNetAlex)
+        .conv("conv1", 96, 11).stride(4).maxPool(3, 2)
+        .conv("conv2", 256, 5).pad(2).maxPool(3, 2)
+        .conv("conv3", 384, 3).pad(1)
+        .conv("conv4", 384, 3).pad(1)
+        .conv("conv5", 256, 3).pad(1).maxPool(3, 2)
+        .fc("fc1", 4096)
+        .fc("fc2", 4096)
+        .fc("fc3", 1000).activation(Activation::kNone)
+        .build();
+}
+
+Network
+makeVggA()
+{
+    NetworkBuilder b("VGG-A", kImageNetVgg);
+    vggBlock(b, 1, 1, 64);
+    vggBlock(b, 2, 1, 128);
+    vggBlock(b, 3, 2, 256);
+    vggBlock(b, 4, 2, 512);
+    vggBlock(b, 5, 2, 512);
+    vggHead(b);
+    return b.build();
+}
+
+Network
+makeVggB()
+{
+    NetworkBuilder b("VGG-B", kImageNetVgg);
+    vggBlock(b, 1, 2, 64);
+    vggBlock(b, 2, 2, 128);
+    vggBlock(b, 3, 2, 256);
+    vggBlock(b, 4, 2, 512);
+    vggBlock(b, 5, 2, 512);
+    vggHead(b);
+    return b.build();
+}
+
+Network
+makeVggC()
+{
+    // VGG-C: like VGG-B plus one 1x1 conv in blocks 3..5.
+    NetworkBuilder b("VGG-C", kImageNetVgg);
+    vggBlock(b, 1, 2, 64);
+    vggBlock(b, 2, 2, 128);
+    vggBlock(b, 3, 3, 256, 1);
+    vggBlock(b, 4, 3, 512, 1);
+    vggBlock(b, 5, 3, 512, 1);
+    vggHead(b);
+    return b.build();
+}
+
+Network
+makeVggD()
+{
+    NetworkBuilder b("VGG-D", kImageNetVgg);
+    vggBlock(b, 1, 2, 64);
+    vggBlock(b, 2, 2, 128);
+    vggBlock(b, 3, 3, 256);
+    vggBlock(b, 4, 3, 512);
+    vggBlock(b, 5, 3, 512);
+    vggHead(b);
+    return b.build();
+}
+
+Network
+makeVggE()
+{
+    NetworkBuilder b("VGG-E", kImageNetVgg);
+    vggBlock(b, 1, 2, 64);
+    vggBlock(b, 2, 2, 128);
+    vggBlock(b, 3, 4, 256);
+    vggBlock(b, 4, 4, 512);
+    vggBlock(b, 5, 4, 512);
+    vggHead(b);
+    return b.build();
+}
+
+std::vector<Network>
+allModels()
+{
+    std::vector<Network> nets;
+    nets.push_back(makeSfc());
+    nets.push_back(makeSconv());
+    nets.push_back(makeLenetC());
+    nets.push_back(makeCifarC());
+    nets.push_back(makeAlexNet());
+    nets.push_back(makeVggA());
+    nets.push_back(makeVggB());
+    nets.push_back(makeVggC());
+    nets.push_back(makeVggD());
+    nets.push_back(makeVggE());
+    return nets;
+}
+
+std::vector<std::string>
+allModelNames()
+{
+    return {"SFC", "SCONV", "Lenet-c", "Cifar-c", "AlexNet",
+            "VGG-A", "VGG-B", "VGG-C", "VGG-D", "VGG-E"};
+}
+
+Network
+modelByName(const std::string &name)
+{
+    if (name == "SFC")
+        return makeSfc();
+    if (name == "SCONV")
+        return makeSconv();
+    if (name == "Lenet-c")
+        return makeLenetC();
+    if (name == "Cifar-c")
+        return makeCifarC();
+    if (name == "AlexNet")
+        return makeAlexNet();
+    if (name == "VGG-A")
+        return makeVggA();
+    if (name == "VGG-B")
+        return makeVggB();
+    if (name == "VGG-C")
+        return makeVggC();
+    if (name == "VGG-D")
+        return makeVggD();
+    if (name == "VGG-E")
+        return makeVggE();
+    util::fatal("unknown model '" + name + "'");
+}
+
+} // namespace hypar::dnn

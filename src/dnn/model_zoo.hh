@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The ten evaluation networks of the HyPar paper (Section 6.1):
+ *
+ *   SFC      MNIST, fully-connected only, 784-8192-8192-8192-10 (Table 3)
+ *   SCONV    MNIST, convolution only (Table 3)
+ *   Lenet-c  MNIST LeNet variant, 4 weighted layers
+ *   Cifar-c  CIFAR-10 "quick" network, 5 weighted layers
+ *   AlexNet  ImageNet (Krizhevsky 2012, single tower), 8 weighted layers
+ *   VGG-A/B/C/D/E  ImageNet (Simonyan & Zisserman 2015), 11/13/16/16/19
+ *
+ * Layer names follow the paper's Figure 5 (conv1_1, ..., fc3).
+ */
+
+#ifndef HYPAR_DNN_MODEL_ZOO_HH
+#define HYPAR_DNN_MODEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "dnn/network.hh"
+
+namespace hypar::dnn {
+
+Network makeSfc();
+Network makeSconv();
+Network makeLenetC();
+Network makeCifarC();
+Network makeAlexNet();
+Network makeVggA();
+Network makeVggB();
+Network makeVggC();
+Network makeVggD();
+Network makeVggE();
+
+/** All ten networks in the paper's presentation order. */
+std::vector<Network> allModels();
+
+/** Names of the ten networks, in order. */
+std::vector<std::string> allModelNames();
+
+/** Look up one of the ten networks by name; fatal on unknown names. */
+Network modelByName(const std::string &name);
+
+} // namespace hypar::dnn
+
+#endif // HYPAR_DNN_MODEL_ZOO_HH

@@ -1,0 +1,153 @@
+#include "dnn/network.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace hypar::dnn {
+
+namespace {
+
+/** Infer the raw output shape of one weighted layer from its input. */
+SampleShape
+inferRawOutput(const Layer &layer, const SampleShape &in,
+               const std::string &net_name)
+{
+    if (layer.outChannels == 0) {
+        util::fatal(net_name + "/" + layer.name +
+                    ": zero output channels");
+    }
+
+    if (layer.isFc()) {
+        if (in.elems() == 0)
+            util::fatal(net_name + "/" + layer.name + ": empty fc input");
+        return SampleShape{layer.outChannels, 1, 1};
+    }
+
+    if (layer.kernel == 0 || layer.stride == 0) {
+        util::fatal(net_name + "/" + layer.name +
+                    ": conv needs kernel > 0 and stride > 0");
+    }
+    const std::size_t eff_h = in.h + 2 * layer.pad;
+    const std::size_t eff_w = in.w + 2 * layer.pad;
+    if (eff_h < layer.kernel || eff_w < layer.kernel) {
+        util::fatal(net_name + "/" + layer.name +
+                    ": kernel larger than (padded) input");
+    }
+    SampleShape out;
+    out.c = layer.outChannels;
+    out.h = (eff_h - layer.kernel) / layer.stride + 1;
+    out.w = (eff_w - layer.kernel) / layer.stride + 1;
+    return out;
+}
+
+/** Apply the optional pooling attribute. */
+SampleShape
+inferPooledOutput(const Layer &layer, const SampleShape &raw,
+                  const std::string &net_name)
+{
+    if (!layer.pool.enabled())
+        return raw;
+    const std::size_t w = layer.pool.window;
+    const std::size_t s = layer.pool.stride ? layer.pool.stride : w;
+    if (raw.h < w || raw.w < w) {
+        util::fatal(net_name + "/" + layer.name +
+                    ": pooling window larger than feature map");
+    }
+    SampleShape out;
+    out.c = raw.c;
+    out.h = (raw.h - w) / s + 1;
+    out.w = (raw.w - w) / s + 1;
+    return out;
+}
+
+} // namespace
+
+Network::Network(std::string name, SampleShape input,
+                 std::vector<Layer> layers)
+    : name_(std::move(name)), input_(input), layers_(std::move(layers))
+{
+    if (layers_.empty())
+        util::fatal(name_ + ": a network needs at least one weighted layer");
+    if (input_.elems() == 0)
+        util::fatal(name_ + ": empty input shape");
+
+    SampleShape cur = input_;
+    for (auto &layer : layers_) {
+        if (layer.name.empty())
+            util::fatal(name_ + ": unnamed layer");
+        layer.in = cur;
+        layer.outRaw = inferRawOutput(layer, cur, name_);
+        layer.outPooled = inferPooledOutput(layer, layer.outRaw, name_);
+        if (layer.pool.enabled() && layer.pool.stride == 0)
+            layer.pool.stride = layer.pool.window;
+        cur = layer.outPooled;
+    }
+}
+
+const Layer &
+Network::layer(std::size_t l) const
+{
+    if (l >= layers_.size())
+        util::fatal(name_ + ": layer index out of range");
+    return layers_[l];
+}
+
+std::size_t
+Network::layerIndex(const std::string &layer_name) const
+{
+    for (std::size_t l = 0; l < layers_.size(); ++l)
+        if (layers_[l].name == layer_name)
+            return l;
+    util::fatal(name_ + ": no layer named '" + layer_name + "'");
+}
+
+std::size_t
+Network::totalParamElems() const
+{
+    std::size_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer.weightElems();
+    return total;
+}
+
+double
+Network::totalFwdMacsPerSample() const
+{
+    double total = 0.0;
+    for (const auto &layer : layers_)
+        total += layer.fwdMacsPerSample();
+    return total;
+}
+
+bool
+Network::hasConv() const
+{
+    for (const auto &layer : layers_)
+        if (layer.isConv())
+            return true;
+    return false;
+}
+
+bool
+Network::hasFc() const
+{
+    for (const auto &layer : layers_)
+        if (layer.isFc())
+            return true;
+    return false;
+}
+
+std::string
+Network::describe() const
+{
+    std::ostringstream os;
+    os << name_ << " (input " << input_.c << "x" << input_.h << "x"
+       << input_.w << ", " << size() << " weighted layers, "
+       << totalParamElems() << " params)\n";
+    for (const auto &layer : layers_)
+        os << "  " << layer.describe() << "\n";
+    return os.str();
+}
+
+} // namespace hypar::dnn

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A deep neural network as seen by HyPar: an ordered list of weighted
+ * layers plus an input sample shape. Construction runs shape inference
+ * and validates every layer, so a Network instance is always consistent.
+ */
+
+#ifndef HYPAR_DNN_NETWORK_HH
+#define HYPAR_DNN_NETWORK_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hh"
+
+namespace hypar::dnn {
+
+/**
+ * Immutable, shape-checked network. Batch size is intentionally *not*
+ * part of the network: like the paper's Algorithm 1, the batch B is a
+ * parameter of the partition search / simulation, not of the model.
+ */
+class Network
+{
+  public:
+    /**
+     * Build and validate. Runs shape inference through all layers.
+     * @param name model name, e.g. "VGG-A".
+     * @param input per-sample input shape (e.g. 3x224x224).
+     * @param layers weighted layers in forward order (shape fields of
+     *        each layer are computed here and may be left empty).
+     * Fatal on empty layer lists and invalid geometry (kernel larger
+     * than input, non-positive output, fc before spatial mismatch...).
+     */
+    Network(std::string name, SampleShape input, std::vector<Layer> layers);
+
+    const std::string &name() const { return name_; }
+    const SampleShape &inputShape() const { return input_; }
+
+    /** Number of weighted layers (the paper's L). */
+    std::size_t size() const { return layers_.size(); }
+
+    const Layer &layer(std::size_t l) const;
+    const std::vector<Layer> &layers() const { return layers_; }
+
+    /** Look up a layer index by name; fatal if absent. */
+    std::size_t layerIndex(const std::string &layer_name) const;
+
+    /** Total kernel (weight) elements over all layers. */
+    std::size_t totalParamElems() const;
+
+    /** Total forward MACs for one input sample. */
+    double totalFwdMacsPerSample() const;
+
+    /** True if any layer is a conv / fc layer. */
+    bool hasConv() const;
+    bool hasFc() const;
+
+    /** Multi-line summary of all layers (for reports and examples). */
+    std::string describe() const;
+
+  private:
+    std::string name_;
+    SampleShape input_;
+    std::vector<Layer> layers_;
+};
+
+} // namespace hypar::dnn
+
+#endif // HYPAR_DNN_NETWORK_HH

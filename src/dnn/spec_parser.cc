@@ -1,0 +1,225 @@
+#include "dnn/spec_parser.hh"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "dnn/builder.hh"
+#include "util/logging.hh"
+
+namespace hypar::dnn {
+
+namespace {
+
+[[noreturn]] void
+parseError(std::size_t line, const std::string &msg)
+{
+    util::fatal("spec line " + std::to_string(line) + ": " + msg);
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok) {
+        if (tok[0] == '#')
+            break;
+        tokens.push_back(tok);
+    }
+    return tokens;
+}
+
+std::size_t
+parseCount(const std::string &tok, std::size_t line)
+{
+    try {
+        std::size_t pos = 0;
+        const unsigned long long v = std::stoull(tok, &pos);
+        if (pos != tok.size())
+            parseError(line, "trailing characters in number '" + tok +
+                                 "'");
+        return static_cast<std::size_t>(v);
+    } catch (const std::logic_error &) {
+        parseError(line, "expected a number, got '" + tok + "'");
+    }
+}
+
+Activation
+parseActivation(const std::string &tok, std::size_t line)
+{
+    if (tok == "relu")
+        return Activation::kReLU;
+    if (tok == "none")
+        return Activation::kNone;
+    if (tok == "sigmoid")
+        return Activation::kSigmoid;
+    if (tok == "tanh")
+        return Activation::kTanh;
+    parseError(line, "unknown activation '" + tok + "'");
+}
+
+/**
+ * Consume attribute pairs (stride N | pad N | pool W [S] | act A)
+ * starting at tokens[i], applying them to the builder's last layer.
+ */
+void
+applyAttributes(NetworkBuilder &b, const std::vector<std::string> &tokens,
+                std::size_t i, std::size_t line, bool conv_layer)
+{
+    while (i < tokens.size()) {
+        const std::string &key = tokens[i];
+        if (key == "stride" || key == "pad") {
+            if (!conv_layer)
+                parseError(line, "'" + key + "' only applies to conv");
+            if (i + 1 >= tokens.size())
+                parseError(line, "'" + key + "' needs a value");
+            const std::size_t v = parseCount(tokens[i + 1], line);
+            if (key == "stride")
+                b.stride(v);
+            else
+                b.pad(v);
+            i += 2;
+        } else if (key == "pool") {
+            if (i + 1 >= tokens.size())
+                parseError(line, "'pool' needs a window");
+            const std::size_t window = parseCount(tokens[i + 1], line);
+            std::size_t stride = 0;
+            i += 2;
+            if (i < tokens.size() && tokens[i].find_first_not_of(
+                                         "0123456789") == std::string::npos) {
+                stride = parseCount(tokens[i], line);
+                ++i;
+            }
+            b.maxPool(window, stride);
+        } else if (key == "act") {
+            if (i + 1 >= tokens.size())
+                parseError(line, "'act' needs a value");
+            b.activation(parseActivation(tokens[i + 1], line));
+            i += 2;
+        } else {
+            parseError(line, "unknown attribute '" + key + "'");
+        }
+    }
+}
+
+} // namespace
+
+Network
+parseNetworkSpec(std::istream &in)
+{
+    std::string name;
+    SampleShape input{};
+    bool have_input = false;
+    bool have_layer = false;
+    bool last_was_conv = false;
+
+    // The builder needs name+input up front; collect directives first.
+    std::vector<std::pair<std::size_t, std::vector<std::string>>> body;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+        if (tokens[0] == "network") {
+            if (tokens.size() != 2)
+                parseError(line_no, "usage: network <name>");
+            name = tokens[1];
+        } else if (tokens[0] == "input") {
+            if (tokens.size() != 4)
+                parseError(line_no, "usage: input <c> <h> <w>");
+            input.c = parseCount(tokens[1], line_no);
+            input.h = parseCount(tokens[2], line_no);
+            input.w = parseCount(tokens[3], line_no);
+            have_input = true;
+        } else {
+            body.emplace_back(line_no, std::move(tokens));
+        }
+    }
+
+    if (name.empty())
+        util::fatal("spec: missing 'network <name>' directive");
+    if (!have_input)
+        util::fatal("spec: missing 'input <c> <h> <w>' directive");
+
+    NetworkBuilder b(name, input);
+    for (const auto &[no, tokens] : body) {
+        if (tokens[0] == "conv") {
+            if (tokens.size() < 4)
+                parseError(no, "usage: conv <name> <out> <kernel> "
+                               "[attrs...]");
+            b.conv(tokens[1], parseCount(tokens[2], no),
+                   parseCount(tokens[3], no));
+            have_layer = true;
+            last_was_conv = true;
+            applyAttributes(b, tokens, 4, no, true);
+        } else if (tokens[0] == "fc") {
+            if (tokens.size() < 3)
+                parseError(no, "usage: fc <name> <out> [attrs...]");
+            b.fc(tokens[1], parseCount(tokens[2], no));
+            have_layer = true;
+            last_was_conv = false;
+            applyAttributes(b, tokens, 3, no, false);
+        } else if (tokens[0] == "pool" || tokens[0] == "stride" ||
+                   tokens[0] == "pad" || tokens[0] == "act") {
+            if (!have_layer)
+                parseError(no, "attribute before any layer");
+            applyAttributes(b, tokens, 0, no, last_was_conv);
+        } else {
+            parseError(no, "unknown directive '" + tokens[0] + "'");
+        }
+    }
+
+    return b.build();
+}
+
+Network
+parseNetworkSpec(const std::string &text)
+{
+    std::istringstream is(text);
+    return parseNetworkSpec(is);
+}
+
+Network
+parseNetworkSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open spec file '" + path + "'");
+    return parseNetworkSpec(in);
+}
+
+std::string
+toSpec(const Network &network)
+{
+    std::ostringstream os;
+    os << "network " << network.name() << "\n";
+    const auto &in = network.inputShape();
+    os << "input " << in.c << " " << in.h << " " << in.w << "\n";
+    for (const auto &layer : network.layers()) {
+        if (layer.isConv()) {
+            os << "conv " << layer.name << " " << layer.outChannels << " "
+               << layer.kernel;
+            if (layer.stride != 1)
+                os << " stride " << layer.stride;
+            if (layer.pad != 0)
+                os << " pad " << layer.pad;
+        } else {
+            os << "fc " << layer.name << " " << layer.outChannels;
+        }
+        if (layer.pool.enabled()) {
+            os << " pool " << layer.pool.window;
+            if (layer.pool.stride != layer.pool.window)
+                os << " " << layer.pool.stride;
+        }
+        if (layer.act != Activation::kReLU)
+            os << " act " << toString(layer.act);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace hypar::dnn

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Text format for describing networks — the input side of the hyparc
+ * command-line tool. One directive per line, '#' comments:
+ *
+ *   network my-cnn
+ *   input 1 28 28
+ *   conv conv1 20 5            # name, out channels, kernel
+ *   conv conv2 50 5 stride 1 pad 0 pool 2
+ *   pool 2                     # attaches to the previous layer
+ *   fc fc1 500
+ *   fc fc2 10 act none
+ *
+ * Attributes (stride/pad/pool/act) may be inline after a layer
+ * directive or on their own line applying to the most recent layer.
+ * Activation tokens: relu (default), none, sigmoid, tanh.
+ */
+
+#ifndef HYPAR_DNN_SPEC_PARSER_HH
+#define HYPAR_DNN_SPEC_PARSER_HH
+
+#include <istream>
+#include <string>
+
+#include "dnn/network.hh"
+
+namespace hypar::dnn {
+
+/** Parse a network spec; fatal (with line numbers) on malformed input. */
+Network parseNetworkSpec(std::istream &in);
+
+/** Parse from a string (tests, inline specs). */
+Network parseNetworkSpec(const std::string &text);
+
+/** Parse from a file path; fatal if the file cannot be opened. */
+Network parseNetworkSpecFile(const std::string &path);
+
+/** Serialize a network back into the spec format (round-trips). */
+std::string toSpec(const Network &network);
+
+} // namespace hypar::dnn
+
+#endif // HYPAR_DNN_SPEC_PARSER_HH

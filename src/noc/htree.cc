@@ -1,0 +1,40 @@
+#include "noc/htree.hh"
+
+#include <cmath>
+
+namespace hypar::noc {
+
+HTreeTopology::HTreeTopology(std::size_t levels,
+                             const TopologyConfig &config)
+    : Topology(levels, config)
+{}
+
+double
+HTreeTopology::pairBandwidth(std::size_t level) const
+{
+    checkLevel(level);
+    return config_.rootBisection /
+           std::ldexp(1.0, static_cast<int>(level));
+}
+
+double
+HTreeTopology::exchangeSeconds(std::size_t level,
+                               double bytes_per_pair) const
+{
+    checkLevel(level);
+    if (bytes_per_pair <= 0.0)
+        return 0.0;
+    const double serialization = bytes_per_pair / pairBandwidth(level);
+    return serialization + exchangeHops(level) * config_.perHopLatency;
+}
+
+double
+HTreeTopology::exchangeHops(std::size_t level) const
+{
+    checkLevel(level);
+    // Leaf up to the level-h junction and back down into the sibling
+    // subtree: 2 * (H - h) tree hops.
+    return 2.0 * static_cast<double>(levels_ - level);
+}
+
+} // namespace hypar::noc

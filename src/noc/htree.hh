@@ -1,0 +1,39 @@
+/**
+ * @file
+ * H-tree interconnect (paper Fig. 4(c), Section 6.5.1).
+ *
+ * Physically a fat tree: the trunk between the two level-0 subarrays has
+ * the full root bisection (12.8 Gb/s by default); each level down halves
+ * the trunk bandwidth while doubling the number of trunks, so for H = 4
+ * the leaf links are the paper's 1600 Mb/s. The tree structure matches
+ * HyPar's binary partition exactly, which is why the paper finds it
+ * superior to the torus.
+ */
+
+#ifndef HYPAR_NOC_HTREE_HH
+#define HYPAR_NOC_HTREE_HH
+
+#include "noc/topology.hh"
+
+namespace hypar::noc {
+
+/** Binary fat tree over 2^H accelerators. */
+class HTreeTopology : public Topology
+{
+  public:
+    HTreeTopology(std::size_t levels, const TopologyConfig &config);
+
+    std::string name() const override { return "H-tree"; }
+
+    double exchangeSeconds(std::size_t level,
+                           double bytes_per_pair) const override;
+
+    double exchangeHops(std::size_t level) const override;
+
+    /** Trunk bandwidth between the halves of a level-h group pair. */
+    double pairBandwidth(std::size_t level) const;
+};
+
+} // namespace hypar::noc
+
+#endif // HYPAR_NOC_HTREE_HH

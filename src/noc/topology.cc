@@ -1,0 +1,23 @@
+#include "noc/topology.hh"
+
+#include "util/logging.hh"
+
+namespace hypar::noc {
+
+Topology::Topology(std::size_t levels, const TopologyConfig &config)
+    : levels_(levels), config_(config)
+{
+    if (levels_ > 20)
+        util::fatal("Topology: unreasonable hierarchy depth");
+    if (config_.linkBandwidth <= 0.0 || config_.rootBisection <= 0.0)
+        util::fatal("Topology: bandwidths must be positive");
+}
+
+void
+Topology::checkLevel(std::size_t level) const
+{
+    if (level >= levels_)
+        util::fatal("Topology: level out of range");
+}
+
+} // namespace hypar::noc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Interconnect abstraction for the accelerator array (paper Section 5).
+ *
+ * HyPar's hierarchical partition produces a fixed communication pattern:
+ * at hierarchy level h the array's 2^h group pairs exchange tensors
+ * between their two halves. A Topology maps one such *level exchange*
+ * (a given number of bytes per group pair, all pairs concurrent) to a
+ * completion time and an average hop count (for link energy).
+ */
+
+#ifndef HYPAR_NOC_TOPOLOGY_HH
+#define HYPAR_NOC_TOPOLOGY_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/units.hh"
+
+namespace hypar::noc {
+
+/** Shared link parameters. */
+struct TopologyConfig
+{
+    /**
+     * Point-to-point link bandwidth: the paper's 1600 Mb/s links
+     * (25.6 Gb/s aggregate for the 16-accelerator array).
+     */
+    double linkBandwidth = util::mbitsPerSec(1600.0);
+
+    /**
+     * H-tree root bisection: fixed at 12.8 Gb/s so that for H = 4 the
+     * leaf links come out at exactly 1600 Mb/s ("the bandwidth between
+     * groups in a higher hierarchy are doubled ... but the number of
+     * links is halved").
+     */
+    double rootBisection = util::gbitsPerSec(12.8);
+
+    /** Fixed per-hop router/SerDes latency. */
+    double perHopLatency = 100e-9;
+};
+
+/** Abstract interconnect for an array of 2^H accelerators. */
+class Topology
+{
+  public:
+    Topology(std::size_t levels, const TopologyConfig &config);
+    virtual ~Topology() = default;
+
+    Topology(const Topology &) = delete;
+    Topology &operator=(const Topology &) = delete;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Seconds to complete one hierarchical exchange at `level`, where
+     * every one of the 2^level group pairs moves `bytes_per_pair`
+     * between its halves (all pairs run concurrently).
+     */
+    virtual double exchangeSeconds(std::size_t level,
+                                   double bytes_per_pair) const = 0;
+
+    /** Average hops travelled by a word in that exchange (energy). */
+    virtual double exchangeHops(std::size_t level) const = 0;
+
+    std::size_t levels() const { return levels_; }
+    std::size_t numNodes() const { return std::size_t{1} << levels_; }
+    const TopologyConfig &config() const { return config_; }
+
+  protected:
+    void checkLevel(std::size_t level) const;
+
+    std::size_t levels_;
+    TopologyConfig config_;
+};
+
+} // namespace hypar::noc
+
+#endif // HYPAR_NOC_TOPOLOGY_HH

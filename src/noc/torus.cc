@@ -1,0 +1,178 @@
+#include "noc/torus.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hypar::noc {
+
+TorusTopology::TorusTopology(std::size_t levels,
+                             const TopologyConfig &config,
+                             bool wraparound)
+    : Topology(levels, config), wraparound_(wraparound)
+{
+    placeNodes();
+    profiles_.reserve(levels_);
+    for (std::size_t h = 0; h < levels_; ++h)
+        profiles_.push_back(profileLevel(h));
+}
+
+void
+TorusTopology::placeNodes()
+{
+    // Near-square grid: width gets the extra factor of two when H is
+    // odd (e.g. H=3 -> 4x2).
+    const std::size_t x_bits = (levels_ + 1) / 2;
+    const std::size_t y_bits = levels_ / 2;
+    width_ = std::size_t{1} << x_bits;
+    height_ = std::size_t{1} << y_bits;
+
+    const std::size_t n = numNodes();
+    xOf_.assign(n, 0);
+    yOf_.assign(n, 0);
+    for (std::size_t node = 0; node < n; ++node) {
+        // H-layout: hierarchy bit 0 (MSB of the node index) splits x,
+        // bit 1 splits y, bit 2 splits x again, ...
+        std::size_t x = 0, y = 0, xb = 0, yb = 0;
+        for (std::size_t h = 0; h < levels_; ++h) {
+            const std::size_t bit =
+                (node >> (levels_ - 1 - h)) & std::size_t{1};
+            const bool split_x = (xb < x_bits) && (h % 2 == 0 || yb >= y_bits);
+            if (split_x) {
+                x = (x << 1) | bit;
+                ++xb;
+            } else {
+                y = (y << 1) | bit;
+                ++yb;
+            }
+        }
+        xOf_[node] = x;
+        yOf_[node] = y;
+    }
+}
+
+std::pair<std::size_t, std::size_t>
+TorusTopology::coord(std::size_t node) const
+{
+    if (node >= numNodes())
+        util::fatal("TorusTopology: node out of range");
+    return {xOf_[node], yOf_[node]};
+}
+
+void
+TorusTopology::routeFlow(std::size_t from, std::size_t to, double bytes,
+                         std::vector<double> &h_load,
+                         std::vector<double> &v_load, double &hops) const
+{
+    std::size_t x = xOf_[from];
+    std::size_t y = yOf_[from];
+    const std::size_t tx = xOf_[to];
+    const std::size_t ty = yOf_[to];
+
+    auto step_dir = [this](std::size_t cur, std::size_t dst,
+                           std::size_t extent) -> std::ptrdiff_t {
+        if (cur == dst)
+            return 0;
+        if (!wraparound_)
+            return dst > cur ? 1 : -1; // mesh: straight line only
+        const std::size_t fwd = (dst + extent - cur) % extent;
+        const std::size_t bwd = (cur + extent - dst) % extent;
+        if (fwd != bwd)
+            return fwd < bwd ? 1 : -1;
+        // Distance tie (exactly half the ring): take the direction that
+        // does not cross the wraparound link, the usual deterministic
+        // convention in dimension-ordered torus routers.
+        return dst > cur ? 1 : -1;
+    };
+
+    // X first, then Y (dimension-ordered routing).
+    while (x != tx) {
+        const std::ptrdiff_t d = step_dir(x, tx, width_);
+        // Horizontal link between x and x+1 (mod W) is indexed by its
+        // left endpoint.
+        const std::size_t left =
+            d > 0 ? x : (x + width_ - 1) % width_;
+        h_load[y * width_ + left] += bytes;
+        x = (x + static_cast<std::size_t>(
+                static_cast<std::ptrdiff_t>(width_) + d)) % width_;
+        hops += 1.0;
+    }
+    while (y != ty) {
+        const std::ptrdiff_t d = step_dir(y, ty, height_);
+        const std::size_t below =
+            d > 0 ? y : (y + height_ - 1) % height_;
+        v_load[below * width_ + x] += bytes;
+        y = (y + static_cast<std::size_t>(
+                static_cast<std::ptrdiff_t>(height_) + d)) % height_;
+        hops += 1.0;
+    }
+}
+
+TorusTopology::LevelProfile
+TorusTopology::profileLevel(std::size_t level) const
+{
+    const std::size_t n = numNodes();
+    const std::size_t flip = std::size_t{1} << (levels_ - 1 - level);
+    // Each group at this level has 2^(H-1-level) leaves; the group
+    // pair's bytes are spread evenly across its leaf pairs.
+    const double flows_per_pair = static_cast<double>(flip);
+    const double bytes_per_flow = 1.0 / flows_per_pair;
+
+    std::vector<double> h_load(width_ * height_, 0.0);
+    std::vector<double> v_load(width_ * height_, 0.0);
+    double total_hops = 0.0;
+    double max_flow_hops = 0.0;
+    std::size_t flows = 0;
+
+    for (std::size_t node = 0; node < n; ++node) {
+        const std::size_t peer = node ^ flip;
+        // Count each unordered pair once per direction: both directions
+        // carry traffic (the exchange factor is already in the bytes),
+        // but with symmetric shortest-path routing it is equivalent to
+        // route each ordered flow with half the bytes. We route ordered
+        // flows at full per-flow share and halve at the end.
+        double hops = 0.0;
+        routeFlow(node, peer, bytes_per_flow / 2.0, h_load, v_load, hops);
+        total_hops += hops;
+        max_flow_hops = std::max(max_flow_hops, hops);
+        ++flows;
+    }
+
+    LevelProfile p;
+    p.maxLinkLoadPerByte = std::max(
+        *std::max_element(h_load.begin(), h_load.end()),
+        *std::max_element(v_load.begin(), v_load.end()));
+    p.avgHops = flows ? total_hops / static_cast<double>(flows) : 0.0;
+    p.maxHops = max_flow_hops;
+    return p;
+}
+
+double
+TorusTopology::maxLinkLoadPerPairByte(std::size_t level) const
+{
+    checkLevel(level);
+    return profiles_[level].maxLinkLoadPerByte;
+}
+
+double
+TorusTopology::exchangeSeconds(std::size_t level,
+                               double bytes_per_pair) const
+{
+    checkLevel(level);
+    if (bytes_per_pair <= 0.0)
+        return 0.0;
+    const LevelProfile &p = profiles_[level];
+    const double bottleneck =
+        bytes_per_pair * p.maxLinkLoadPerByte / config_.linkBandwidth;
+    return bottleneck + p.maxHops * config_.perHopLatency;
+}
+
+double
+TorusTopology::exchangeHops(std::size_t level) const
+{
+    checkLevel(level);
+    return std::max(profiles_[level].avgHops, 1.0);
+}
+
+} // namespace hypar::noc

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * 2-D torus interconnect (paper Fig. 4(d), Section 6.5.1).
+ *
+ * Accelerators are laid out on a near-square 2-D torus (4 x 4 for the
+ * paper's sixteen) with uniform 1600 Mb/s links and XY routing taking
+ * the shorter wrap direction per axis. Nodes are placed with the
+ * H-layout: hierarchy level 0 splits the grid along x, level 1 along y,
+ * and so on, matching Fig. 4(d)'s assignment of A0-7 / A8-15 to the two
+ * halves.
+ *
+ * A level-h exchange is decomposed into one flow per leaf pair (leaf i
+ * with the leaf whose level-h bit differs), each carrying an equal share
+ * of the group-pair bytes. Flows are routed, per-link loads accumulated,
+ * and the exchange time is the *maximum* link load over the link
+ * bandwidth — tree-shaped traffic concentrates on a few torus links,
+ * which is exactly why the paper measures the torus slower than the
+ * H-tree.
+ */
+
+#ifndef HYPAR_NOC_TORUS_HH
+#define HYPAR_NOC_TORUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/topology.hh"
+
+namespace hypar::noc {
+
+/** Near-square 2-D torus with XY shortest-wrap routing. */
+class TorusTopology : public Topology
+{
+  public:
+    /**
+     * @param wraparound with false, the wrap links are removed and the
+     *        grid degrades to a 2-D mesh (ablation topology; not in
+     *        the paper's comparison but a natural design point).
+     */
+    TorusTopology(std::size_t levels, const TopologyConfig &config,
+                  bool wraparound = true);
+
+    std::string
+    name() const override
+    {
+        return wraparound_ ? "Torus" : "Mesh";
+    }
+
+    double exchangeSeconds(std::size_t level,
+                           double bytes_per_pair) const override;
+
+    double exchangeHops(std::size_t level) const override;
+
+    // --- introspection (tests, reports) --------------------------------
+
+    std::size_t gridWidth() const { return width_; }
+    std::size_t gridHeight() const { return height_; }
+
+    /** Grid coordinate of an accelerator index. */
+    std::pair<std::size_t, std::size_t> coord(std::size_t node) const;
+
+    /**
+     * Largest per-link byte load in a level exchange when each group
+     * pair moves exactly one byte (scale by bytes_per_pair for time).
+     */
+    double maxLinkLoadPerPairByte(std::size_t level) const;
+
+  private:
+    struct LevelProfile
+    {
+        double maxLinkLoadPerByte = 0.0; //!< per byte of group-pair load
+        double avgHops = 0.0;
+        double maxHops = 0.0;
+    };
+
+    void placeNodes();
+    LevelProfile profileLevel(std::size_t level) const;
+
+    /** Route one flow, adding `bytes` to every traversed link. */
+    void routeFlow(std::size_t from, std::size_t to, double bytes,
+                   std::vector<double> &h_load,
+                   std::vector<double> &v_load, double &hops) const;
+
+    std::size_t width_ = 1;
+    std::size_t height_ = 1;
+    bool wraparound_ = true;
+    std::vector<std::size_t> xOf_;
+    std::vector<std::size_t> yOf_;
+    std::vector<LevelProfile> profiles_;
+};
+
+/** 2-D mesh: the torus with its wraparound links removed. */
+class MeshTopology : public TorusTopology
+{
+  public:
+    MeshTopology(std::size_t levels, const TopologyConfig &config)
+        : TorusTopology(levels, config, /*wraparound=*/false)
+    {}
+};
+
+} // namespace hypar::noc
+
+#endif // HYPAR_NOC_TORUS_HH

@@ -1,0 +1,101 @@
+#include "sim/evaluator.hh"
+
+#include "noc/htree.hh"
+#include "noc/torus.hh"
+#include "util/logging.hh"
+
+namespace hypar::sim {
+
+std::unique_ptr<noc::Topology>
+makeTopology(TopologyKind kind, std::size_t levels,
+             const noc::TopologyConfig &cfg)
+{
+    switch (kind) {
+      case TopologyKind::kHTree:
+        return std::make_unique<noc::HTreeTopology>(levels, cfg);
+      case TopologyKind::kTorus:
+        return std::make_unique<noc::TorusTopology>(levels, cfg);
+      case TopologyKind::kMesh:
+        return std::make_unique<noc::MeshTopology>(levels, cfg);
+    }
+    util::panic("unknown TopologyKind");
+}
+
+Evaluator::Evaluator(const dnn::Network &network, const SimConfig &config)
+    : network_(network), config_(config),
+      model_(network_, config_.comm),
+      topology_(makeTopology(config_.topology, config_.levels,
+                             config_.noc)),
+      simulator_(std::make_unique<TrainingSimulator>(
+          model_, config_.acc, config_.energy, *topology_,
+          config_.options))
+{}
+
+StepMetrics
+Evaluator::evaluate(const core::HierarchicalPlan &plan) const
+{
+    return simulator_->simulate(plan);
+}
+
+StepMetrics
+Evaluator::evaluate(core::Strategy strategy) const
+{
+    return evaluate(plan(strategy));
+}
+
+StepMetrics
+Evaluator::evaluateSteadyState(const core::HierarchicalPlan &plan,
+                               std::size_t steps) const
+{
+    return simulator_->simulateSteadyState(plan, steps);
+}
+
+core::HierarchicalPlan
+Evaluator::plan(core::Strategy strategy) const
+{
+    return core::makePlan(strategy, model_, config_.levels);
+}
+
+double
+Evaluator::commBytes(const core::HierarchicalPlan &plan) const
+{
+    return model_.planBytes(plan);
+}
+
+double
+StrategyReport::mpSpeedup() const
+{
+    return dataParallel.stepSeconds / modelParallel.stepSeconds;
+}
+
+double
+StrategyReport::hyparSpeedup() const
+{
+    return dataParallel.stepSeconds / hypar.stepSeconds;
+}
+
+double
+StrategyReport::mpEnergyEff() const
+{
+    return dataParallel.energy.totalJ() / modelParallel.energy.totalJ();
+}
+
+double
+StrategyReport::hyparEnergyEff() const
+{
+    return dataParallel.energy.totalJ() / hypar.energy.totalJ();
+}
+
+StrategyReport
+compareStrategies(const dnn::Network &network, const SimConfig &config)
+{
+    Evaluator ev(network, config);
+    StrategyReport report;
+    report.dataParallel = ev.evaluate(core::Strategy::kDataParallel);
+    report.modelParallel = ev.evaluate(core::Strategy::kModelParallel);
+    report.hyparPlan = ev.plan(core::Strategy::kHypar);
+    report.hypar = ev.evaluate(report.hyparPlan);
+    return report;
+}
+
+} // namespace hypar::sim

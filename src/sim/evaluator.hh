@@ -1,0 +1,114 @@
+/**
+ * @file
+ * One-stop evaluation facade: build the communication model, topology
+ * and simulator for a configuration, evaluate plans/strategies, and
+ * normalize results the way the paper's figures do (everything relative
+ * to default Data Parallelism).
+ */
+
+#ifndef HYPAR_SIM_EVALUATOR_HH
+#define HYPAR_SIM_EVALUATOR_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/accelerator.hh"
+#include "arch/energy_model.hh"
+#include "core/comm_model.hh"
+#include "core/strategies.hh"
+#include "dnn/network.hh"
+#include "noc/topology.hh"
+#include "sim/metrics.hh"
+#include "sim/training_sim.hh"
+
+namespace hypar::sim {
+
+/** Interconnect choice (paper Section 6.5.1; mesh is our ablation). */
+enum class TopologyKind { kHTree, kTorus, kMesh };
+
+/** Full evaluation configuration; defaults reproduce the paper. */
+struct SimConfig
+{
+    core::CommConfig comm;       //!< batch 256, fp32, partitioned scaling
+    arch::AcceleratorConfig acc; //!< 168-PE RS PU on an HMC
+    arch::EnergyModel energy;    //!< Horowitz ISSCC'14 numbers
+    noc::TopologyConfig noc;     //!< 1600 Mb/s links, 12.8 Gb/s root
+    TopologyKind topology = TopologyKind::kHTree;
+
+    /** Hierarchy levels H; the array has 2^H accelerators (paper: 4). */
+    std::size_t levels = 4;
+
+    SimOptions options;
+};
+
+/** Instantiate a topology. */
+std::unique_ptr<noc::Topology> makeTopology(TopologyKind kind,
+                                            std::size_t levels,
+                                            const noc::TopologyConfig &cfg);
+
+/**
+ * Bundles model + topology + simulator for one (network, config) pair.
+ * Build once, evaluate many plans (the Fig. 9/10 sweeps rely on this).
+ */
+class Evaluator
+{
+  public:
+    Evaluator(const dnn::Network &network, const SimConfig &config);
+
+    /** Simulate one training step under an explicit plan. */
+    StepMetrics evaluate(const core::HierarchicalPlan &plan) const;
+
+    /** Build a named strategy's plan, then simulate it. */
+    StepMetrics evaluate(core::Strategy strategy) const;
+
+    /**
+     * Simulate `steps` back-to-back steps and report the steady-state
+     * cadence (see TrainingSimulator::simulateSteadyState).
+     */
+    StepMetrics evaluateSteadyState(const core::HierarchicalPlan &plan,
+                                    std::size_t steps) const;
+
+    /** Plan for a named strategy (HyPar runs Algorithm 2). */
+    core::HierarchicalPlan plan(core::Strategy strategy) const;
+
+    /** Analytic total communication of a plan (CommModel). */
+    double commBytes(const core::HierarchicalPlan &plan) const;
+
+    const core::CommModel &model() const { return model_; }
+    const noc::Topology &topology() const { return *topology_; }
+    const SimConfig &config() const { return config_; }
+    const dnn::Network &network() const { return network_; }
+
+  private:
+    dnn::Network network_;
+    SimConfig config_;
+    core::CommModel model_;
+    std::unique_ptr<noc::Topology> topology_;
+    std::unique_ptr<TrainingSimulator> simulator_;
+};
+
+/** Metrics of the three headline strategies plus HyPar's plan. */
+struct StrategyReport
+{
+    StepMetrics dataParallel;
+    StepMetrics modelParallel;
+    StepMetrics hypar;
+    core::HierarchicalPlan hyparPlan;
+
+    /** Speedup of X over Data Parallelism (Fig. 6's normalization). */
+    double mpSpeedup() const;
+    double hyparSpeedup() const;
+
+    /** Energy saving of X relative to Data Parallelism (Fig. 7). */
+    double mpEnergyEff() const;
+    double hyparEnergyEff() const;
+};
+
+/** Run DP / MP / HyPar on one network under one configuration. */
+StrategyReport compareStrategies(const dnn::Network &network,
+                                 const SimConfig &config);
+
+} // namespace hypar::sim
+
+#endif // HYPAR_SIM_EVALUATOR_HH

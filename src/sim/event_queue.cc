@@ -1,0 +1,38 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace hypar::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        util::panic("EventQueue: scheduling into the past");
+    queue_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    if (delay < 0.0)
+        util::panic("EventQueue: negative delay");
+    schedule(now_ + delay, std::move(cb));
+}
+
+void
+EventQueue::run()
+{
+    while (!queue_.empty()) {
+        // The callback may schedule more events; copy out first.
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ++processed_;
+        ev.cb();
+    }
+}
+
+} // namespace hypar::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered queue of callbacks with
+ * deterministic FIFO ordering among simultaneous events (insertion
+ * sequence breaks ties, so simulation results are reproducible
+ * regardless of scheduling patterns).
+ */
+
+#ifndef HYPAR_SIM_EVENT_QUEUE_HH
+#define HYPAR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hypar::sim {
+
+/** Simulation timestamp in seconds. */
+using Tick = double;
+
+/** Minimal deterministic discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule `cb` at absolute time `when`; fatal if `when` is in the
+     * simulated past.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule `cb` `delay` seconds from now. */
+    void scheduleAfter(Tick delay, Callback cb);
+
+    /** Run until no events remain. */
+    void run();
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    bool empty() const { return queue_.empty(); }
+
+    /** Events processed by run() so far. */
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Tick now_ = 0.0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace hypar::sim
+
+#endif // HYPAR_SIM_EVENT_QUEUE_HH

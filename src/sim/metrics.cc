@@ -1,0 +1,22 @@
+#include "sim/metrics.hh"
+
+#include <sstream>
+
+#include "util/strings.hh"
+
+namespace hypar::sim {
+
+std::string
+StepMetrics::summary() const
+{
+    std::ostringstream os;
+    os << "step " << util::formatSeconds(stepSeconds)
+       << " (fwd " << util::formatSeconds(phases.forward)
+       << ", bwd " << util::formatSeconds(phases.backward)
+       << ", grad " << util::formatSeconds(phases.gradient)
+       << "), comm " << util::formatBytes(commBytes)
+       << ", energy " << util::formatJoules(energy.totalJ());
+    return os.str();
+}
+
+} // namespace hypar::sim

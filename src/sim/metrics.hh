@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Results of simulating one training step on the accelerator array.
+ */
+
+#ifndef HYPAR_SIM_METRICS_HH
+#define HYPAR_SIM_METRICS_HH
+
+#include <string>
+
+namespace hypar::sim {
+
+/** Energy breakdown in joules. */
+struct EnergyBreakdown
+{
+    double computeJ = 0.0; //!< MACs and partial-sum adds
+    double sramJ = 0.0;    //!< on-chip buffer traffic
+    double dramJ = 0.0;    //!< local HMC traffic
+    double commJ = 0.0;    //!< remote accesses: DRAM both ends + links
+
+    double
+    totalJ() const
+    {
+        return computeJ + sramJ + dramJ + commJ;
+    }
+};
+
+/** Per-phase step time breakdown in seconds. */
+struct TimeBreakdown
+{
+    double forward = 0.0;
+    double backward = 0.0;
+    double gradient = 0.0;
+
+    double total() const { return forward + backward + gradient; }
+};
+
+/** Everything the paper reports about one simulated training step. */
+struct StepMetrics
+{
+    /** End-to-end latency of one training step (seconds). */
+    double stepSeconds = 0.0;
+
+    /** Seconds the PE arrays spent busy (excludes waiting on the NoC). */
+    double computeBusySeconds = 0.0;
+
+    /** Seconds the interconnect spent busy. */
+    double networkBusySeconds = 0.0;
+
+    /** Total inter-accelerator communication (bytes), Fig. 8's metric. */
+    double commBytes = 0.0;
+
+    TimeBreakdown phases;
+    EnergyBreakdown energy;
+
+    /** Training throughput in samples per second for batch B. */
+    double
+    samplesPerSec(std::size_t batch) const
+    {
+        return stepSeconds > 0.0
+                   ? static_cast<double>(batch) / stepSeconds
+                   : 0.0;
+    }
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace hypar::sim
+
+#endif // HYPAR_SIM_METRICS_HH

@@ -1,0 +1,69 @@
+#include "sim/trace_export.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace hypar::sim {
+
+namespace {
+
+/** Track id from the simulator's label conventions. */
+int
+trackOf(const std::string &label)
+{
+    // Exchange labels: psum:..., featx:..., errx:..., gradx:...
+    const auto colon = label.find(':');
+    if (colon == std::string::npos)
+        return 0;
+    const std::string prefix = label.substr(0, colon);
+    const bool network = prefix == "psum" || prefix == "featx" ||
+                         prefix == "errx" || prefix == "gradx";
+    return network ? 1 : 0;
+}
+
+/** Minimal JSON string escaping for task labels. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TraceEntry> &trace)
+{
+    os << "[\n";
+    os << R"({"name":"process_name","ph":"M","pid":0,"args":)"
+       << R"({"name":"hypar"}},)" << "\n";
+    os << R"({"name":"thread_name","ph":"M","pid":0,"tid":0,"args":)"
+       << R"({"name":"compute"}},)" << "\n";
+    os << R"({"name":"thread_name","ph":"M","pid":0,"tid":1,"args":)"
+       << R"({"name":"network"}})";
+
+    for (const auto &e : trace) {
+        os << ",\n";
+        os << R"({"name":")" << escape(e.label) << R"(","ph":"X",)"
+           << R"("pid":0,"tid":)" << trackOf(e.label) << R"(,"ts":)"
+           << e.start * 1e6 << R"(,"dur":)" << (e.end - e.start) * 1e6
+           << "}";
+    }
+    os << "\n]\n";
+}
+
+std::string
+chromeTraceJson(const std::vector<TraceEntry> &trace)
+{
+    std::ostringstream os;
+    writeChromeTrace(os, trace);
+    return os.str();
+}
+
+} // namespace hypar::sim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Export a simulated training-step trace in the Chrome trace-event
+ * JSON format (load via chrome://tracing or https://ui.perfetto.dev):
+ * compute tasks on a "compute" track, exchanges on a "network" track,
+ * durations in microseconds.
+ */
+
+#ifndef HYPAR_SIM_TRACE_EXPORT_HH
+#define HYPAR_SIM_TRACE_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/training_sim.hh"
+
+namespace hypar::sim {
+
+/**
+ * Write `trace` as a Chrome trace-event JSON array. Task-kind routing
+ * is inferred from the label prefixes the simulator emits (fwd/bwd/
+ * grad -> compute track; psum/featx/errx/gradx -> network track).
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEntry> &trace);
+
+/** Convenience: render to a string. */
+std::string chromeTraceJson(const std::vector<TraceEntry> &trace);
+
+} // namespace hypar::sim
+
+#endif // HYPAR_SIM_TRACE_EXPORT_HH

@@ -1,0 +1,337 @@
+#include "sim/training_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+
+namespace hypar::sim {
+
+namespace {
+
+constexpr int kFwd = 0;
+constexpr int kBwd = 1;
+constexpr int kGrad = 2;
+
+/** Accumulate a duration into the right phase bucket. */
+void
+addPhaseSeconds(TimeBreakdown &phases, int phase, double seconds)
+{
+    switch (phase) {
+      case kFwd:
+        phases.forward += seconds;
+        break;
+      case kBwd:
+        phases.backward += seconds;
+        break;
+      default:
+        phases.gradient += seconds;
+        break;
+    }
+}
+
+} // namespace
+
+TrainingSimulator::TrainingSimulator(const core::CommModel &model,
+                                     const arch::AcceleratorConfig &acc,
+                                     const arch::EnergyModel &energy,
+                                     const noc::Topology &topo,
+                                     const SimOptions &options)
+    : model_(&model), acc_(acc), energy_(energy), topo_(&topo),
+      options_(options), mapper_(acc)
+{}
+
+void
+TrainingSimulator::addExchange(std::vector<Task> &tasks, std::size_t level,
+                               double pair_bytes, bool async, int phase,
+                               const std::string &label,
+                               StepMetrics &metrics) const
+{
+    if (pair_bytes <= 0.0)
+        return;
+
+    Task t;
+    t.kind = Task::Kind::kExchange;
+    t.seconds = topo_->exchangeSeconds(level, pair_bytes);
+    t.globalBytes = pair_bytes * std::ldexp(1.0, static_cast<int>(level));
+    t.async = async;
+    t.phase = phase;
+    t.label = label + "@H" + std::to_string(level + 1);
+    metrics.commBytes += t.globalBytes;
+
+    // Remote word: DRAM read at the producer, link traversal, DRAM
+    // write at the consumer; reductions additionally pay one fp32 add
+    // per received word (counted as compute energy).
+    const double words = t.globalBytes / model_->config().wordBytes;
+    metrics.energy.commJ +=
+        words * 2.0 * energy_.dramWordJ +
+        energy_.linkEnergy(words, topo_->exchangeHops(level));
+    metrics.energy.computeJ += words * energy_.addJ;
+
+    tasks.push_back(std::move(t));
+}
+
+std::vector<TrainingSimulator::Task>
+TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
+                              StepMetrics &metrics) const
+{
+    const dnn::Network &net = model_->network();
+    const core::CommConfig &comm = model_->config();
+    const std::size_t num_layers = net.size();
+    const std::size_t levels = plan.numLevels();
+    const double num_accs = std::ldexp(1.0, static_cast<int>(levels));
+    const double batch = static_cast<double>(comm.batch);
+
+    core::validatePlan(plan, net);
+    if (levels != topo_->levels())
+        util::fatal("TrainingSimulator: plan depth does not match the "
+                    "topology");
+
+    // Upper-level history for every level: hists[h] records levels
+    // 0..h-1 and drives the communication-model scaling at level h.
+    std::vector<core::History> hists;
+    hists.reserve(levels + 1);
+    hists.emplace_back(num_layers);
+    for (std::size_t h = 0; h < levels; ++h) {
+        core::History next = hists.back();
+        next.push(plan.levels[h]);
+        hists.push_back(std::move(next));
+    }
+    const core::History &full = hists.back();
+
+    // Per-layer shard geometry after all H splits.
+    std::vector<double> batch_shard(num_layers);
+    std::vector<double> weight_shard(num_layers);
+    std::vector<double> in_shard(num_layers);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        const auto d = static_cast<int>(full.dpCount(l));
+        const auto m = static_cast<int>(full.mpCount(l));
+        batch_shard[l] = batch * std::ldexp(1.0, -d);
+        weight_shard[l] = static_cast<double>(
+                              net.layer(l).weightElems()) *
+                          std::ldexp(1.0, -m);
+        in_shard[l] = static_cast<double>(
+                          net.layer(l).inElemsPerSample()) *
+                      std::ldexp(1.0, -m);
+    }
+
+    std::vector<Task> tasks;
+
+    // Emit one compute task (PE time overlapped with DRAM streaming).
+    auto add_compute = [&](std::size_t l, int phase, double macs,
+                           double dram_bytes, const char *tag) {
+        const dnn::Layer &layer = net.layer(l);
+        const auto map_batch = static_cast<std::size_t>(
+            std::max(1.0, std::floor(batch_shard[l])));
+        const double pe_sec = mapper_.phaseSeconds(layer, map_batch, macs);
+        const double dram_sec = dram_bytes / acc_.dramBandwidth;
+
+        Task t;
+        t.kind = Task::Kind::kCompute;
+        t.seconds = std::max(pe_sec, dram_sec);
+        t.phase = phase;
+        t.label = std::string(tag) + ":" + layer.name;
+        metrics.computeBusySeconds += t.seconds;
+
+        const arch::Mapping mapping = mapper_.map(layer, map_batch);
+        metrics.energy.computeJ +=
+            num_accs * energy_.computeEnergy(macs);
+        metrics.energy.sramJ += num_accs * energy_.sramEnergy(
+            macs * mapping.sramWordsPerMac);
+        metrics.energy.dramJ += num_accs * energy_.dramEnergy(
+            dram_bytes / comm.wordBytes);
+        tasks.push_back(std::move(t));
+    };
+
+    // Per-accelerator MACs of one phase of layer l: every hierarchy
+    // level halves either the batch or the input channels.
+    auto shard_macs = [&](std::size_t l) {
+        return net.layer(l).fwdMacsPerSample() * batch / num_accs;
+    };
+
+    // --- forward -------------------------------------------------------
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        const dnn::Layer &layer = net.layer(l);
+        const double out_elems =
+            static_cast<double>(layer.outRawElemsPerSample()) *
+            batch_shard[l];
+        const double dram_bytes =
+            (in_shard[l] * batch_shard[l] + weight_shard[l] + out_elems) *
+            comm.wordBytes;
+        add_compute(l, kFwd, shard_macs(l), dram_bytes, "fwd");
+
+        for (std::size_t h = 0; h < levels; ++h) {
+            if (plan.levels[h][l] == core::Parallelism::kModel) {
+                addExchange(tasks, h,
+                            model_->intraBytes(
+                                l, core::Parallelism::kModel, hists[h]),
+                            false, kFwd, "psum:" + layer.name, metrics);
+            }
+            if (l + 1 < num_layers) {
+                addExchange(tasks, h,
+                            model_->interBytesF(
+                                l, plan.levels[h][l],
+                                plan.levels[h][l + 1], hists[h]),
+                            false, kFwd, "featx:" + layer.name, metrics);
+            }
+        }
+    }
+
+    // --- error backward (layer 0 needs no input error) ------------------
+    for (std::size_t l = num_layers; l-- > 1;) {
+        const dnn::Layer &layer = net.layer(l);
+        const double out_elems =
+            static_cast<double>(layer.outRawElemsPerSample()) *
+            batch_shard[l];
+        const double dram_bytes =
+            (out_elems + weight_shard[l] + in_shard[l] * batch_shard[l]) *
+            comm.wordBytes;
+        add_compute(l, kBwd, shard_macs(l), dram_bytes, "bwd");
+
+        // The transition l-1 -> l moves E_l during backward.
+        for (std::size_t h = 0; h < levels; ++h) {
+            addExchange(tasks, h,
+                        model_->interBytesE(
+                            l - 1, plan.levels[h][l - 1],
+                            plan.levels[h][l], hists[h]),
+                        false, kBwd, "errx:" + layer.name, metrics);
+        }
+    }
+
+    // --- gradient + weight update ---------------------------------------
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        const dnn::Layer &layer = net.layer(l);
+        const double out_elems =
+            static_cast<double>(layer.outRawElemsPerSample()) *
+            batch_shard[l];
+        // Read activations and errors, write the gradient, then
+        // read-modify-write the kernel for the update.
+        const double dram_bytes =
+            (in_shard[l] * batch_shard[l] + out_elems +
+             3.0 * weight_shard[l]) * comm.wordBytes;
+        add_compute(l, kGrad, shard_macs(l), dram_bytes, "grad");
+
+        for (std::size_t h = 0; h < levels; ++h) {
+            if (plan.levels[h][l] == core::Parallelism::kData) {
+                addExchange(tasks, h,
+                            model_->intraBytes(
+                                l, core::Parallelism::kData, hists[h]),
+                            options_.overlapGradComm, kGrad,
+                            "gradx:" + layer.name, metrics);
+            }
+        }
+    }
+
+    return tasks;
+}
+
+StepMetrics
+TrainingSimulator::simulate(const core::HierarchicalPlan &plan) const
+{
+    return simulateSteadyState(plan, 1);
+}
+
+StepMetrics
+TrainingSimulator::simulateSteadyState(const core::HierarchicalPlan &plan,
+                                       std::size_t steps) const
+{
+    if (steps == 0)
+        util::fatal("simulateSteadyState: need at least one step");
+
+    StepMetrics metrics;
+    std::vector<Task> step_tasks = buildTasks(plan, metrics);
+
+    // Per-step accounting was accumulated once by buildTasks; scale
+    // the totals, then replicate the task list.
+    const auto steps_d = static_cast<double>(steps);
+    metrics.commBytes *= steps_d;
+    metrics.energy.computeJ *= steps_d;
+    metrics.energy.sramJ *= steps_d;
+    metrics.energy.dramJ *= steps_d;
+    metrics.energy.commJ *= steps_d;
+    metrics.computeBusySeconds = 0.0; // re-accumulated by the replay
+
+    std::vector<Task> tasks;
+    tasks.reserve(step_tasks.size() * steps);
+    std::vector<std::size_t> step_last_index(steps, 0);
+    for (std::size_t s = 0; s < steps; ++s) {
+        tasks.insert(tasks.end(), step_tasks.begin(), step_tasks.end());
+        step_last_index[s] = tasks.size() - 1;
+    }
+    trace_.clear();
+
+    // Play the task list through the event queue. The serial chain
+    // models the lockstep dependence (compute -> exchange -> next
+    // layer); async exchanges contend for the network but do not block
+    // the chain.
+    EventQueue queue;
+    double serial_free = 0.0;  // when the lockstep chain may continue
+    double network_free = 0.0; // when the interconnect is idle again
+    double sim_end = 0.0;
+    std::vector<double> step_finish(steps, 0.0);
+
+    std::size_t next = 0;
+    std::size_t cur_step = 0;
+    std::function<void()> dispatch = [&]() {
+        if (next >= tasks.size())
+            return;
+        const Task &t = tasks[next];
+
+        double start = 0.0;
+        if (t.kind == Task::Kind::kCompute) {
+            start = serial_free;
+            serial_free = start + t.seconds;
+            metrics.computeBusySeconds += t.seconds;
+        } else if (t.async) {
+            // Data is ready once the producing compute finished
+            // (serial_free); the network may still be draining.
+            start = std::max(network_free, serial_free);
+            network_free = start + t.seconds;
+        } else {
+            start = std::max(serial_free, network_free);
+            serial_free = start + t.seconds;
+            network_free = serial_free;
+        }
+        const double end = start + t.seconds;
+        sim_end = std::max(sim_end, end);
+        addPhaseSeconds(metrics.phases, t.phase, t.seconds);
+        if (t.kind == Task::Kind::kExchange)
+            metrics.networkBusySeconds += t.seconds;
+        if (options_.recordTrace)
+            trace_.push_back(TraceEntry{start, end, t.label});
+
+        if (next == step_last_index[cur_step]) {
+            // A step is complete once both its chain and any async
+            // stragglers scheduled so far have drained.
+            step_finish[cur_step] = std::max(serial_free, network_free);
+            ++cur_step;
+        }
+        ++next;
+
+        // Completion of this task releases the next one. Async
+        // exchanges do not hold the serial chain back, so the next
+        // task's logical end may lie before this event's end; clamp the
+        // bookkeeping event into the present (start/end come from the
+        // resource algebra, not from event time).
+        queue.schedule(std::max(end, queue.now()), dispatch);
+    };
+
+    queue.schedule(0.0, dispatch);
+    queue.run();
+
+    HYPAR_ASSERT(next == tasks.size(), "task list not drained");
+    HYPAR_ASSERT(cur_step == steps, "not every step completed");
+
+    if (steps == 1) {
+        metrics.stepSeconds = sim_end;
+    } else {
+        // Steady state: spacing of the step boundaries after warm-up.
+        metrics.stepSeconds =
+            (step_finish[steps - 1] - step_finish[0]) /
+            (static_cast<double>(steps) - 1.0);
+    }
+    return metrics;
+}
+
+} // namespace hypar::sim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Event-driven simulation of one DNN training step on the accelerator
+ * array (paper Section 6.1: "We use an event-driven simulation ... we
+ * modeled the computation cost and the memory access between vaults, we
+ * also considered the tensor communication").
+ *
+ * The array executes in lockstep: every accelerator holds an identical
+ * shard (each hierarchy level halves either the batch or the kernel), so
+ * per-layer compute is symmetric and the simulator tracks one
+ * representative accelerator plus the hierarchical tensor exchanges.
+ *
+ * A step is a task list played through the discrete-event queue:
+ *
+ *   forward   l = 0..L-1: compute; mp partial-sum reductions (intra);
+ *                         dp-mp boundary feature transfers (inter-F)
+ *   backward  l = L-1..1: compute; boundary error transfers (inter-E)
+ *   gradient  l = 0..L-1: compute; dp gradient reductions (intra)
+ *
+ * Compute tasks overlap PE time with DRAM streaming (double buffering:
+ * task time = max of the two). Exchanges occupy the interconnect; with
+ * SimOptions::overlapGradComm the gradient reductions run asynchronously
+ * on the network while later layers keep computing (the classic
+ * all-reduce overlap; off by default to match the paper).
+ */
+
+#ifndef HYPAR_SIM_TRAINING_SIM_HH
+#define HYPAR_SIM_TRAINING_SIM_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hh"
+#include "arch/energy_model.hh"
+#include "arch/row_stationary.hh"
+#include "core/comm_model.hh"
+#include "core/plan.hh"
+#include "noc/topology.hh"
+#include "sim/metrics.hh"
+
+namespace hypar::sim {
+
+/** Simulation knobs. */
+struct SimOptions
+{
+    /** Overlap gradient reductions with remaining compute. */
+    bool overlapGradComm = false;
+
+    /** Record a per-task trace (examples / debugging). */
+    bool recordTrace = false;
+};
+
+/** One executed task, for trace inspection. */
+struct TraceEntry
+{
+    double start = 0.0;
+    double end = 0.0;
+    std::string label;
+};
+
+/** Simulates training steps for one (network, array, topology) triple. */
+class TrainingSimulator
+{
+  public:
+    /**
+     * @param model  communication model (carries network and batch).
+     * @param acc    per-accelerator configuration.
+     * @param energy per-operation energies.
+     * @param topo   interconnect; its level count fixes the array size
+     *               and must match the plans passed to simulate().
+     */
+    TrainingSimulator(const core::CommModel &model,
+                      const arch::AcceleratorConfig &acc,
+                      const arch::EnergyModel &energy,
+                      const noc::Topology &topo,
+                      const SimOptions &options = {});
+
+    /** Simulate one training step under `plan`. */
+    StepMetrics simulate(const core::HierarchicalPlan &plan) const;
+
+    /**
+     * Simulate `steps` back-to-back training steps and report the
+     * steady-state step latency: (finish(last) - finish(first)) /
+     * (steps - 1). Without gradient overlap this equals the single-
+     * step latency exactly; with SimOptions::overlapGradComm the tail
+     * gradient reductions of step s drain underneath step s+1's
+     * forward compute, and the steady-state latency is lower — the
+     * classic all-reduce/forward pipelining. The first synchronous
+     * exchange of the next step provides natural backpressure (it
+     * waits for the network to drain), which conservatively models
+     * the weight-update dependency.
+     */
+    StepMetrics simulateSteadyState(const core::HierarchicalPlan &plan,
+                                    std::size_t steps) const;
+
+    /** Trace of the most recent simulate() (needs recordTrace). */
+    const std::vector<TraceEntry> &lastTrace() const { return trace_; }
+
+  private:
+    struct Task
+    {
+        enum class Kind { kCompute, kExchange };
+        Kind kind = Kind::kCompute;
+        double seconds = 0.0;
+        double globalBytes = 0.0; //!< bytes summed over all group pairs
+        bool async = false;       //!< may overlap with later compute
+        int phase = 0;            //!< 0 fwd, 1 bwd, 2 grad
+        std::string label;
+    };
+
+    std::vector<Task> buildTasks(const core::HierarchicalPlan &plan,
+                                 StepMetrics &metrics) const;
+
+    void addExchange(std::vector<Task> &tasks, std::size_t level,
+                     double pair_bytes, bool async, int phase,
+                     const std::string &label,
+                     StepMetrics &metrics) const;
+
+    const core::CommModel *model_;
+    arch::AcceleratorConfig acc_;
+    arch::EnergyModel energy_;
+    const noc::Topology *topo_;
+    SimOptions options_;
+    arch::RowStationaryMapper mapper_;
+    mutable std::vector<TraceEntry> trace_;
+};
+
+} // namespace hypar::sim
+
+#endif // HYPAR_SIM_TRAINING_SIM_HH

@@ -1,0 +1,44 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace hypar::util {
+
+namespace {
+std::atomic<bool> verboseEnabled{true};
+} // namespace
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (verboseEnabled.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseEnabled.load(std::memory_order_relaxed))
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled.store(verbose, std::memory_order_relaxed);
+}
+
+} // namespace hypar::util

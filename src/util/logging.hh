@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * Two failure classes are distinguished:
+ *  - fatal():  the simulation cannot continue because of a *user* error
+ *              (bad configuration, invalid network, unsupported shape).
+ *              Raises util::FatalError.
+ *  - panic():  an internal invariant was violated — a bug in this library.
+ *              Raises util::PanicError.
+ *
+ * Both throw exceptions rather than calling std::abort so the library is
+ * usable (and testable) as an embedded component.
+ */
+
+#ifndef HYPAR_UTIL_LOGGING_HH
+#define HYPAR_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hypar::util {
+
+/** User-caused error: invalid input, impossible configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Internal invariant violation: a library bug, not a user error. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+/** Throw a FatalError with a formatted message. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Throw a PanicError with a formatted message. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr (never stops execution). */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Enable/disable inform()/warn() output (tests silence it). */
+void setVerbose(bool verbose);
+
+} // namespace hypar::util
+
+/**
+ * Assert a library invariant. Unlike assert(3) this is always compiled in
+ * and throws PanicError so tests can check invariant enforcement.
+ */
+#define HYPAR_ASSERT(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream hypar_assert_ss;                             \
+            hypar_assert_ss << "assertion '" #cond "' failed at "           \
+                            << __FILE__ << ":" << __LINE__ << ": " << msg;  \
+            ::hypar::util::panic(hypar_assert_ss.str());                    \
+        }                                                                   \
+    } while (0)
+
+#endif // HYPAR_UTIL_LOGGING_HH

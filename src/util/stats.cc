@@ -1,0 +1,86 @@
+#include "util/stats.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hypar::util {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("geomean of empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean requires strictly positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("mean of empty set");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+LinearFit
+linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        fatal("linearFit: mismatched vector lengths");
+    if (xs.size() < 2)
+        fatal("linearFit: need at least two points");
+
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+
+    const double denom = n * sxx - sx * sx;
+    if (denom == 0.0)
+        fatal("linearFit: degenerate x values");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double ss_tot = syy - sy * sy / n;
+    if (ss_tot <= 0.0) {
+        fit.r2 = 1.0; // all y equal: a flat line fits exactly
+    } else {
+        double ss_res = 0.0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+            ss_res += e * e;
+        }
+        fit.r2 = 1.0 - ss_res / ss_tot;
+    }
+    return fit;
+}
+
+} // namespace hypar::util

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness: geometric and
+ * arithmetic means, and an ordinary-least-squares linear fit used by the
+ * partitioner linearity benchmark.
+ */
+
+#ifndef HYPAR_UTIL_STATS_HH
+#define HYPAR_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace hypar::util {
+
+/**
+ * Geometric mean of a set of strictly positive values.
+ * The paper reports all cross-network results as geometric means.
+ */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; fatal on empty input. */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+double stddev(const std::vector<double> &values);
+
+/** Result of an ordinary least squares fit y = slope*x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination in [0, 1]. */
+    double r2 = 0.0;
+};
+
+/** Least-squares fit; fatal unless xs.size() == ys.size() >= 2. */
+LinearFit linearFit(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+} // namespace hypar::util
+
+#endif // HYPAR_UTIL_STATS_HH

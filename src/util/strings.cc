@@ -1,0 +1,95 @@
+#include "util/strings.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hypar::util {
+
+namespace {
+
+std::string
+formatWithUnit(double value, const char *unit)
+{
+    char buf[64];
+    if (value == 0.0) {
+        std::snprintf(buf, sizeof(buf), "0 %s", unit);
+    } else if (value >= 100.0) {
+        std::snprintf(buf, sizeof(buf), "%.0f %s", value, unit);
+    } else if (value >= 10.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f %s", value, unit);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3g %s", value, unit);
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    if (bytes >= 1e9)
+        return formatWithUnit(bytes / 1e9, "GB");
+    if (bytes >= 1e6)
+        return formatWithUnit(bytes / 1e6, "MB");
+    if (bytes >= 1e3)
+        return formatWithUnit(bytes / 1e3, "KB");
+    return formatWithUnit(bytes, "B");
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    const double a = std::fabs(seconds);
+    if (a >= 1.0)
+        return formatWithUnit(seconds, "s");
+    if (a >= 1e-3)
+        return formatWithUnit(seconds * 1e3, "ms");
+    if (a >= 1e-6)
+        return formatWithUnit(seconds * 1e6, "us");
+    return formatWithUnit(seconds * 1e9, "ns");
+}
+
+std::string
+formatJoules(double joules)
+{
+    const double a = std::fabs(joules);
+    if (a >= 1.0)
+        return formatWithUnit(joules, "J");
+    if (a >= 1e-3)
+        return formatWithUnit(joules * 1e3, "mJ");
+    if (a >= 1e-6)
+        return formatWithUnit(joules * 1e6, "uJ");
+    return formatWithUnit(joules * 1e9, "nJ");
+}
+
+std::string
+formatSig(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+    return buf;
+}
+
+std::string
+formatRatio(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fx", value);
+    return buf;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            os << sep;
+        os << parts[i];
+    }
+    return os.str();
+}
+
+} // namespace hypar::util

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * String formatting helpers for human-readable reports: engineering
+ * formatting of byte counts, times and ratios.
+ */
+
+#ifndef HYPAR_UTIL_STRINGS_HH
+#define HYPAR_UTIL_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace hypar::util {
+
+/** Format a byte count using decimal units (B, KB, MB, GB) as the paper. */
+std::string formatBytes(double bytes);
+
+/** Format seconds with an adaptive unit (s / ms / us / ns). */
+std::string formatSeconds(double seconds);
+
+/** Format joules with an adaptive unit (J / mJ / uJ / nJ). */
+std::string formatJoules(double joules);
+
+/** Format a double with the given number of significant digits. */
+std::string formatSig(double value, int digits);
+
+/** Format a ratio like "3.39x". */
+std::string formatRatio(double value);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+} // namespace hypar::util
+
+#endif // HYPAR_UTIL_STRINGS_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal console table printer used by the benchmark harness to emit
+ * paper-style tables (Fig. 6/7/8 rows etc.).
+ */
+
+#ifndef HYPAR_UTIL_TABLE_HH
+#define HYPAR_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hypar::util {
+
+/**
+ * A column-aligned ASCII table. Usage:
+ *
+ *   Table t({"network", "DP", "HyPar"});
+ *   t.addRow({"VGG-A", "1.00", "3.27"});
+ *   t.print(std::cout);
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (for tests). */
+    std::string toString() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return header_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hypar::util
+
+#endif // HYPAR_UTIL_TABLE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit helpers: bytes, bandwidths, times and energies used across the
+ * simulator. All quantities are carried as double in SI base units
+ * (bytes, bytes/second, seconds, joules); these helpers exist to make
+ * call sites read unambiguously.
+ */
+
+#ifndef HYPAR_UTIL_UNITS_HH
+#define HYPAR_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace hypar::util {
+
+// --- byte quantities -----------------------------------------------------
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/** Decimal giga used by the paper's "GB" communication figures. */
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+// --- bandwidth -----------------------------------------------------------
+
+/** Convert megabits/second to bytes/second. */
+constexpr double
+mbitsPerSec(double mbits)
+{
+    return mbits * 1e6 / 8.0;
+}
+
+/** Convert gigabits/second to bytes/second. */
+constexpr double
+gbitsPerSec(double gbits)
+{
+    return gbits * 1e9 / 8.0;
+}
+
+/** Convert gigabytes/second to bytes/second. */
+constexpr double
+gbytesPerSec(double gbytes)
+{
+    return gbytes * 1e9;
+}
+
+// --- energy --------------------------------------------------------------
+
+constexpr double kPicoJoule = 1e-12;
+constexpr double kNanoJoule = 1e-9;
+constexpr double kMicroJoule = 1e-6;
+constexpr double kMilliJoule = 1e-3;
+
+// --- time ----------------------------------------------------------------
+
+constexpr double kMicroSec = 1e-6;
+constexpr double kMilliSec = 1e-3;
+
+} // namespace hypar::util
+
+#endif // HYPAR_UTIL_UNITS_HH

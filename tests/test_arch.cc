@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the accelerator model: paper configuration constants, the
+ * energy model arithmetic, and the row-stationary mapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.hh"
+#include "arch/energy_model.hh"
+#include "arch/row_stationary.hh"
+#include "dnn/builder.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using arch::AcceleratorConfig;
+using arch::EnergyModel;
+using arch::RowStationaryMapper;
+
+TEST(AcceleratorConfig, PaperDefaults)
+{
+    AcceleratorConfig cfg;
+    EXPECT_EQ(cfg.numPes(), 168u);                      // 12 x 14
+    EXPECT_DOUBLE_EQ(cfg.clockHz, 250e6);               // 250 MHz
+    EXPECT_DOUBLE_EQ(cfg.peakOpsPerSec(), 84e9);        // 84 GOPS
+    EXPECT_DOUBLE_EQ(cfg.dramBandwidth, 320e9);         // 320 GB/s
+    EXPECT_DOUBLE_EQ(cfg.bufferBytes, 108.0 * 1024.0);  // 108 KB
+}
+
+TEST(EnergyModel, PaperConstants)
+{
+    EnergyModel e;
+    EXPECT_DOUBLE_EQ(e.macJ(), 4.6e-12); // 0.9 + 3.7 pJ
+    EXPECT_DOUBLE_EQ(e.computeEnergy(1e12), 4.6);
+    EXPECT_DOUBLE_EQ(e.sramEnergy(2.0), 10.0e-12);
+    EXPECT_DOUBLE_EQ(e.dramEnergy(1.0), 640.0e-12);
+    EXPECT_DOUBLE_EQ(e.linkEnergy(10.0, 2.0), 10.0 * 2.0 * 64.0e-12);
+}
+
+namespace {
+
+dnn::Network
+convNet()
+{
+    // 3x3 conv over 16x16: K=3 fits the 12 rows, H_out=14 fits cols.
+    return dnn::NetworkBuilder("c", {8, 16, 16})
+        .conv("conv", 32, 3)
+        .build();
+}
+
+dnn::Network
+fcNet()
+{
+    return dnn::NetworkBuilder("f", {256, 1, 1}).fc("fc", 128).build();
+}
+
+} // namespace
+
+TEST(RowStationary, ConvMappingFillsSets)
+{
+    RowStationaryMapper mapper{AcceleratorConfig{}};
+    const auto net = convNet();
+    const auto m = mapper.map(net.layer(0), 16);
+    // K=3 -> 4 vertical sets of 3x14 PEs = 168 used: full array.
+    EXPECT_DOUBLE_EQ(m.usedPes, 168.0);
+    EXPECT_DOUBLE_EQ(m.utilization, 1.0);
+    EXPECT_GT(m.sramWordsPerMac, 0.0);
+    // Row-stationary reuse beats the naive 3 words/MAC.
+    EXPECT_LT(m.sramWordsPerMac, 3.0);
+}
+
+TEST(RowStationary, TallKernelFolds)
+{
+    // 13x13 kernel exceeds the 12 PE rows: one folded set, capped use.
+    dnn::Network net = dnn::NetworkBuilder("k", {4, 20, 20})
+                           .conv("conv", 8, 13)
+                           .build();
+    RowStationaryMapper mapper{AcceleratorConfig{}};
+    const auto m = mapper.map(net.layer(0), 4);
+    EXPECT_LE(m.usedPes, 168.0);
+    EXPECT_GT(m.usedPes, 0.0);
+}
+
+TEST(RowStationary, FcUsesBatchAsColumns)
+{
+    RowStationaryMapper mapper{AcceleratorConfig{}};
+    const auto net = fcNet();
+    // Large batch: all 14 columns busy, full array.
+    EXPECT_DOUBLE_EQ(mapper.map(net.layer(0), 64).utilization, 1.0);
+
+    // Batch of one and few output neurons: replication is capped by
+    // the neuron count, leaving most of the array idle.
+    dnn::Network tiny = dnn::NetworkBuilder("t", {256, 1, 1})
+                            .fc("fc", 8)
+                            .build();
+    const auto m1 = mapper.map(tiny.layer(0), 1);
+    EXPECT_NEAR(m1.utilization, 8.0 / 168.0, 1e-12);
+}
+
+TEST(RowStationary, PhaseSecondsScalesWithMacs)
+{
+    RowStationaryMapper mapper{AcceleratorConfig{}};
+    const auto net = convNet();
+    const double t1 = mapper.phaseSeconds(net.layer(0), 16, 1e9);
+    const double t2 = mapper.phaseSeconds(net.layer(0), 16, 2e9);
+    EXPECT_NEAR(t2, 2.0 * t1, 1e-15);
+    EXPECT_DOUBLE_EQ(mapper.phaseSeconds(net.layer(0), 16, 0.0), 0.0);
+    // Full utilization: 168 MACs per cycle at 250 MHz.
+    EXPECT_NEAR(t1, 1e9 / (168.0 * 250e6), 1e-15);
+}
+
+TEST(RowStationary, Validation)
+{
+    AcceleratorConfig bad;
+    bad.peRows = 0;
+    EXPECT_THROW(RowStationaryMapper{bad}, util::FatalError);
+
+    RowStationaryMapper mapper{AcceleratorConfig{}};
+    EXPECT_THROW((void)mapper.map(convNet().layer(0), 0),
+                 util::FatalError);
+}

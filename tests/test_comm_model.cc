@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the communication model against the paper's own
+ * arithmetic: Table 1 / Table 2 semantics, the Section 3.1/3.4 worked
+ * examples and the Section 6.5.2 layer amounts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/comm_model.hh"
+#include "dnn/builder.hh"
+#include "dnn/model_zoo.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using core::CommConfig;
+using core::CommModel;
+using core::History;
+using core::Parallelism;
+
+namespace {
+
+/** The Section 3.1 fully-connected example: 70 -> 100, batch 32. */
+dnn::Network
+exampleFc()
+{
+    return dnn::NetworkBuilder("ex-fc", {70, 1, 1})
+        .fc("fc", 100)
+        .build();
+}
+
+/** The Section 3.4 conv example: 12x12x20 -> 8x8x50 with 5x5 kernels. */
+dnn::Network
+exampleConv()
+{
+    return dnn::NetworkBuilder("ex-conv", {20, 12, 12})
+        .conv("conv", 50, 5)
+        .build();
+}
+
+CommConfig
+batch32()
+{
+    CommConfig cfg;
+    cfg.batch = 32;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CommModel, AmountsFcExample)
+{
+    CommModel model(exampleFc(), batch32());
+    EXPECT_DOUBLE_EQ(model.weightBytes(0), 70.0 * 100 * 4);
+    EXPECT_DOUBLE_EQ(model.outRawBytes(0), 32.0 * 100 * 4);
+    EXPECT_DOUBLE_EQ(model.boundaryBytes(0), 32.0 * 100 * 4);
+}
+
+TEST(CommModel, IntraFcExampleMatchesPaper)
+{
+    // Section 3.4: dp = 56 KB = 2 x 70x100 x 4 B; mp = 25.6 KB.
+    CommModel model(exampleFc(), batch32());
+    History hist(1);
+    EXPECT_DOUBLE_EQ(model.intraBytes(0, Parallelism::kData, hist),
+                     56000.0);
+    EXPECT_DOUBLE_EQ(model.intraBytes(0, Parallelism::kModel, hist),
+                     25600.0);
+}
+
+TEST(CommModel, IntraConvExampleMatchesPaper)
+{
+    // Section 3.4: dp = 200 KB = 2 x 5x5x20x50 x 4 B; mp = 819.2 KB =
+    // 2 x 32x8x8x50 x 4 B.
+    CommModel model(exampleConv(), batch32());
+    History hist(1);
+    EXPECT_DOUBLE_EQ(model.intraBytes(0, Parallelism::kData, hist),
+                     200000.0);
+    EXPECT_DOUBLE_EQ(model.intraBytes(0, Parallelism::kModel, hist),
+                     819200.0);
+}
+
+TEST(CommModel, Section652LayerAmounts)
+{
+    // conv5 of VGG-E: A(dW) = 512*512*3^2 = 2,359,296 elements and
+    // A(F_{l+1}) = 32*512*14*14 = 3,211,264 elements at batch 32.
+    dnn::Network vgg_e = dnn::makeVggE();
+    CommConfig cfg;
+    cfg.batch = 32;
+    CommModel model(vgg_e, cfg);
+    const std::size_t conv5 = vgg_e.layerIndex("conv5_4");
+    EXPECT_DOUBLE_EQ(model.weightBytes(conv5), 2359296.0 * 4);
+    EXPECT_DOUBLE_EQ(model.outRawBytes(conv5), 3211264.0 * 4);
+
+    // fc3: A(dW) = 4096*1000; A(F) = B*1000 = 4,096,000 at batch 4096.
+    cfg.batch = 4096;
+    CommModel model_b4096(vgg_e, cfg);
+    const std::size_t fc3 = vgg_e.layerIndex("fc3");
+    EXPECT_DOUBLE_EQ(model_b4096.weightBytes(fc3), 4096000.0 * 4);
+    EXPECT_DOUBLE_EQ(model_b4096.outRawBytes(fc3), 4096000.0 * 4);
+}
+
+TEST(CommModel, InterLayerTable2)
+{
+    // Two fc layers so every transition type is well-defined.
+    dnn::Network net = dnn::NetworkBuilder("two-fc", {64, 1, 1})
+                           .fc("a", 128)
+                           .fc("b", 32)
+                           .build();
+    CommConfig cfg;
+    cfg.batch = 16;
+    CommModel model(net, cfg);
+    History hist(2);
+
+    const double boundary = 16.0 * 128 * 4; // F_{l+1} = E_{l+1} bytes
+    const auto dp = Parallelism::kData;
+    const auto mp = Parallelism::kModel;
+
+    EXPECT_DOUBLE_EQ(model.interBytes(0, dp, dp, hist), 0.0);
+    EXPECT_DOUBLE_EQ(model.interBytes(0, dp, mp, hist),
+                     2.0 * (0.25 * boundary + 0.25 * boundary));
+    EXPECT_DOUBLE_EQ(model.interBytes(0, mp, mp, hist),
+                     2.0 * 0.5 * boundary);
+    EXPECT_DOUBLE_EQ(model.interBytes(0, mp, dp, hist),
+                     2.0 * 0.5 * boundary);
+}
+
+TEST(CommModel, InterLayerSplitsIntoFAndE)
+{
+    dnn::Network net = dnn::NetworkBuilder("two-fc", {64, 1, 1})
+                           .fc("a", 128)
+                           .fc("b", 32)
+                           .build();
+    CommModel model(net, CommConfig{});
+    History hist(2);
+
+    for (auto prev : {Parallelism::kData, Parallelism::kModel}) {
+        for (auto cur : {Parallelism::kData, Parallelism::kModel}) {
+            EXPECT_DOUBLE_EQ(
+                model.interBytes(0, prev, cur, hist),
+                model.interBytesF(0, prev, cur, hist) +
+                    model.interBytesE(0, prev, cur, hist));
+        }
+    }
+}
+
+TEST(CommModel, PoolingShrinksBoundaryButNotIntraMp)
+{
+    // conv with 2x2 pooling: the mp partial-sum exchange happens on the
+    // raw output; the boundary tensor to the next layer is pooled.
+    dnn::Network net = dnn::NetworkBuilder("pooled", {1, 28, 28})
+                           .conv("c1", 20, 5).maxPool(2)
+                           .conv("c2", 50, 5)
+                           .build();
+    CommConfig cfg;
+    cfg.batch = 8;
+    CommModel model(net, cfg);
+
+    EXPECT_DOUBLE_EQ(model.outRawBytes(0), 8.0 * 20 * 24 * 24 * 4);
+    EXPECT_DOUBLE_EQ(model.boundaryBytes(0), 8.0 * 20 * 12 * 12 * 4);
+
+    History hist(2);
+    EXPECT_DOUBLE_EQ(model.intraBytes(0, Parallelism::kModel, hist),
+                     2.0 * 8 * 20 * 24 * 24 * 4);
+    EXPECT_DOUBLE_EQ(
+        model.interBytes(0, Parallelism::kModel, Parallelism::kData,
+                         hist),
+        2.0 * 0.5 * 8 * 20 * 12 * 12 * 4);
+}
+
+TEST(CommModel, PartitionedScalingHalvesAmounts)
+{
+    dnn::Network net = exampleFc();
+    CommModel model(net, batch32());
+
+    History hist(1);
+    const double dp0 = model.intraBytes(0, Parallelism::kData, hist);
+    const double mp0 = model.intraBytes(0, Parallelism::kModel, hist);
+
+    // One upper dp level: batch halves -> mp intra halves, dp intra
+    // unchanged (full-shape gradient partial sums).
+    History one_dp(1);
+    one_dp.push({Parallelism::kData});
+    EXPECT_DOUBLE_EQ(model.intraBytes(0, Parallelism::kData, one_dp), dp0);
+    EXPECT_DOUBLE_EQ(model.intraBytes(0, Parallelism::kModel, one_dp),
+                     mp0 / 2.0);
+
+    // One upper mp level: kernel halves -> dp intra halves, mp intra
+    // unchanged (each group holds the full reduced output).
+    History one_mp(1);
+    one_mp.push({Parallelism::kModel});
+    EXPECT_DOUBLE_EQ(model.intraBytes(0, Parallelism::kData, one_mp),
+                     dp0 / 2.0);
+    EXPECT_DOUBLE_EQ(model.intraBytes(0, Parallelism::kModel, one_mp),
+                     mp0);
+}
+
+TEST(CommModel, ScalingNoneIgnoresHistory)
+{
+    CommConfig cfg = batch32();
+    cfg.scaling = CommConfig::Scaling::kNone;
+    CommModel model(exampleFc(), cfg);
+
+    History deep(1);
+    deep.push({Parallelism::kData});
+    deep.push({Parallelism::kModel});
+
+    History empty(1);
+    for (auto p : {Parallelism::kData, Parallelism::kModel}) {
+        EXPECT_DOUBLE_EQ(model.intraBytes(0, p, deep),
+                         model.intraBytes(0, p, empty));
+    }
+}
+
+TEST(CommModel, ExchangeFactorScalesEverything)
+{
+    CommConfig one = batch32();
+    one.exchangeFactor = 1.0;
+    CommModel m1(exampleFc(), one);
+    CommModel m2(exampleFc(), batch32());
+
+    History hist(1);
+    for (auto p : {Parallelism::kData, Parallelism::kModel}) {
+        EXPECT_DOUBLE_EQ(2.0 * m1.intraBytes(0, p, hist),
+                         m2.intraBytes(0, p, hist));
+    }
+}
+
+TEST(CommModel, PlanBytesSumsLevels)
+{
+    dnn::Network net = exampleFc();
+    CommModel model(net, batch32());
+
+    // All-dp over 2 levels: per-pair cost is the dp intra at both
+    // levels (gradients do not shrink under dp), weighted 1x and 2x.
+    core::HierarchicalPlan dp2 =
+        core::uniformPlan(net.size(), 2, Parallelism::kData);
+    History hist(1);
+    const double pair = model.intraBytes(0, Parallelism::kData, hist);
+    EXPECT_DOUBLE_EQ(model.planBytes(dp2), pair * (1.0 + 2.0));
+}
+
+TEST(CommModel, RejectsBadConfigs)
+{
+    dnn::Network net = exampleFc();
+    CommConfig cfg;
+    cfg.batch = 0;
+    EXPECT_THROW((void)CommModel(net, cfg), util::FatalError);
+
+    cfg = CommConfig{};
+    cfg.wordBytes = 0.0;
+    EXPECT_THROW((void)CommModel(net, cfg), util::FatalError);
+
+    cfg = CommConfig{};
+    cfg.exchangeFactor = -1.0;
+    EXPECT_THROW((void)CommModel(net, cfg), util::FatalError);
+}
+
+TEST(CommModel, PairBytesRejectsWrongPlanSize)
+{
+    CommModel model(exampleFc(), batch32());
+    History hist(1);
+    core::LevelPlan too_long(2, Parallelism::kData);
+    EXPECT_THROW((void)model.pairBytes(too_long, hist), util::FatalError);
+}

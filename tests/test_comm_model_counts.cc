@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Consistency tests between the two CommModel evaluation paths: the
+ * History-based API (used by Algorithms 1/2 and the simulator) and the
+ * count-based API (used by the exact joint partitioner). The two must
+ * agree bit-for-bit for every reachable history.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/comm_model.hh"
+#include "dnn/model_zoo.hh"
+
+using namespace hypar;
+using core::CommConfig;
+using core::CommModel;
+using core::History;
+using core::LevelPlan;
+using core::Parallelism;
+
+namespace {
+
+/** Random level plan for `layers` layers. */
+LevelPlan
+randomLevel(std::size_t layers, std::mt19937 &rng)
+{
+    std::bernoulli_distribution coin(0.5);
+    LevelPlan plan(layers, Parallelism::kData);
+    for (auto &p : plan)
+        if (coin(rng))
+            p = Parallelism::kModel;
+    return plan;
+}
+
+} // namespace
+
+TEST(CommModelCounts, IntraMatchesHistoryPathUnderRandomHistories)
+{
+    dnn::Network net = dnn::makeAlexNet();
+    for (auto scaling : {CommConfig::Scaling::kPartitioned,
+                         CommConfig::Scaling::kNone}) {
+        CommConfig cfg;
+        cfg.scaling = scaling;
+        CommModel model(net, cfg);
+
+        std::mt19937 rng(7);
+        for (int trial = 0; trial < 20; ++trial) {
+            History hist(net.size());
+            const int depth = trial % 5;
+            std::vector<LevelPlan> pushed;
+            for (int d = 0; d < depth; ++d) {
+                pushed.push_back(randomLevel(net.size(), rng));
+                hist.push(pushed.back());
+            }
+
+            for (std::size_t l = 0; l < net.size(); ++l) {
+                for (auto p : {Parallelism::kData, Parallelism::kModel}) {
+                    EXPECT_DOUBLE_EQ(
+                        model.intraBytes(l, p, hist),
+                        model.intraBytesAt(l, p, hist.dpCount(l),
+                                           hist.mpCount(l)))
+                        << "layer " << l << " trial " << trial;
+                }
+            }
+        }
+    }
+}
+
+TEST(CommModelCounts, InterMatchesHistoryPathUnderRandomHistories)
+{
+    dnn::Network net = dnn::makeVggA();
+    CommModel model(net, CommConfig{});
+
+    std::mt19937 rng(11);
+    for (int trial = 0; trial < 20; ++trial) {
+        History hist(net.size());
+        for (int d = 0; d < trial % 4; ++d)
+            hist.push(randomLevel(net.size(), rng));
+
+        for (std::size_t l = 0; l + 1 < net.size(); ++l) {
+            for (auto prev : {Parallelism::kData, Parallelism::kModel}) {
+                for (auto cur :
+                     {Parallelism::kData, Parallelism::kModel}) {
+                    EXPECT_DOUBLE_EQ(
+                        model.interBytes(l, prev, cur, hist),
+                        model.interBytesAt(l, prev, cur,
+                                           hist.dpCount(l),
+                                           hist.dpCount(l + 1)))
+                        << "layer " << l;
+                }
+            }
+        }
+    }
+}
+
+TEST(CommModelCounts, ScalingIsExactlyPowerOfTwo)
+{
+    dnn::Network net = dnn::makeLenetC();
+    CommModel model(net, CommConfig{});
+
+    const double base =
+        model.intraBytesAt(0, Parallelism::kData, 0, 0);
+    for (unsigned m = 1; m <= 8; ++m) {
+        EXPECT_DOUBLE_EQ(
+            model.intraBytesAt(0, Parallelism::kData, 0, m),
+            base / std::pow(2.0, m));
+        // dp count does not scale the gradient exchange.
+        EXPECT_DOUBLE_EQ(
+            model.intraBytesAt(0, Parallelism::kData, m, 0), base);
+    }
+
+    const double mp_base =
+        model.intraBytesAt(0, Parallelism::kModel, 0, 0);
+    for (unsigned d = 1; d <= 8; ++d) {
+        EXPECT_DOUBLE_EQ(
+            model.intraBytesAt(0, Parallelism::kModel, d, 0),
+            mp_base / std::pow(2.0, d));
+        EXPECT_DOUBLE_EQ(
+            model.intraBytesAt(0, Parallelism::kModel, 0, d), mp_base);
+    }
+}
+
+TEST(CommModelCounts, InterUsesProducerCounts)
+{
+    // F scales with layer l's dp count; E with layer l+1's.
+    dnn::Network net = dnn::makeLenetC();
+    CommModel model(net, CommConfig{});
+
+    const double dp_mp0 =
+        model.interBytesAt(0, Parallelism::kData, Parallelism::kModel,
+                           0, 0);
+    // Halving only the F producer: total drops by the F share (half of
+    // the dp-mp cost, since F and E contribute 0.25 each).
+    const double dp_mp_f_half =
+        model.interBytesAt(0, Parallelism::kData, Parallelism::kModel,
+                           1, 0);
+    EXPECT_DOUBLE_EQ(dp_mp_f_half, dp_mp0 * 0.75);
+    // Halving only the E producer mirrors it.
+    const double dp_mp_e_half =
+        model.interBytesAt(0, Parallelism::kData, Parallelism::kModel,
+                           0, 1);
+    EXPECT_DOUBLE_EQ(dp_mp_e_half, dp_mp0 * 0.75);
+
+    // mp-dp has no F component at all.
+    const double mp_dp =
+        model.interBytesAt(0, Parallelism::kModel, Parallelism::kData,
+                           5, 0);
+    EXPECT_DOUBLE_EQ(
+        mp_dp, model.interBytesAt(0, Parallelism::kModel,
+                                  Parallelism::kData, 0, 0));
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the itemized communication report: conservation (itemized
+ * totals equal CommModel::planBytes), source attribution, and output
+ * formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/comm_report.hh"
+#include "core/strategies.hh"
+#include "dnn/model_zoo.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using core::CommConfig;
+using core::CommModel;
+
+TEST(CommReport, TotalsEqualPlanBytesForAllStrategies)
+{
+    for (const auto &net : dnn::allModels()) {
+        CommModel model(net, CommConfig{});
+        for (auto strategy :
+             {core::Strategy::kDataParallel, core::Strategy::kModelParallel,
+              core::Strategy::kOneWeirdTrick, core::Strategy::kHypar}) {
+            const auto plan = core::makePlan(strategy, model, 4);
+            const auto report = core::buildCommReport(model, plan);
+            EXPECT_NEAR(report.totalBytes, model.planBytes(plan),
+                        1e-6 * std::max(1.0, report.totalBytes))
+                << net.name() << " " << core::toString(strategy);
+
+            // Level view and layer view itemize the same total.
+            double level_total = 0.0;
+            for (const auto &lv : report.levels)
+                level_total += lv.totalBytes();
+            EXPECT_NEAR(level_total, report.totalBytes,
+                        1e-6 * std::max(1.0, report.totalBytes));
+        }
+    }
+}
+
+TEST(CommReport, DataParallelIsPureGradientTraffic)
+{
+    dnn::Network net = dnn::makeAlexNet();
+    CommModel model(net, CommConfig{});
+    const auto report = core::buildCommReport(
+        model, core::makeDataParallelPlan(net, 4));
+    for (const auto &layer : report.layers) {
+        EXPECT_GT(layer.gradBytes, 0.0) << layer.layer;
+        EXPECT_DOUBLE_EQ(layer.psumBytes, 0.0) << layer.layer;
+        EXPECT_DOUBLE_EQ(layer.featBytes, 0.0) << layer.layer;
+        EXPECT_DOUBLE_EQ(layer.errBytes, 0.0) << layer.layer;
+        // 15 pair-exchanges of the full gradient, both directions.
+        EXPECT_DOUBLE_EQ(layer.gradBytes,
+                         15.0 * 2.0 * 4.0 *
+                             static_cast<double>(
+                                 net.layer(net.layerIndex(layer.layer))
+                                     .weightElems()));
+    }
+    for (const auto &lv : report.levels)
+        EXPECT_DOUBLE_EQ(lv.interBytes, 0.0);
+}
+
+TEST(CommReport, ModelParallelHasNoGradientTraffic)
+{
+    dnn::Network net = dnn::makeSfc();
+    CommModel model(net, CommConfig{});
+    const auto report = core::buildCommReport(
+        model, core::makeModelParallelPlan(net, 4));
+    for (const auto &layer : report.layers) {
+        EXPECT_DOUBLE_EQ(layer.gradBytes, 0.0) << layer.layer;
+        EXPECT_GT(layer.psumBytes, 0.0) << layer.layer;
+        EXPECT_DOUBLE_EQ(layer.featBytes, 0.0) << layer.layer; // mp-mp
+    }
+    // mp-mp transitions move errors only.
+    for (std::size_t l = 0; l + 1 < net.size(); ++l)
+        EXPECT_GT(report.layers[l].errBytes, 0.0);
+    // The last layer has no next boundary.
+    EXPECT_DOUBLE_EQ(report.layers.back().errBytes, 0.0);
+}
+
+TEST(CommReport, HybridPlanShowsBoundaryTraffic)
+{
+    // AlexNet's HyPar plan is dp convs / mp fcs: the conv5 -> fc1
+    // boundary must carry dp-mp feature AND error traffic.
+    dnn::Network net = dnn::makeAlexNet();
+    CommModel model(net, CommConfig{});
+    const auto report = core::buildCommReport(
+        model, core::makeHyparPlan(model, 4));
+    const auto &conv5 = report.layers[net.layerIndex("conv5")];
+    EXPECT_GT(conv5.featBytes, 0.0);
+    EXPECT_GT(conv5.errBytes, 0.0);
+}
+
+TEST(CommReport, ToStringListsLayersAndLevels)
+{
+    dnn::Network net = dnn::makeLenetC();
+    CommModel model(net, CommConfig{});
+    const auto report = core::buildCommReport(
+        model, core::makeHyparPlan(model, 4));
+    const std::string s = report.toString();
+    EXPECT_NE(s.find("conv1"), std::string::npos);
+    EXPECT_NE(s.find("fc2"), std::string::npos);
+    EXPECT_NE(s.find("H1"), std::string::npos);
+    EXPECT_NE(s.find("H4"), std::string::npos);
+    EXPECT_NE(s.find("total:"), std::string::npos);
+}
+
+TEST(CommReport, RejectsMismatchedPlan)
+{
+    dnn::Network lenet = dnn::makeLenetC();
+    dnn::Network cifar = dnn::makeCifarC();
+    CommModel model(lenet, CommConfig{});
+    const auto wrong = core::makeDataParallelPlan(cifar, 4);
+    EXPECT_THROW((void)core::buildCommReport(model, wrong),
+                 util::FatalError);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the dnn module: shape inference, layer amounts, the
+ * builder, and validation errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/builder.hh"
+#include "dnn/network.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using dnn::Activation;
+using dnn::Network;
+using dnn::NetworkBuilder;
+
+TEST(ShapeInference, ConvBasic)
+{
+    Network net = NetworkBuilder("n", {1, 28, 28})
+                      .conv("c", 20, 5)
+                      .build();
+    const auto &layer = net.layer(0);
+    EXPECT_EQ(layer.in.c, 1u);
+    EXPECT_EQ(layer.outRaw.c, 20u);
+    EXPECT_EQ(layer.outRaw.h, 24u);
+    EXPECT_EQ(layer.outRaw.w, 24u);
+    EXPECT_EQ(layer.outPooled, layer.outRaw); // no pool
+}
+
+TEST(ShapeInference, ConvStridePad)
+{
+    // AlexNet conv1: 227x227, 11x11 kernel, stride 4 -> 55x55.
+    Network net = NetworkBuilder("n", {3, 227, 227})
+                      .conv("c", 96, 11).stride(4)
+                      .build();
+    EXPECT_EQ(net.layer(0).outRaw.h, 55u);
+
+    // Same-padding 3x3: 224 -> 224.
+    Network vggish = NetworkBuilder("n", {3, 224, 224})
+                         .conv("c", 64, 3).pad(1)
+                         .build();
+    EXPECT_EQ(vggish.layer(0).outRaw.h, 224u);
+}
+
+TEST(ShapeInference, PoolWindowAndStride)
+{
+    // 3x3 pool with stride 2 on 55x55 -> 27x27 (AlexNet style).
+    Network net = NetworkBuilder("n", {3, 227, 227})
+                      .conv("c", 96, 11).stride(4).maxPool(3, 2)
+                      .build();
+    EXPECT_EQ(net.layer(0).outPooled.h, 27u);
+    EXPECT_EQ(net.layer(0).outPooled.c, 96u);
+}
+
+TEST(ShapeInference, FcFlattensInput)
+{
+    Network net = NetworkBuilder("n", {1, 28, 28})
+                      .conv("c", 20, 5).maxPool(2)
+                      .fc("f", 500)
+                      .build();
+    // conv: 24x24x20 pooled to 12x12x20 = 2880 flattened inputs.
+    EXPECT_EQ(net.layer(1).fcInputs(), 2880u);
+    EXPECT_EQ(net.layer(1).outRaw.c, 500u);
+    EXPECT_EQ(net.layer(1).outRaw.h, 1u);
+}
+
+TEST(LayerAmounts, WeightAndMacCounts)
+{
+    Network net = NetworkBuilder("n", {20, 12, 12})
+                      .conv("c", 50, 5)
+                      .fc("f", 10)
+                      .build();
+    const auto &conv = net.layer(0);
+    EXPECT_EQ(conv.weightElems(), 5u * 5 * 20 * 50);
+    // MACs = Hout*Wout*Cout*K*K*Cin = 8*8*50*5*5*20.
+    EXPECT_DOUBLE_EQ(conv.fwdMacsPerSample(), 8.0 * 8 * 50 * 25 * 20);
+
+    const auto &fc = net.layer(1);
+    EXPECT_EQ(fc.weightElems(), 8u * 8 * 50 * 10);
+    EXPECT_DOUBLE_EQ(fc.fwdMacsPerSample(), 8.0 * 8 * 50 * 10);
+}
+
+TEST(Network, TotalsAndLookup)
+{
+    Network net = NetworkBuilder("n", {1, 28, 28})
+                      .conv("c1", 20, 5).maxPool(2)
+                      .fc("f1", 10)
+                      .build();
+    EXPECT_EQ(net.size(), 2u);
+    EXPECT_EQ(net.layerIndex("f1"), 1u);
+    EXPECT_THROW(net.layerIndex("nope"), util::FatalError);
+    EXPECT_EQ(net.totalParamElems(),
+              net.layer(0).weightElems() + net.layer(1).weightElems());
+    EXPECT_TRUE(net.hasConv());
+    EXPECT_TRUE(net.hasFc());
+    EXPECT_THROW(net.layer(2), util::FatalError);
+}
+
+TEST(Network, DescribeMentionsEveryLayer)
+{
+    Network net = NetworkBuilder("net", {1, 28, 28})
+                      .conv("alpha", 4, 3)
+                      .fc("omega", 10)
+                      .build();
+    const std::string d = net.describe();
+    EXPECT_NE(d.find("alpha"), std::string::npos);
+    EXPECT_NE(d.find("omega"), std::string::npos);
+}
+
+TEST(Validation, RejectsBadGeometry)
+{
+    // Kernel larger than input.
+    EXPECT_THROW(NetworkBuilder("n", {1, 4, 4}).conv("c", 8, 7).build(),
+                 util::FatalError);
+    // Pool window larger than the feature map.
+    EXPECT_THROW(NetworkBuilder("n", {1, 8, 8})
+                     .conv("c", 8, 5).maxPool(9)
+                     .build(),
+                 util::FatalError);
+    // Empty network.
+    EXPECT_THROW(Network("n", {1, 4, 4}, {}), util::FatalError);
+    // Zero channels.
+    EXPECT_THROW(NetworkBuilder("n", {1, 8, 8}).conv("c", 0, 3).build(),
+                 util::FatalError);
+}
+
+TEST(Validation, BuilderAttributeRules)
+{
+    // Attribute before any layer.
+    EXPECT_THROW(NetworkBuilder("n", {1, 8, 8}).maxPool(2),
+                 util::FatalError);
+    // stride/pad only apply to conv layers.
+    EXPECT_THROW(NetworkBuilder("n", {8, 1, 1}).fc("f", 4).stride(2),
+                 util::FatalError);
+    EXPECT_THROW(NetworkBuilder("n", {8, 1, 1}).fc("f", 4).pad(1),
+                 util::FatalError);
+}
+
+TEST(Validation, ActivationAttribute)
+{
+    Network net = NetworkBuilder("n", {8, 1, 1})
+                      .fc("f", 4).activation(Activation::kNone)
+                      .build();
+    EXPECT_EQ(net.layer(0).act, Activation::kNone);
+}
+
+TEST(Tokens, KindAndActivationNames)
+{
+    EXPECT_STREQ(dnn::toString(dnn::LayerKind::kConv), "conv");
+    EXPECT_STREQ(dnn::toString(dnn::LayerKind::kFullyConnected), "fc");
+    EXPECT_STREQ(dnn::toString(Activation::kReLU), "relu");
+    EXPECT_STREQ(dnn::toString(Activation::kNone), "none");
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the evaluation facade: strategy comparison, topology
+ * dispatch, and the Fig. 6/7-style normalizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+#include "sim/evaluator.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using sim::Evaluator;
+using sim::SimConfig;
+using sim::TopologyKind;
+
+TEST(Evaluator, DefaultsMatchPaperSetup)
+{
+    SimConfig cfg;
+    EXPECT_EQ(cfg.levels, 4u);
+    EXPECT_EQ(cfg.comm.batch, 256u);
+    EXPECT_EQ(cfg.topology, TopologyKind::kHTree);
+}
+
+TEST(Evaluator, MakeTopologyDispatch)
+{
+    const auto tree =
+        sim::makeTopology(TopologyKind::kHTree, 4, noc::TopologyConfig{});
+    EXPECT_EQ(tree->name(), "H-tree");
+    const auto torus =
+        sim::makeTopology(TopologyKind::kTorus, 4, noc::TopologyConfig{});
+    EXPECT_EQ(torus->name(), "Torus");
+}
+
+TEST(Evaluator, EvaluatesStrategiesAndPlans)
+{
+    Evaluator ev(dnn::makeLenetC(), SimConfig{});
+    const auto by_strategy = ev.evaluate(core::Strategy::kDataParallel);
+    const auto by_plan =
+        ev.evaluate(core::makeDataParallelPlan(ev.network(), 4));
+    EXPECT_DOUBLE_EQ(by_strategy.stepSeconds, by_plan.stepSeconds);
+    EXPECT_DOUBLE_EQ(
+        ev.commBytes(ev.plan(core::Strategy::kDataParallel)),
+        by_plan.commBytes);
+}
+
+TEST(Evaluator, StrategyReportRatios)
+{
+    const auto report =
+        sim::compareStrategies(dnn::makeAlexNet(), SimConfig{});
+    EXPECT_GT(report.hyparSpeedup(), 1.0);  // HyPar beats DP
+    EXPECT_LT(report.mpSpeedup(), 1.0);     // MP loses on AlexNet
+    EXPECT_GT(report.hyparEnergyEff(), 1.0);
+    EXPECT_EQ(report.hyparPlan.numLevels(), 4u);
+}
+
+TEST(Evaluator, SconvDegeneratesToDataParallelism)
+{
+    // Fig. 6/7/8: SCONV's HyPar result equals Data Parallelism exactly.
+    const auto report =
+        sim::compareStrategies(dnn::makeSconv(), SimConfig{});
+    EXPECT_DOUBLE_EQ(report.hyparSpeedup(), 1.0);
+    EXPECT_DOUBLE_EQ(report.hyparEnergyEff(), 1.0);
+}
+
+TEST(Evaluator, SfcPrefersModelParallelism)
+{
+    // Fig. 6: for the all-fc extreme case, MP beats DP and HyPar beats
+    // both.
+    const auto report =
+        sim::compareStrategies(dnn::makeSfc(), SimConfig{});
+    EXPECT_GT(report.mpSpeedup(), 1.0);
+    EXPECT_GE(report.hyparSpeedup(), report.mpSpeedup());
+}
+
+TEST(Evaluator, TorusSlowerThanHTreeForHypar)
+{
+    // Fig. 12's claim, checked end-to-end on one conv network.
+    SimConfig tree_cfg;
+    SimConfig torus_cfg;
+    torus_cfg.topology = TopologyKind::kTorus;
+
+    Evaluator tree(dnn::makeAlexNet(), tree_cfg);
+    Evaluator torus(dnn::makeAlexNet(), torus_cfg);
+    const auto plan = tree.plan(core::Strategy::kHypar);
+    EXPECT_LE(tree.evaluate(plan).stepSeconds,
+              torus.evaluate(plan).stepSeconds * (1 + 1e-9));
+}
+
+TEST(Evaluator, LevelsControlArraySize)
+{
+    SimConfig cfg;
+    cfg.levels = 2;
+    Evaluator ev(dnn::makeLenetC(), cfg);
+    EXPECT_EQ(ev.plan(core::Strategy::kHypar).numAccelerators(), 4u);
+    EXPECT_EQ(ev.topology().numNodes(), 4u);
+}
+
+TEST(Evaluator, SingleAcceleratorHasNoComm)
+{
+    SimConfig cfg;
+    cfg.levels = 0;
+    Evaluator ev(dnn::makeLenetC(), cfg);
+    const auto m = ev.evaluate(core::Strategy::kDataParallel);
+    EXPECT_DOUBLE_EQ(m.commBytes, 0.0);
+    EXPECT_DOUBLE_EQ(m.networkBusySeconds, 0.0);
+    EXPECT_GT(m.stepSeconds, 0.0);
+}

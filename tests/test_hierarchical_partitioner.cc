@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for Algorithm 2: recursion accounting (com = com_h + 2*com_n),
+ * consistency with CommModel::planBytes, level-count handling, and
+ * comparison against full exhaustive search on tiny networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hh"
+#include "core/comm_model.hh"
+#include "core/hierarchical_partitioner.hh"
+#include "core/strategies.hh"
+#include "dnn/builder.hh"
+#include "dnn/model_zoo.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using core::CommConfig;
+using core::CommModel;
+using core::HierarchicalPartitioner;
+using core::Parallelism;
+
+TEST(HierarchicalPartitioner, ZeroLevelsIsEmptyAndFree)
+{
+    dnn::Network net = dnn::makeLenetC();
+    CommModel model(net, CommConfig{});
+    const auto result = HierarchicalPartitioner(model).partition(0);
+    EXPECT_EQ(result.plan.numLevels(), 0u);
+    EXPECT_DOUBLE_EQ(result.commBytes, 0.0);
+    EXPECT_EQ(result.plan.numAccelerators(), 1u);
+}
+
+TEST(HierarchicalPartitioner, CostMatchesPlanBytes)
+{
+    // The recursion's com must equal replaying the plan through the
+    // communication model's sum over levels.
+    for (const auto &net : dnn::allModels()) {
+        CommModel model(net, CommConfig{});
+        for (std::size_t levels : {1u, 2u, 4u}) {
+            const auto result =
+                HierarchicalPartitioner(model).partition(levels);
+            EXPECT_EQ(result.plan.numLevels(), levels) << net.name();
+            EXPECT_DOUBLE_EQ(result.commBytes,
+                             model.planBytes(result.plan))
+                << net.name() << " H=" << levels;
+        }
+    }
+}
+
+TEST(HierarchicalPartitioner, GreedyMatchesExhaustiveOnTinyNets)
+{
+    // For a 2-layer network and up to 3 levels the full (2^L)^H space
+    // is 64 plans; the greedy level-by-level optimum must match the
+    // global optimum here (each level's cost dominates its children's
+    // options in these constructions).
+    const std::vector<dnn::Network> nets = {
+        dnn::NetworkBuilder("t1", {128, 1, 1})
+            .fc("a", 512)
+            .fc("b", 64)
+            .build(),
+        dnn::NetworkBuilder("t2", {20, 12, 12})
+            .conv("a", 50, 5)
+            .fc("b", 10)
+            .build(),
+    };
+    for (const auto &net : nets) {
+        CommConfig cfg;
+        cfg.batch = 32;
+        CommModel model(net, cfg);
+        for (std::size_t levels : {1u, 2u, 3u}) {
+            const auto greedy =
+                HierarchicalPartitioner(model).partition(levels);
+            const auto full =
+                core::bruteForceHierarchical(model, levels);
+            EXPECT_DOUBLE_EQ(greedy.commBytes, full.commBytes)
+                << net.name() << " H=" << levels;
+        }
+    }
+}
+
+TEST(HierarchicalPartitioner, NeverWorseThanUniformBaselines)
+{
+    // Each level's DP sees all-dp and all-mp as candidates, so the
+    // greedy plan can never cost more than the uniform defaults.
+    for (const auto &net : dnn::allModels()) {
+        CommModel model(net, CommConfig{});
+        for (std::size_t levels : {1u, 2u, 3u, 4u, 5u, 6u}) {
+            const auto hypar =
+                HierarchicalPartitioner(model).partition(levels);
+            const double dp = model.planBytes(
+                core::makeDataParallelPlan(net, levels));
+            const double mp = model.planBytes(
+                core::makeModelParallelPlan(net, levels));
+            const double owt = model.planBytes(
+                core::makeOneWeirdTrickPlan(net, levels));
+            EXPECT_LE(hypar.commBytes, dp) << net.name() << " H=" << levels;
+            EXPECT_LE(hypar.commBytes, mp) << net.name() << " H=" << levels;
+            EXPECT_LE(hypar.commBytes, owt)
+                << net.name() << " H=" << levels;
+        }
+    }
+}
+
+TEST(HierarchicalPartitioner, DeterministicAcrossRuns)
+{
+    dnn::Network net = dnn::makeAlexNet();
+    CommModel model(net, CommConfig{});
+    const auto a = HierarchicalPartitioner(model).partition(4);
+    const auto b = HierarchicalPartitioner(model).partition(4);
+    EXPECT_EQ(a.plan, b.plan);
+    EXPECT_DOUBLE_EQ(a.commBytes, b.commBytes);
+}
+
+TEST(HierarchicalPartitioner, RejectsAbsurdDepth)
+{
+    dnn::Network net = dnn::makeLenetC();
+    CommModel model(net, CommConfig{});
+    EXPECT_THROW((void)HierarchicalPartitioner(model).partition(64),
+                 util::FatalError);
+}
+
+TEST(HierarchicalPartitioner, ScalingAblationChangesSfcPlan)
+{
+    // Under the kNone ablation every level sees identical amounts, so
+    // SFC's fc1 stays mp at every level -- the paper's fc1@H3 flip is
+    // a direct consequence of partitioned scaling.
+    dnn::Network sfc = dnn::makeSfc();
+    CommConfig cfg;
+    cfg.scaling = CommConfig::Scaling::kNone;
+    CommModel model(sfc, cfg);
+    const auto result = HierarchicalPartitioner(model).partition(4);
+    for (const auto &level : result.plan.levels)
+        EXPECT_EQ(level[0], Parallelism::kModel);
+}

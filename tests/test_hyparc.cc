@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the hyparc command-line application: argument parsing,
+ * command execution against a string stream, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "hyparc_app.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using tools::Options;
+using tools::parseArgs;
+using tools::runCommand;
+
+namespace {
+
+std::string
+run(const std::vector<std::string> &args)
+{
+    std::ostringstream os;
+    const int rc = runCommand(parseArgs(args), os);
+    EXPECT_EQ(rc, 0);
+    return os.str();
+}
+
+} // namespace
+
+TEST(HyparcArgs, ParsesFlags)
+{
+    const auto opts = parseArgs({"simulate", "--model", "VGG-A",
+                                 "--levels", "3", "--batch", "64",
+                                 "--topology", "torus", "--strategy",
+                                 "owt"});
+    EXPECT_EQ(opts.command, "simulate");
+    EXPECT_EQ(opts.model, "VGG-A");
+    EXPECT_EQ(opts.levels, 3u);
+    EXPECT_EQ(opts.batch, 64u);
+    EXPECT_EQ(opts.topology, "torus");
+    EXPECT_EQ(opts.strategy, "owt");
+}
+
+TEST(HyparcArgs, Rejections)
+{
+    EXPECT_THROW(parseArgs({}), util::FatalError);
+    EXPECT_THROW(parseArgs({"plan", "--model"}), util::FatalError);
+    EXPECT_THROW(parseArgs({"plan", "--bogus", "1"}), util::FatalError);
+    EXPECT_THROW(runCommand(parseArgs({"explode"}), std::cout),
+                 util::FatalError);
+    // plan without any network source.
+    std::ostringstream os;
+    EXPECT_THROW(runCommand(parseArgs({"plan"}), os), util::FatalError);
+    // both sources at once.
+    EXPECT_THROW(runCommand(parseArgs({"plan", "--model", "SFC", "--spec",
+                                       "x.hp"}),
+                            os),
+                 util::FatalError);
+}
+
+TEST(HyparcCommands, ModelsListsTheZoo)
+{
+    const std::string out = run({"models"});
+    EXPECT_NE(out.find("SFC"), std::string::npos);
+    EXPECT_NE(out.find("VGG-E"), std::string::npos);
+    EXPECT_NE(out.find("430500"), std::string::npos); // Lenet-c params
+}
+
+TEST(HyparcCommands, PlanPrintsLevels)
+{
+    const std::string out = run({"plan", "--model", "Lenet-c"});
+    EXPECT_NE(out.find("H1:"), std::string::npos);
+    EXPECT_NE(out.find("H4:"), std::string::npos);
+    EXPECT_NE(out.find("total communication"), std::string::npos);
+}
+
+TEST(HyparcCommands, StrategySelection)
+{
+    const std::string dp =
+        run({"plan", "--model", "Lenet-c", "--strategy", "dp"});
+    EXPECT_EQ(dp.find("mp"), std::string::npos);
+    const std::string optimal =
+        run({"plan", "--model", "Lenet-c", "--strategy", "optimal"});
+    EXPECT_NE(optimal.find("H1:"), std::string::npos);
+    EXPECT_THROW(run({"plan", "--model", "SFC", "--strategy", "zen"}),
+                 util::FatalError);
+}
+
+TEST(HyparcCommands, SimulateReportsSpeedup)
+{
+    const std::string out =
+        run({"simulate", "--model", "AlexNet", "--levels", "2"});
+    EXPECT_NE(out.find("speedup vs Data Parallelism"), std::string::npos);
+    EXPECT_NE(out.find("H-tree x4"), std::string::npos);
+}
+
+TEST(HyparcCommands, MeshTopology)
+{
+    const std::string out = run({"simulate", "--model", "Lenet-c",
+                                 "--topology", "mesh", "--levels", "2"});
+    EXPECT_NE(out.find("Mesh"), std::string::npos);
+    EXPECT_THROW(run({"simulate", "--model", "SFC", "--topology",
+                      "donut"}),
+                 util::FatalError);
+}
+
+TEST(HyparcCommands, ReportItemizes)
+{
+    const std::string out = run({"report", "--model", "AlexNet"});
+    EXPECT_NE(out.find("conv5"), std::string::npos);
+    EXPECT_NE(out.find("grad (dp)"), std::string::npos);
+}
+
+TEST(HyparcCommands, SpecFileEndToEnd)
+{
+    const std::string path = "/tmp/hyparc_test_net.hp";
+    {
+        std::ofstream f(path);
+        f << "network spec-net\ninput 1 28 28\nconv c1 8 5 pool 2\n"
+             "fc f1 10\n";
+    }
+    const std::string out = run({"plan", "--spec", path});
+    EXPECT_NE(out.find("spec-net"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(HyparcCommands, TraceToStreamAndFile)
+{
+    const std::string json =
+        run({"trace", "--model", "Lenet-c", "--levels", "2"});
+    EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+
+    const std::string path = "/tmp/hyparc_test_trace.json";
+    const std::string msg = run(
+        {"trace", "--model", "Lenet-c", "--levels", "2", "-o", path});
+    EXPECT_NE(msg.find("wrote"), std::string::npos);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_NE(content.str().find("hypar"), std::string::npos);
+    std::remove(path.c_str());
+}

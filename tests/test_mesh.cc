@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the mesh ablation topology (torus without wraparound).
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/htree.hh"
+#include "noc/torus.hh"
+#include "sim/evaluator.hh"
+
+#include "dnn/model_zoo.hh"
+
+using namespace hypar;
+using noc::MeshTopology;
+using noc::TopologyConfig;
+using noc::TorusTopology;
+
+namespace {
+
+TopologyConfig
+noLatency()
+{
+    TopologyConfig cfg;
+    cfg.perHopLatency = 0.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Mesh, NameAndShape)
+{
+    MeshTopology mesh(4, TopologyConfig{});
+    EXPECT_EQ(mesh.name(), "Mesh");
+    EXPECT_EQ(mesh.gridWidth(), 4u);
+    EXPECT_EQ(mesh.gridHeight(), 4u);
+    EXPECT_EQ(TorusTopology(4, TopologyConfig{}).name(), "Torus");
+}
+
+TEST(Mesh, NeverFasterThanTorus)
+{
+    // Removing the wrap links can only concentrate load further.
+    MeshTopology mesh(4, noLatency());
+    TorusTopology torus(4, noLatency());
+    for (std::size_t h = 0; h < 4; ++h) {
+        EXPECT_GE(mesh.exchangeSeconds(h, 1e9),
+                  torus.exchangeSeconds(h, 1e9) * (1 - 1e-12))
+            << "level " << h;
+    }
+}
+
+TEST(Mesh, LeafNeighborsUnchanged)
+{
+    // Leaf partners are grid neighbors; no wrap link is involved, so
+    // mesh == torus at the deepest level.
+    MeshTopology mesh(4, noLatency());
+    TorusTopology torus(4, noLatency());
+    EXPECT_NEAR(mesh.exchangeSeconds(3, 1e8),
+                torus.exchangeSeconds(3, 1e8), 1e-15);
+}
+
+TEST(Mesh, EndToEndThroughEvaluator)
+{
+    sim::SimConfig cfg;
+    cfg.topology = sim::TopologyKind::kMesh;
+    sim::Evaluator ev(dnn::makeLenetC(), cfg);
+    EXPECT_EQ(ev.topology().name(), "Mesh");
+    const auto m = ev.evaluate(core::Strategy::kHypar);
+    EXPECT_GT(m.stepSeconds, 0.0);
+
+    // Mesh is never faster than the torus end-to-end either.
+    sim::SimConfig torus_cfg;
+    torus_cfg.topology = sim::TopologyKind::kTorus;
+    sim::Evaluator torus(dnn::makeLenetC(), torus_cfg);
+    EXPECT_GE(m.stepSeconds,
+              torus.evaluate(core::Strategy::kHypar).stepSeconds *
+                  (1 - 1e-12));
+}

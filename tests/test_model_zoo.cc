@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the ten-network model zoo: layer counts, shapes, and the
+ * paper's structural claims ("the number of weighted layers of these
+ * models ranges from four to nineteen", Table 3 hyper-parameters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+
+TEST(ModelZoo, TenModelsInPaperOrder)
+{
+    const auto models = dnn::allModels();
+    const auto names = dnn::allModelNames();
+    ASSERT_EQ(models.size(), 10u);
+    ASSERT_EQ(names.size(), 10u);
+    for (std::size_t i = 0; i < models.size(); ++i)
+        EXPECT_EQ(models[i].name(), names[i]);
+}
+
+TEST(ModelZoo, WeightedLayerCountsMatchPaper)
+{
+    // Section 1: "the number of weighted layers of these models range
+    // from four to nineteen"; Fig. 5 gives per-network counts.
+    EXPECT_EQ(dnn::makeSfc().size(), 4u);
+    EXPECT_EQ(dnn::makeSconv().size(), 4u);
+    EXPECT_EQ(dnn::makeLenetC().size(), 4u);
+    EXPECT_EQ(dnn::makeCifarC().size(), 5u);
+    EXPECT_EQ(dnn::makeAlexNet().size(), 8u);
+    EXPECT_EQ(dnn::makeVggA().size(), 11u);
+    EXPECT_EQ(dnn::makeVggB().size(), 13u);
+    EXPECT_EQ(dnn::makeVggC().size(), 16u);
+    EXPECT_EQ(dnn::makeVggD().size(), 16u);
+    EXPECT_EQ(dnn::makeVggE().size(), 19u);
+}
+
+TEST(ModelZoo, SfcIsTable3)
+{
+    // Table 3: 784-8192-8192-8192-10, no convolutions.
+    dnn::Network sfc = dnn::makeSfc();
+    EXPECT_FALSE(sfc.hasConv());
+    EXPECT_EQ(sfc.inputShape().elems(), 784u);
+    EXPECT_EQ(sfc.layer(0).outChannels, 8192u);
+    EXPECT_EQ(sfc.layer(3).outChannels, 10u);
+}
+
+TEST(ModelZoo, SconvIsTable3)
+{
+    // Table 3: 20@5x5, 50@5x5 (2x2 max pool), 50@5x5, 10@5x5 (2x2 max
+    // pool); no fully-connected layer, final feature map 1x1x10.
+    dnn::Network sconv = dnn::makeSconv();
+    EXPECT_FALSE(sconv.hasFc());
+    EXPECT_EQ(sconv.layer(0).outChannels, 20u);
+    EXPECT_TRUE(sconv.layer(1).pool.enabled());
+    EXPECT_FALSE(sconv.layer(2).pool.enabled());
+    const auto &out = sconv.layer(3).outPooled;
+    EXPECT_EQ(out.c, 10u);
+    EXPECT_EQ(out.h, 1u);
+    EXPECT_EQ(out.w, 1u);
+}
+
+TEST(ModelZoo, LenetShapes)
+{
+    dnn::Network lenet = dnn::makeLenetC();
+    EXPECT_EQ(lenet.layer(1).outPooled.h, 4u); // 8x8 pooled to 4x4
+    EXPECT_EQ(lenet.layer(2).fcInputs(), 800u);
+    EXPECT_EQ(lenet.totalParamElems(), 430500u);
+}
+
+TEST(ModelZoo, AlexNetShapes)
+{
+    dnn::Network alex = dnn::makeAlexNet();
+    EXPECT_EQ(alex.layer(0).outRaw.h, 55u);
+    EXPECT_EQ(alex.layer(0).outPooled.h, 27u);
+    EXPECT_EQ(alex.layer(4).outPooled.h, 6u);  // 13 -> pool3/2 -> 6
+    EXPECT_EQ(alex.layer(5).fcInputs(), 9216u); // 6*6*256
+    EXPECT_EQ(alex.totalParamElems(), 62367776u);
+}
+
+TEST(ModelZoo, VggFamilyStructure)
+{
+    // All VGGs end with the 4096-4096-1000 classifier on 7x7x512.
+    for (const auto name : {"VGG-A", "VGG-B", "VGG-C", "VGG-D", "VGG-E"}) {
+        dnn::Network vgg = dnn::modelByName(name);
+        const std::size_t fc1 = vgg.layerIndex("fc1");
+        EXPECT_EQ(vgg.layer(fc1).fcInputs(), 25088u) << name; // 7*7*512
+        EXPECT_EQ(vgg.layer(vgg.size() - 1).outChannels, 1000u) << name;
+        EXPECT_TRUE(vgg.hasConv());
+    }
+}
+
+TEST(ModelZoo, VggCHasOneByOneConvs)
+{
+    dnn::Network vgg_c = dnn::makeVggC();
+    EXPECT_EQ(vgg_c.layer(vgg_c.layerIndex("conv3_3")).kernel, 1u);
+    EXPECT_EQ(vgg_c.layer(vgg_c.layerIndex("conv4_3")).kernel, 1u);
+    EXPECT_EQ(vgg_c.layer(vgg_c.layerIndex("conv5_3")).kernel, 1u);
+    // VGG-D's same-position convs are 3x3.
+    dnn::Network vgg_d = dnn::makeVggD();
+    EXPECT_EQ(vgg_d.layer(vgg_d.layerIndex("conv3_3")).kernel, 3u);
+}
+
+TEST(ModelZoo, LookupByName)
+{
+    for (const auto &name : dnn::allModelNames())
+        EXPECT_EQ(dnn::modelByName(name).name(), name);
+    EXPECT_THROW(dnn::modelByName("ResNet-50"), util::FatalError);
+}
+
+TEST(ModelZoo, MacCountsAreSane)
+{
+    // VGG-E forward pass is famously ~19.6 GMACs for one 224x224 image.
+    const double vgg_e = dnn::makeVggE().totalFwdMacsPerSample();
+    EXPECT_GT(vgg_e, 19.0e9);
+    EXPECT_LT(vgg_e, 20.5e9);
+
+    // AlexNet is ~0.7-1.2 GMACs (ungrouped single-tower variant).
+    const double alex = dnn::makeAlexNet().totalFwdMacsPerSample();
+    EXPECT_GT(alex, 0.6e9);
+    EXPECT_LT(alex, 1.3e9);
+}

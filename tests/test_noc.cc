@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the interconnect models: H-tree fat-tree bandwidths, torus
+ * placement, XY routing, congestion accounting, and the structural
+ * claim behind Fig. 12 (tree-shaped exchanges run no faster on the
+ * torus than on the H-tree).
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/htree.hh"
+#include "noc/torus.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+using namespace hypar;
+using noc::HTreeTopology;
+using noc::TopologyConfig;
+using noc::TorusTopology;
+
+namespace {
+
+TopologyConfig
+noLatency()
+{
+    TopologyConfig cfg;
+    cfg.perHopLatency = 0.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(HTree, PaperBandwidthLadder)
+{
+    // H = 4: root trunk 12.8 Gb/s, halving per level down to the
+    // paper's 1600 Mb/s leaf links.
+    HTreeTopology tree(4, TopologyConfig{});
+    EXPECT_DOUBLE_EQ(tree.pairBandwidth(0), util::gbitsPerSec(12.8));
+    EXPECT_DOUBLE_EQ(tree.pairBandwidth(1), util::gbitsPerSec(6.4));
+    EXPECT_DOUBLE_EQ(tree.pairBandwidth(2), util::gbitsPerSec(3.2));
+    EXPECT_DOUBLE_EQ(tree.pairBandwidth(3), util::mbitsPerSec(1600.0));
+}
+
+TEST(HTree, ExchangeTimeIsBytesOverBandwidth)
+{
+    HTreeTopology tree(4, noLatency());
+    const double bytes = 1.6e9; // one second at root bandwidth
+    EXPECT_DOUBLE_EQ(tree.exchangeSeconds(0, bytes), 1.0);
+    EXPECT_DOUBLE_EQ(tree.exchangeSeconds(3, bytes), 8.0);
+    EXPECT_DOUBLE_EQ(tree.exchangeSeconds(1, 0.0), 0.0);
+}
+
+TEST(HTree, HopsShrinkTowardLeaves)
+{
+    HTreeTopology tree(4, TopologyConfig{});
+    EXPECT_DOUBLE_EQ(tree.exchangeHops(0), 8.0); // up 4, down 4
+    EXPECT_DOUBLE_EQ(tree.exchangeHops(3), 2.0); // adjacent leaves
+}
+
+TEST(HTree, LatencyAddsPerHop)
+{
+    TopologyConfig cfg;
+    cfg.perHopLatency = 1e-6;
+    HTreeTopology tree(2, cfg);
+    const double no_payload_floor = tree.exchangeHops(0) * 1e-6;
+    EXPECT_NEAR(tree.exchangeSeconds(0, 8.0),
+                8.0 / cfg.rootBisection + no_payload_floor, 1e-18);
+}
+
+TEST(HTree, RejectsBadLevels)
+{
+    HTreeTopology tree(2, TopologyConfig{});
+    EXPECT_THROW((void)tree.pairBandwidth(2), util::FatalError);
+    EXPECT_THROW((void)tree.exchangeSeconds(2, 1.0), util::FatalError);
+}
+
+TEST(Torus, GridIsNearSquare)
+{
+    EXPECT_EQ(TorusTopology(4, TopologyConfig{}).gridWidth(), 4u);
+    EXPECT_EQ(TorusTopology(4, TopologyConfig{}).gridHeight(), 4u);
+    EXPECT_EQ(TorusTopology(3, TopologyConfig{}).gridWidth(), 4u);
+    EXPECT_EQ(TorusTopology(3, TopologyConfig{}).gridHeight(), 2u);
+    EXPECT_EQ(TorusTopology(1, TopologyConfig{}).gridWidth(), 2u);
+    EXPECT_EQ(TorusTopology(1, TopologyConfig{}).gridHeight(), 1u);
+}
+
+TEST(Torus, HLayoutSplitsHalvesAlongX)
+{
+    // Fig. 4(d): the top-level halves (A0-7 vs A8-15) occupy disjoint
+    // x ranges of the 4x4 grid.
+    TorusTopology torus(4, TopologyConfig{});
+    for (std::size_t node = 0; node < 8; ++node) {
+        EXPECT_LT(torus.coord(node).first, 2u) << node;
+        EXPECT_GE(torus.coord(node ^ 8).first, 2u) << node;
+    }
+    // All sixteen coordinates are distinct.
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    for (std::size_t node = 0; node < 16; ++node)
+        seen.insert(torus.coord(node));
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Torus, LeafExchangeBetweenNeighbors)
+{
+    // Level H-1 partners are grid neighbors: one hop each way; the
+    // half-duplex link carries the full pair payload.
+    TorusTopology torus(4, noLatency());
+    const double bytes = 200e6; // one second on a 1600 Mb/s link
+    EXPECT_NEAR(torus.exchangeSeconds(3, bytes), 1.0, 1e-12);
+}
+
+TEST(Torus, TopLevelIsCongested)
+{
+    // The level-0 exchange concentrates eight flows onto the column
+    // cut; with only four rows (x2 wrap), it cannot beat the H-tree's
+    // dedicated 12.8 Gb/s trunk.
+    TorusTopology torus(4, noLatency());
+    HTreeTopology tree(4, noLatency());
+    const double bytes = 1e9;
+    EXPECT_GE(torus.exchangeSeconds(0, bytes),
+              tree.exchangeSeconds(0, bytes));
+}
+
+TEST(Torus, TreeNeverSlowerAcrossAllLevels)
+{
+    // Structural basis of Fig. 12: for each level the H-tree matches or
+    // beats the torus on the hierarchical exchange pattern.
+    TorusTopology torus(4, noLatency());
+    HTreeTopology tree(4, noLatency());
+    for (std::size_t h = 0; h < 4; ++h) {
+        EXPECT_GE(torus.exchangeSeconds(h, 1e9),
+                  tree.exchangeSeconds(h, 1e9))
+            << "level " << h;
+    }
+}
+
+TEST(Torus, HopCountsAreAtLeastOne)
+{
+    TorusTopology torus(4, TopologyConfig{});
+    for (std::size_t h = 0; h < 4; ++h)
+        EXPECT_GE(torus.exchangeHops(h), 1.0);
+    // Longer paths at the top than at the leaves.
+    EXPECT_GT(torus.exchangeHops(0), torus.exchangeHops(3));
+}
+
+TEST(Torus, SingleLevelDegeneratesToOneLink)
+{
+    // H = 1: two nodes; the no-wrap tie-break puts both directions on
+    // the same physical link, so the torus equals an H-tree with a
+    // matching trunk bandwidth.
+    TopologyConfig cfg = noLatency();
+    cfg.rootBisection = cfg.linkBandwidth;
+    TorusTopology torus(1, cfg);
+    HTreeTopology tree(1, cfg);
+    EXPECT_NEAR(torus.exchangeSeconds(0, 1e8),
+                tree.exchangeSeconds(0, 1e8), 1e-12);
+}
+
+TEST(Torus, UpperLevelsPayDoubleVsTree)
+{
+    // With ties avoiding the wrap link, the level-0 and level-1
+    // exchanges concentrate on the central column/row cut: half the
+    // ring capacity, hence exactly twice the H-tree's fat trunk time.
+    TorusTopology torus(4, noLatency());
+    HTreeTopology tree(4, noLatency());
+    const double bytes = 1e9;
+    EXPECT_NEAR(torus.exchangeSeconds(0, bytes),
+                2.0 * tree.exchangeSeconds(0, bytes), 1e-12);
+    EXPECT_NEAR(torus.exchangeSeconds(1, bytes),
+                2.0 * tree.exchangeSeconds(1, bytes), 1e-12);
+    // Leaf exchanges are neighbor-to-neighbor: same as the tree.
+    EXPECT_NEAR(torus.exchangeSeconds(3, bytes),
+                tree.exchangeSeconds(3, bytes), 1e-12);
+}
+
+TEST(Topology, ConfigValidation)
+{
+    TopologyConfig bad;
+    bad.linkBandwidth = 0.0;
+    EXPECT_THROW(TorusTopology(2, bad), util::FatalError);
+    EXPECT_THROW(HTreeTopology(24, TopologyConfig{}), util::FatalError);
+}

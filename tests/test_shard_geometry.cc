@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests deriving the communication model from tensor shard geometry:
+ * the Table 2 coefficients (0, 0.25+0.25, 0.5, 0.5) must emerge as
+ * theorems from region overlap, and the geometric derivation must
+ * agree with CommModel's closed form on arbitrary layer shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/comm_model.hh"
+#include "core/shard_geometry.hh"
+#include "dnn/builder.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using core::BoundaryGeometry;
+using core::Group;
+using core::IndexRange;
+using core::Parallelism;
+using core::TensorRegion;
+
+namespace {
+constexpr auto kDp = Parallelism::kData;
+constexpr auto kMp = Parallelism::kModel;
+} // namespace
+
+TEST(IndexRange, IntersectAndSize)
+{
+    IndexRange a{0, 10};
+    IndexRange b{5, 15};
+    EXPECT_EQ(a.intersect(b), (IndexRange{5, 10}));
+    EXPECT_EQ(a.intersect(b).size(), 5u);
+    IndexRange disjoint{20, 30};
+    EXPECT_EQ(a.intersect(disjoint).size(), 0u);
+    EXPECT_EQ(IndexRange{}.size(), 0u);
+}
+
+TEST(TensorRegion, MissingFromIsBoxMinusBox)
+{
+    TensorRegion l{{0, 8}, {0, 16}};   // 128 elements
+    TensorRegion held{{0, 4}, {0, 16}}; // covers half
+    EXPECT_EQ(l.missingFrom(held), 64u);
+    EXPECT_EQ(l.missingFrom(l), 0u);
+    TensorRegion nothing{{0, 0}, {0, 0}};
+    EXPECT_EQ(l.missingFrom(nothing), 128u);
+}
+
+TEST(ShardGeometry, Table2FeatureCoefficients)
+{
+    // For any even batch/channel sizes the feature-boundary traffic
+    // must be exactly Table 2's F coefficients x 2 (both groups).
+    for (std::size_t b : {4u, 32u, 256u}) {
+        for (std::size_t c : {2u, 64u, 1000u}) {
+            if (c % 2)
+                continue;
+            BoundaryGeometry g(b, c);
+            const auto volume = static_cast<double>(b * c);
+            EXPECT_EQ(g.featureTraffic(kDp, kDp), 0u);
+            EXPECT_DOUBLE_EQ(
+                static_cast<double>(g.featureTraffic(kDp, kMp)),
+                2 * 0.25 * volume);
+            EXPECT_EQ(g.featureTraffic(kMp, kMp), 0u);
+            EXPECT_EQ(g.featureTraffic(kMp, kDp), 0u);
+        }
+    }
+}
+
+TEST(ShardGeometry, Table2ErrorCoefficients)
+{
+    for (std::size_t b : {4u, 32u, 256u}) {
+        for (std::size_t c : {2u, 64u, 128u}) {
+            BoundaryGeometry g(b, c);
+            const auto volume = static_cast<double>(b * c);
+            EXPECT_EQ(g.errorTraffic(kDp, kDp), 0u);
+            EXPECT_DOUBLE_EQ(
+                static_cast<double>(g.errorTraffic(kDp, kMp)),
+                2 * 0.25 * volume);
+            EXPECT_DOUBLE_EQ(
+                static_cast<double>(g.errorTraffic(kMp, kMp)),
+                2 * 0.5 * volume);
+            EXPECT_DOUBLE_EQ(
+                static_cast<double>(g.errorTraffic(kMp, kDp)),
+                2 * 0.5 * volume);
+        }
+    }
+}
+
+TEST(ShardGeometry, RegionsMatchFigureTwoPicture)
+{
+    // The Section 3.1 example: batch 32, boundary channels 100.
+    BoundaryGeometry g(32, 100);
+
+    // dp producer: each group holds its batch half of F.
+    EXPECT_EQ(g.featureHeld(kDp, Group::kFirst),
+              (TensorRegion{{0, 16}, {0, 100}}));
+    EXPECT_EQ(g.featureHeld(kDp, Group::kSecond),
+              (TensorRegion{{16, 32}, {0, 100}}));
+    // mp producer: full tensor after the psum reduction.
+    EXPECT_EQ(g.featureHeld(kMp, Group::kFirst).volume(), 3200u);
+
+    // mp consumer needs its channel half; dp consumer its batch half.
+    EXPECT_EQ(g.featureNeeded(kMp, Group::kSecond),
+              (TensorRegion{{0, 32}, {50, 100}}));
+    EXPECT_EQ(g.featureNeeded(kDp, Group::kFirst),
+              (TensorRegion{{0, 16}, {0, 100}}));
+
+    // Error tensor: mp consumer (layer l) needs the full E.
+    EXPECT_EQ(g.errorNeeded(kMp, Group::kFirst).volume(), 3200u);
+    EXPECT_EQ(g.errorHeld(kMp, Group::kFirst),
+              (TensorRegion{{0, 32}, {0, 50}}));
+}
+
+TEST(ShardGeometry, IntraTrafficMatchesTableOne)
+{
+    EXPECT_EQ(core::intraTraffic(kDp, 7000, 3200), 14000u);
+    EXPECT_EQ(core::intraTraffic(kMp, 7000, 3200), 6400u);
+}
+
+TEST(ShardGeometry, AgreesWithCommModelOnArbitraryShapes)
+{
+    // Cross-module property: the geometric derivation equals the
+    // closed-form communication model for randomized fc chains.
+    struct Shape
+    {
+        std::size_t in, mid, out, batch;
+    };
+    const Shape shapes[] = {
+        {70, 100, 10, 32},   {128, 256, 64, 16},  {512, 512, 512, 256},
+        {8, 1024, 2, 64},    {300, 4096, 1000, 128},
+    };
+
+    for (const auto &s : shapes) {
+        dnn::Network net =
+            dnn::NetworkBuilder("g", {s.in, 1, 1})
+                .fc("a", s.mid)
+                .fc("b", s.out)
+                .build();
+        core::CommConfig cfg;
+        cfg.batch = s.batch;
+        core::CommModel model(net, cfg);
+        core::History hist(2);
+        BoundaryGeometry g(s.batch, s.mid);
+
+        for (auto prev : {kDp, kMp}) {
+            for (auto cur : {kDp, kMp}) {
+                const double geometric =
+                    (static_cast<double>(g.featureTraffic(prev, cur)) +
+                     static_cast<double>(g.errorTraffic(prev, cur))) *
+                    4.0; // fp32
+                EXPECT_DOUBLE_EQ(model.interBytes(0, prev, cur, hist),
+                                 geometric)
+                    << s.in << "-" << s.mid << " " << core::toString(prev)
+                    << "-" << core::toString(cur);
+            }
+            const double intra_geo =
+                static_cast<double>(core::intraTraffic(
+                    prev, net.layer(0).weightElems(),
+                    net.layer(0).outRawElemsPerSample() * s.batch)) *
+                4.0;
+            EXPECT_DOUBLE_EQ(model.intraBytes(0, prev, hist), intra_geo);
+        }
+    }
+}
+
+TEST(ShardGeometry, RejectsEmptyTensors)
+{
+    EXPECT_THROW(BoundaryGeometry(0, 8), util::FatalError);
+    EXPECT_THROW(BoundaryGeometry(8, 0), util::FatalError);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the network spec parser: grammar coverage, error reporting
+ * with line numbers, and round-tripping the whole model zoo through
+ * toSpec -> parse.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+#include "dnn/spec_parser.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using dnn::parseNetworkSpec;
+
+TEST(SpecParser, ParsesMinimalNetwork)
+{
+    const auto net = parseNetworkSpec(
+        "network tiny\n"
+        "input 1 8 8\n"
+        "conv c1 4 3\n"
+        "fc f1 10\n");
+    EXPECT_EQ(net.name(), "tiny");
+    EXPECT_EQ(net.size(), 2u);
+    EXPECT_EQ(net.layer(0).outChannels, 4u);
+    EXPECT_EQ(net.layer(1).outChannels, 10u);
+}
+
+TEST(SpecParser, InlineAndStandaloneAttributes)
+{
+    const auto net = parseNetworkSpec(
+        "network attrs\n"
+        "input 3 32 32\n"
+        "conv c1 16 5 stride 1 pad 2 pool 2\n"
+        "conv c2 32 3\n"
+        "pad 1\n"
+        "pool 3 2\n"
+        "fc f1 10 act none\n");
+    EXPECT_EQ(net.layer(0).pad, 2u);
+    EXPECT_EQ(net.layer(0).pool.window, 2u);
+    EXPECT_EQ(net.layer(1).pad, 1u);
+    EXPECT_EQ(net.layer(1).pool.window, 3u);
+    EXPECT_EQ(net.layer(1).pool.stride, 2u);
+    EXPECT_EQ(net.layer(2).act, dnn::Activation::kNone);
+}
+
+TEST(SpecParser, CommentsAndBlankLines)
+{
+    const auto net = parseNetworkSpec(
+        "# a comment\n"
+        "network c\n"
+        "\n"
+        "input 1 28 28   # input shape\n"
+        "fc f1 10 # trailing\n");
+    EXPECT_EQ(net.size(), 1u);
+}
+
+TEST(SpecParser, ErrorsCarryLineNumbers)
+{
+    try {
+        parseNetworkSpec("network x\ninput 1 8 8\nconv broken\n");
+        FAIL() << "expected FatalError";
+    } catch (const util::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(SpecParser, RejectsMalformedInput)
+{
+    // Missing header directives.
+    EXPECT_THROW(parseNetworkSpec("fc f1 10\n"), util::FatalError);
+    EXPECT_THROW(parseNetworkSpec("network x\nfc f1 10\n"),
+                 util::FatalError);
+    // Bad numbers / unknown tokens.
+    EXPECT_THROW(parseNetworkSpec("network x\ninput 1 8 eight\n"),
+                 util::FatalError);
+    EXPECT_THROW(
+        parseNetworkSpec("network x\ninput 1 8 8\nconvolution c 4 3\n"),
+        util::FatalError);
+    EXPECT_THROW(
+        parseNetworkSpec("network x\ninput 1 8 8\nfc f 10 stride 2\n"),
+        util::FatalError);
+    // Attribute before any layer.
+    EXPECT_THROW(parseNetworkSpec("network x\ninput 1 8 8\npool 2\n"),
+                 util::FatalError);
+    // Attribute missing its value.
+    EXPECT_THROW(
+        parseNetworkSpec("network x\ninput 1 8 8\nconv c 4 3 pad\n"),
+        util::FatalError);
+    // Unknown activation.
+    EXPECT_THROW(
+        parseNetworkSpec("network x\ninput 1 8 8\nfc f 4 act gelu\n"),
+        util::FatalError);
+}
+
+TEST(SpecParser, ZooRoundTripsExactly)
+{
+    for (const auto &original : dnn::allModels()) {
+        const auto reparsed = parseNetworkSpec(dnn::toSpec(original));
+        ASSERT_EQ(reparsed.size(), original.size()) << original.name();
+        EXPECT_EQ(reparsed.name(), original.name());
+        EXPECT_EQ(reparsed.inputShape(), original.inputShape());
+        for (std::size_t l = 0; l < original.size(); ++l) {
+            const auto &a = original.layer(l);
+            const auto &b = reparsed.layer(l);
+            EXPECT_EQ(a.name, b.name);
+            EXPECT_EQ(a.kind, b.kind);
+            EXPECT_EQ(a.outChannels, b.outChannels);
+            EXPECT_EQ(a.kernel, b.kernel);
+            EXPECT_EQ(a.stride, b.stride);
+            EXPECT_EQ(a.pad, b.pad);
+            EXPECT_EQ(a.pool.window, b.pool.window);
+            EXPECT_EQ(a.pool.stride, b.pool.stride);
+            EXPECT_EQ(a.act, b.act);
+            EXPECT_EQ(a.outPooled, b.outPooled);
+        }
+        EXPECT_EQ(reparsed.totalParamElems(), original.totalParamElems());
+    }
+}
+
+TEST(SpecParser, MissingFileIsFatal)
+{
+    EXPECT_THROW(dnn::parseNetworkSpecFile("/nonexistent/net.hp"),
+                 util::FatalError);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the baseline strategies and plan utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.hh"
+#include "core/comm_model.hh"
+#include "core/strategies.hh"
+#include "dnn/model_zoo.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using core::Parallelism;
+using core::Strategy;
+
+TEST(Strategies, UniformPlansHaveRightShape)
+{
+    dnn::Network net = dnn::makeAlexNet();
+    const auto dp = core::makeDataParallelPlan(net, 4);
+    EXPECT_EQ(dp.numLevels(), 4u);
+    EXPECT_EQ(dp.numLayers(), net.size());
+    EXPECT_EQ(dp.numAccelerators(), 16u);
+    for (const auto &level : dp.levels)
+        for (auto p : level)
+            EXPECT_EQ(p, Parallelism::kData);
+
+    const auto mp = core::makeModelParallelPlan(net, 3);
+    EXPECT_EQ(mp.numAccelerators(), 8u);
+    for (const auto &level : mp.levels)
+        for (auto p : level)
+            EXPECT_EQ(p, Parallelism::kModel);
+}
+
+TEST(Strategies, OneWeirdTrickSplitsByLayerKind)
+{
+    dnn::Network net = dnn::makeAlexNet();
+    const auto owt = core::makeOneWeirdTrickPlan(net, 4);
+    for (const auto &level : owt.levels) {
+        for (std::size_t l = 0; l < net.size(); ++l) {
+            const Parallelism expect = net.layer(l).isConv()
+                                           ? Parallelism::kData
+                                           : Parallelism::kModel;
+            EXPECT_EQ(level[l], expect) << net.layer(l).name;
+        }
+    }
+}
+
+TEST(Strategies, MakePlanDispatch)
+{
+    dnn::Network net = dnn::makeLenetC();
+    core::CommModel model(net, core::CommConfig{});
+    EXPECT_EQ(core::makePlan(Strategy::kDataParallel, model, 2),
+              core::makeDataParallelPlan(net, 2));
+    EXPECT_EQ(core::makePlan(Strategy::kModelParallel, model, 2),
+              core::makeModelParallelPlan(net, 2));
+    EXPECT_EQ(core::makePlan(Strategy::kOneWeirdTrick, model, 2),
+              core::makeOneWeirdTrickPlan(net, 2));
+    // HyPar's plan must differ from all-dp for Lenet-c (Fig. 5(c)).
+    EXPECT_NE(core::makePlan(Strategy::kHypar, model, 4),
+              core::makeDataParallelPlan(net, 4));
+}
+
+TEST(Strategies, Names)
+{
+    EXPECT_STREQ(core::toString(Strategy::kDataParallel),
+                 "Data Parallelism");
+    EXPECT_STREQ(core::toString(Strategy::kModelParallel),
+                 "Model Parallelism");
+    EXPECT_STREQ(core::toString(Strategy::kOneWeirdTrick),
+                 "One Weird Trick");
+    EXPECT_STREQ(core::toString(Strategy::kHypar), "HyPar");
+}
+
+TEST(PlanUtils, MaskRoundTrip)
+{
+    const auto plan = core::levelPlanFromMask(0b0110, 4);
+    EXPECT_EQ(plan[0], Parallelism::kData);
+    EXPECT_EQ(plan[1], Parallelism::kModel);
+    EXPECT_EQ(plan[2], Parallelism::kModel);
+    EXPECT_EQ(plan[3], Parallelism::kData);
+    // Bit 0 is layer 0 and prints leftmost.
+    EXPECT_EQ(core::toBitString(plan), "0110");
+    EXPECT_THROW((void)core::levelPlanFromMask(0, 64), util::FatalError);
+}
+
+TEST(PlanUtils, ToStringListsLevels)
+{
+    const auto plan = core::uniformPlan(2, 2, Parallelism::kModel);
+    const std::string s = core::toString(plan);
+    EXPECT_NE(s.find("H1: mp mp"), std::string::npos);
+    EXPECT_NE(s.find("H2: mp mp"), std::string::npos);
+}
+
+TEST(PlanUtils, ValidatePlanChecksArity)
+{
+    dnn::Network net = dnn::makeLenetC();
+    auto plan = core::makeDataParallelPlan(net, 2);
+    EXPECT_NO_THROW(core::validatePlan(plan, net));
+    plan.levels[1].pop_back();
+    EXPECT_THROW(core::validatePlan(plan, net), util::FatalError);
+}
+
+TEST(PlanUtils, SweepLevelMasksVisitsAllMasks)
+{
+    dnn::Network net = dnn::makeLenetC();
+    const auto base = core::makeDataParallelPlan(net, 2);
+    std::size_t count = 0;
+    std::uint64_t last_mask = 0;
+    core::sweepLevelMasks(
+        base, 1, [&](std::uint64_t mask, const core::HierarchicalPlan &p) {
+            ++count;
+            last_mask = mask;
+            // Level 0 untouched.
+            for (auto par : p.levels[0])
+                EXPECT_EQ(par, Parallelism::kData);
+            EXPECT_EQ(core::levelPlanFromMask(mask, net.size()),
+                      p.levels[1]);
+        });
+    EXPECT_EQ(count, 16u); // 2^4 masks
+    EXPECT_EQ(last_mask, 15u);
+    EXPECT_THROW(core::sweepLevelMasks(base, 5, [](auto, const auto &) {}),
+                 util::FatalError);
+}
+
+TEST(History, CountsPerLayer)
+{
+    core::History hist(2);
+    EXPECT_EQ(hist.depth(), 0u);
+    hist.push({Parallelism::kData, Parallelism::kModel});
+    hist.push({Parallelism::kData, Parallelism::kData});
+    EXPECT_EQ(hist.depth(), 2u);
+    EXPECT_EQ(hist.dpCount(0), 2u);
+    EXPECT_EQ(hist.mpCount(0), 0u);
+    EXPECT_EQ(hist.dpCount(1), 1u);
+    EXPECT_EQ(hist.mpCount(1), 1u);
+    EXPECT_THROW(hist.dpCount(2), util::PanicError);
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the Chrome trace-event exporter: event structure, track
+ * routing, escaping, and timestamps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/strategies.hh"
+#include "dnn/model_zoo.hh"
+#include "noc/htree.hh"
+#include "sim/trace_export.hh"
+#include "sim/training_sim.hh"
+
+using namespace hypar;
+
+namespace {
+
+std::vector<sim::TraceEntry>
+simulateLenet()
+{
+    dnn::Network net = dnn::makeLenetC();
+    core::CommModel model(net, core::CommConfig{});
+    noc::HTreeTopology topo(4, noc::TopologyConfig{});
+    sim::SimOptions opts;
+    opts.recordTrace = true;
+    sim::TrainingSimulator simulator(model, arch::AcceleratorConfig{},
+                                     arch::EnergyModel{}, topo, opts);
+    (void)simulator.simulate(core::makeHyparPlan(model, 4));
+    return simulator.lastTrace();
+}
+
+std::size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+} // namespace
+
+TEST(TraceExport, EmitsOneEventPerTask)
+{
+    const auto trace = simulateLenet();
+    const std::string json = sim::chromeTraceJson(trace);
+    // Complete-duration events: one "ph":"X" per task.
+    EXPECT_EQ(countOccurrences(json, R"("ph":"X")"), trace.size());
+    // Plus the three metadata records.
+    EXPECT_EQ(countOccurrences(json, R"("ph":"M")"), 3u);
+}
+
+TEST(TraceExport, RoutesComputeAndNetworkTracks)
+{
+    const auto trace = simulateLenet();
+    const std::string json = sim::chromeTraceJson(trace);
+
+    // Compute tasks on tid 0, exchanges on tid 1.
+    EXPECT_NE(json.find(R"("name":"fwd:conv1","ph":"X","pid":0,"tid":0)"),
+              std::string::npos);
+    EXPECT_NE(json.find(R"("name":"gradx:conv1@H1","ph":"X","pid":0,)"
+                        R"("tid":1)"),
+              std::string::npos);
+}
+
+TEST(TraceExport, MicrosecondTimestampsAreOrdered)
+{
+    const auto trace = simulateLenet();
+    ASSERT_FALSE(trace.empty());
+    const std::string json = sim::chromeTraceJson(trace);
+    // First event starts at ts 0.
+    EXPECT_NE(json.find(R"("ts":0,)"), std::string::npos);
+    // Durations are non-negative ("dur":-" never appears).
+    EXPECT_EQ(json.find(R"("dur":-)"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesLabels)
+{
+    std::vector<sim::TraceEntry> trace{
+        {0.0, 1.0, R"(weird"label\with specials)"}};
+    const std::string json = sim::chromeTraceJson(trace);
+    EXPECT_NE(json.find(R"(weird\"label\\with specials)"),
+              std::string::npos);
+}
+
+TEST(TraceExport, EmptyTraceIsValidJsonArray)
+{
+    const std::string json = sim::chromeTraceJson({});
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("]"), std::string::npos);
+    EXPECT_EQ(countOccurrences(json, R"("ph":"X")"), 0u);
+}

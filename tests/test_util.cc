@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the util module: logging, stats, strings, table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace hypar;
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(util::fatal("user error"), util::FatalError);
+    try {
+        util::fatal("bad config");
+    } catch (const util::FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: bad config");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(util::panic("bug"), util::PanicError);
+    // PanicError is a logic_error, FatalError a runtime_error: callers
+    // can distinguish library bugs from user errors.
+    EXPECT_THROW(util::panic("bug"), std::logic_error);
+    EXPECT_THROW(util::fatal("cfg"), std::runtime_error);
+}
+
+TEST(Logging, AssertMacroFiresOnlyWhenFalse)
+{
+    EXPECT_NO_THROW(HYPAR_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(HYPAR_ASSERT(1 + 1 == 3, "broken"), util::PanicError);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(util::geomean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(util::geomean({1.0, 4.0}), 2.0);
+    EXPECT_NEAR(util::geomean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+    EXPECT_THROW(util::geomean({}), util::FatalError);
+    EXPECT_THROW(util::geomean({1.0, 0.0}), util::FatalError);
+    EXPECT_THROW(util::geomean({1.0, -2.0}), util::FatalError);
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    EXPECT_DOUBLE_EQ(util::mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(util::stddev({5.0}), 0.0);
+    EXPECT_NEAR(util::stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                2.138089935299395, 1e-12);
+    EXPECT_THROW(util::mean({}), util::FatalError);
+}
+
+TEST(Stats, LinearFitRecoversLine)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(3.0 * x + 7.0);
+    const auto fit = util::linearFit(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 7.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitRejectsDegenerateInput)
+{
+    EXPECT_THROW(util::linearFit({1.0}, {2.0}), util::FatalError);
+    EXPECT_THROW(util::linearFit({1.0, 2.0}, {1.0}), util::FatalError);
+    EXPECT_THROW(util::linearFit({2.0, 2.0}, {1.0, 5.0}),
+                 util::FatalError);
+}
+
+TEST(Stats, LinearFitFlatLine)
+{
+    const auto fit = util::linearFit({1, 2, 3}, {5, 5, 5});
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Strings, FormatBytesUsesDecimalUnits)
+{
+    EXPECT_EQ(util::formatBytes(0.0), "0 B");
+    EXPECT_EQ(util::formatBytes(999.0), "999 B");
+    EXPECT_EQ(util::formatBytes(56000.0), "56.0 KB");
+    EXPECT_EQ(util::formatBytes(25600.0), "25.6 KB");
+    EXPECT_EQ(util::formatBytes(15.9e9), "15.9 GB");
+}
+
+TEST(Strings, FormatSecondsAdaptsUnit)
+{
+    EXPECT_EQ(util::formatSeconds(2.5), "2.5 s");
+    EXPECT_EQ(util::formatSeconds(3.2e-3), "3.2 ms");
+    EXPECT_EQ(util::formatSeconds(1.5e-6), "1.5 us");
+}
+
+TEST(Strings, FormatRatio)
+{
+    EXPECT_EQ(util::formatRatio(3.39), "3.39x");
+    EXPECT_EQ(util::formatRatio(1.0), "1.00x");
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(util::join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(util::join({}, ","), "");
+    EXPECT_EQ(util::join({"only"}, ","), "only");
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    util::Table t({"net", "gain"});
+    t.addRow({"VGG-A", "3.27"});
+    t.addRow({"SFC", "23.48"});
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("VGG-A"), std::string::npos);
+    EXPECT_NE(s.find("23.48"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsBadShapes)
+{
+    EXPECT_THROW(util::Table({}), util::FatalError);
+    util::Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), util::FatalError);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(util::mbitsPerSec(1600.0), 200e6);
+    EXPECT_DOUBLE_EQ(util::gbitsPerSec(12.8), 1.6e9);
+    EXPECT_DOUBLE_EQ(util::gbytesPerSec(320.0), 320e9);
+}

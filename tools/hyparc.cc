@@ -1,0 +1,27 @@
+/**
+ * @file
+ * hyparc — command-line front end for the HyPar library. See
+ * hyparc_app.hh for the commands.
+ */
+
+#include <iostream>
+
+#include "hyparc_app.hh"
+#include "util/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (!args.empty() && (args[0] == "--help" || args[0] == "-h")) {
+        std::cout << hypar::tools::usage() << "\n";
+        return 0;
+    }
+    try {
+        const auto opts = hypar::tools::parseArgs(args);
+        return hypar::tools::runCommand(opts, std::cout);
+    } catch (const hypar::util::FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}

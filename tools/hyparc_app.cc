@@ -1,0 +1,221 @@
+#include "hyparc_app.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "core/comm_report.hh"
+#include "core/optimal_partitioner.hh"
+#include "core/strategies.hh"
+#include "dnn/model_zoo.hh"
+#include "dnn/spec_parser.hh"
+#include "sim/evaluator.hh"
+#include "sim/trace_export.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace hypar::tools {
+
+namespace {
+
+dnn::Network
+loadNetwork(const Options &opts)
+{
+    if (!opts.model.empty() && !opts.spec.empty())
+        util::fatal("use either --model or --spec, not both");
+    if (!opts.model.empty())
+        return dnn::modelByName(opts.model);
+    if (!opts.spec.empty())
+        return dnn::parseNetworkSpecFile(opts.spec);
+    util::fatal("a network is required: --model <name> or --spec <file>");
+}
+
+sim::SimConfig
+makeConfig(const Options &opts)
+{
+    sim::SimConfig cfg;
+    cfg.levels = opts.levels;
+    cfg.comm.batch = opts.batch;
+    if (opts.topology == "htree")
+        cfg.topology = sim::TopologyKind::kHTree;
+    else if (opts.topology == "torus")
+        cfg.topology = sim::TopologyKind::kTorus;
+    else if (opts.topology == "mesh")
+        cfg.topology = sim::TopologyKind::kMesh;
+    else
+        util::fatal("unknown topology '" + opts.topology +
+                    "' (htree|torus|mesh)");
+    return cfg;
+}
+
+core::HierarchicalPlan
+makeStrategyPlan(const Options &opts, const core::CommModel &model)
+{
+    if (opts.strategy == "hypar")
+        return core::makeHyparPlan(model, opts.levels);
+    if (opts.strategy == "dp")
+        return core::makeDataParallelPlan(model.network(), opts.levels);
+    if (opts.strategy == "mp")
+        return core::makeModelParallelPlan(model.network(), opts.levels);
+    if (opts.strategy == "owt")
+        return core::makeOneWeirdTrickPlan(model.network(), opts.levels);
+    if (opts.strategy == "optimal")
+        return core::OptimalPartitioner(model).partition(opts.levels).plan;
+    util::fatal("unknown strategy '" + opts.strategy +
+                "' (hypar|dp|mp|owt|optimal)");
+}
+
+int
+cmdModels(std::ostream &os)
+{
+    util::Table t({"name", "layers", "params"});
+    for (const auto &net : dnn::allModels()) {
+        t.addRow({net.name(), std::to_string(net.size()),
+                  std::to_string(net.totalParamElems())});
+    }
+    t.print(os);
+    return 0;
+}
+
+int
+cmdPlan(const Options &opts, std::ostream &os)
+{
+    dnn::Network net = loadNetwork(opts);
+    core::CommConfig comm;
+    comm.batch = opts.batch;
+    core::CommModel model(net, comm);
+    const auto plan = makeStrategyPlan(opts, model);
+
+    os << net.describe() << "\n"
+       << opts.strategy << " plan over " << plan.numAccelerators()
+       << " accelerators:\n"
+       << core::toString(plan) << "total communication: "
+       << util::formatBytes(model.planBytes(plan)) << "\n";
+    return 0;
+}
+
+int
+cmdSimulate(const Options &opts, std::ostream &os)
+{
+    dnn::Network net = loadNetwork(opts);
+    sim::Evaluator ev(net, makeConfig(opts));
+    const auto plan = makeStrategyPlan(opts, ev.model());
+    const auto m = ev.evaluate(plan);
+    const auto dp = ev.evaluate(core::Strategy::kDataParallel);
+
+    os << net.name() << " on " << ev.topology().name() << " x"
+       << ev.topology().numNodes() << ", batch " << opts.batch << ", "
+       << opts.strategy << ":\n  " << m.summary() << "\n"
+       << "  speedup vs Data Parallelism: "
+       << util::formatRatio(dp.stepSeconds / m.stepSeconds)
+       << ", energy saving: "
+       << util::formatRatio(dp.energy.totalJ() / m.energy.totalJ())
+       << "\n";
+    return 0;
+}
+
+int
+cmdReport(const Options &opts, std::ostream &os)
+{
+    dnn::Network net = loadNetwork(opts);
+    core::CommConfig comm;
+    comm.batch = opts.batch;
+    core::CommModel model(net, comm);
+    const auto plan = makeStrategyPlan(opts, model);
+    os << core::buildCommReport(model, plan).toString();
+    return 0;
+}
+
+int
+cmdTrace(const Options &opts, std::ostream &os)
+{
+    dnn::Network net = loadNetwork(opts);
+    const auto cfg = makeConfig(opts);
+
+    core::CommModel model(net, cfg.comm);
+    auto topo = sim::makeTopology(cfg.topology, cfg.levels, cfg.noc);
+    sim::SimOptions sim_opts;
+    sim_opts.recordTrace = true;
+    sim::TrainingSimulator simulator(model, cfg.acc, cfg.energy, *topo,
+                                     sim_opts);
+    (void)simulator.simulate(makeStrategyPlan(opts, model));
+
+    if (opts.output.empty()) {
+        sim::writeChromeTrace(os, simulator.lastTrace());
+    } else {
+        std::ofstream out(opts.output);
+        if (!out)
+            util::fatal("cannot write '" + opts.output + "'");
+        sim::writeChromeTrace(out, simulator.lastTrace());
+        os << "wrote " << simulator.lastTrace().size() << " events to "
+           << opts.output << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+std::string
+usage()
+{
+    return "usage: hyparc <plan|simulate|report|trace|models>\n"
+           "  --model <zoo name> | --spec <file>\n"
+           "  [--levels N] [--batch B] [--topology htree|torus|mesh]\n"
+           "  [--strategy hypar|dp|mp|owt|optimal] [-o <file>]";
+}
+
+Options
+parseArgs(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        util::fatal("missing command\n" + usage());
+
+    Options opts;
+    opts.command = args[0];
+
+    auto value = [&](std::size_t &i) -> const std::string & {
+        if (i + 1 >= args.size())
+            util::fatal("flag '" + args[i] + "' needs a value");
+        return args[++i];
+    };
+
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--model") {
+            opts.model = value(i);
+        } else if (arg == "--spec") {
+            opts.spec = value(i);
+        } else if (arg == "--levels") {
+            opts.levels = std::stoul(value(i));
+        } else if (arg == "--batch") {
+            opts.batch = std::stoul(value(i));
+        } else if (arg == "--topology") {
+            opts.topology = value(i);
+        } else if (arg == "--strategy") {
+            opts.strategy = value(i);
+        } else if (arg == "-o" || arg == "--output") {
+            opts.output = value(i);
+        } else {
+            util::fatal("unknown flag '" + arg + "'\n" + usage());
+        }
+    }
+    return opts;
+}
+
+int
+runCommand(const Options &opts, std::ostream &os)
+{
+    if (opts.command == "models")
+        return cmdModels(os);
+    if (opts.command == "plan")
+        return cmdPlan(opts, os);
+    if (opts.command == "simulate")
+        return cmdSimulate(opts, os);
+    if (opts.command == "report")
+        return cmdReport(opts, os);
+    if (opts.command == "trace")
+        return cmdTrace(opts, os);
+    util::fatal("unknown command '" + opts.command + "'\n" + usage());
+}
+
+} // namespace hypar::tools

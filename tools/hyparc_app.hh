@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The hyparc command-line application, split from main() so the
+ * argument parsing and command execution are unit-testable.
+ *
+ *   hyparc plan --model VGG-A [--levels 4] [--batch 256]
+ *   hyparc simulate --spec net.hp [--topology torus] [--strategy dp]
+ *   hyparc report --model AlexNet            # per-layer comm breakdown
+ *   hyparc trace --model Lenet-c -o out.json # chrome://tracing export
+ *   hyparc models                            # list the zoo
+ */
+
+#ifndef HYPAR_TOOLS_HYPARC_APP_HH
+#define HYPAR_TOOLS_HYPARC_APP_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hypar::tools {
+
+/** Parsed command line. */
+struct Options
+{
+    std::string command;      //!< plan | simulate | report | trace | models
+    std::string model;        //!< zoo model name
+    std::string spec;         //!< path to a network spec file
+    std::string output;       //!< -o target (trace)
+    std::string topology = "htree"; //!< htree | torus | mesh
+    std::string strategy = "hypar"; //!< hypar | dp | mp | owt | optimal
+    std::size_t levels = 4;
+    std::size_t batch = 256;
+};
+
+/**
+ * Parse argv into Options; fatal (util::FatalError) on bad usage so
+ * tests can assert on messages.
+ */
+Options parseArgs(const std::vector<std::string> &args);
+
+/** Execute a parsed command, writing human-readable output to `os`. */
+int runCommand(const Options &opts, std::ostream &os);
+
+/** One-line usage summary (printed on error and by --help). */
+std::string usage();
+
+} // namespace hypar::tools
+
+#endif // HYPAR_TOOLS_HYPARC_APP_HH
