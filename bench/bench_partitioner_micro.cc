@@ -6,6 +6,13 @@
  * reports O(N) complexity over synthetic networks of 8..4096 weighted
  * layers; BM_Hierarchical shows the O(H*L) scaling of Algorithm 2; the
  * brute-force baseline shows the O(2^N) wall the paper avoids.
+ *
+ * Every optimized engine is benchmarked next to its *_Reference
+ * counterpart — the pre-optimization implementation kept in-tree as a
+ * test oracle — so one binary quotes the before/after speedups. Run
+ * the `bench_partitioner_json` CMake target (or pass
+ * --benchmark_format=json) to get machine-readable numbers, and
+ * tools/bench_report.py to summarize the reference-vs-optimized pairs.
  */
 
 #include <benchmark/benchmark.h>
@@ -13,6 +20,7 @@
 #include "core/brute_force.hh"
 #include "core/comm_model.hh"
 #include "core/hierarchical_partitioner.hh"
+#include "core/optimal_partitioner.hh"
 #include "core/pairwise_partitioner.hh"
 #include "core/strategies.hh"
 #include "dnn/builder.hh"
@@ -32,6 +40,25 @@ deepNet(std::size_t layers)
     return b.build();
 }
 
+/** Algorithm 2 driven by the reference (pre-optimization) Algorithm 1:
+ *  the before-side of the full-search benches. */
+double
+referenceHierarchicalSearch(const core::CommModel &model,
+                            std::size_t levels)
+{
+    core::PairwisePartitioner pairwise(model);
+    core::History hist(model.numLayers());
+    double total = 0.0;
+    double pairs = 1.0;
+    for (std::size_t h = 0; h < levels; ++h) {
+        const auto result = pairwise.partitionReference(hist);
+        total += pairs * result.commBytes;
+        hist.push(result.plan);
+        pairs *= 2.0;
+    }
+    return total;
+}
+
 void
 BM_PairwisePartition(benchmark::State &state)
 {
@@ -42,6 +69,21 @@ BM_PairwisePartition(benchmark::State &state)
     core::History hist(net.size());
     for (auto _ : state) {
         auto result = partitioner.partition(hist);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_PairwisePartitionReference(benchmark::State &state)
+{
+    const auto layers = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(layers);
+    core::CommModel model(net, core::CommConfig{});
+    core::PairwisePartitioner partitioner(model);
+    core::History hist(net.size());
+    for (auto _ : state) {
+        auto result = partitioner.partitionReference(hist);
         benchmark::DoNotOptimize(result.commBytes);
     }
     state.SetComplexityN(state.range(0));
@@ -76,6 +118,20 @@ BM_BruteForcePairwise(benchmark::State &state)
 }
 
 void
+BM_BruteForcePairwiseReference(benchmark::State &state)
+{
+    const auto layers = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(layers);
+    core::CommModel model(net, core::CommConfig{});
+    core::History hist(net.size());
+    for (auto _ : state) {
+        auto result = core::bruteForcePairwiseReference(model, hist);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
 BM_HyparFullSearchZoo(benchmark::State &state)
 {
     // End-to-end Algorithm 2 on the paper's largest network.
@@ -85,6 +141,79 @@ BM_HyparFullSearchZoo(benchmark::State &state)
     for (auto _ : state) {
         auto result = partitioner.partition(4);
         benchmark::DoNotOptimize(result.commBytes);
+    }
+}
+
+void
+BM_HyparFullSearchZooReference(benchmark::State &state)
+{
+    dnn::Network net = dnn::makeVggE();
+    core::CommModel model(net, core::CommConfig{});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(referenceHierarchicalSearch(model, 4));
+    }
+}
+
+void
+BM_OptimalPartition(benchmark::State &state)
+{
+    const auto levels = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(12);
+    core::CommModel model(net, core::CommConfig{});
+    core::OptimalPartitioner partitioner(model);
+    for (auto _ : state) {
+        auto result = partitioner.partition(levels);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_OptimalPartitionReference(benchmark::State &state)
+{
+    const auto levels = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(12);
+    core::CommModel model(net, core::CommConfig{});
+    core::OptimalPartitioner partitioner(model);
+    for (auto _ : state) {
+        auto result = partitioner.partitionReference(levels);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_SweepLevelBytes(benchmark::State &state)
+{
+    // The Fig. 9/10 building block: score all 2^L substitutions of one
+    // hierarchy level by total plan communication.
+    dnn::Network net = dnn::makeVggA();
+    core::CommModel model(net, core::CommConfig{});
+    const auto base = core::makeHyparPlan(model, 4);
+    for (auto _ : state) {
+        double sum = 0.0;
+        core::sweepLevelBytes(model, base, 0,
+                              [&](std::uint64_t, double bytes) {
+                                  sum += bytes;
+                              });
+        benchmark::DoNotOptimize(sum);
+    }
+}
+
+void
+BM_SweepLevelBytesReference(benchmark::State &state)
+{
+    dnn::Network net = dnn::makeVggA();
+    core::CommModel model(net, core::CommConfig{});
+    const auto base = core::makeHyparPlan(model, 4);
+    for (auto _ : state) {
+        double sum = 0.0;
+        core::sweepLevelMasks(
+            base, 0,
+            [&](std::uint64_t, const core::HierarchicalPlan &plan) {
+                sum += model.planBytes(plan);
+            });
+        benchmark::DoNotOptimize(sum);
     }
 }
 
@@ -105,11 +234,26 @@ BENCHMARK(BM_PairwisePartition)
     ->RangeMultiplier(4)
     ->Range(8, 4096)
     ->Complexity(benchmark::oN);
+BENCHMARK(BM_PairwisePartitionReference)
+    ->RangeMultiplier(4)
+    ->Range(8, 4096)
+    ->Complexity(benchmark::oN);
 BENCHMARK(BM_HierarchicalPartition)->DenseRange(1, 6);
 BENCHMARK(BM_BruteForcePairwise)
     ->DenseRange(8, 20, 4)
     ->Complexity(benchmark::o1); // reported complexity is meaningless
                                  // here; the point is the 2^N blow-up
                                  // visible in the raw times
+BENCHMARK(BM_BruteForcePairwiseReference)
+    ->DenseRange(8, 20, 4)
+    ->Complexity(benchmark::o1);
 BENCHMARK(BM_HyparFullSearchZoo);
+BENCHMARK(BM_HyparFullSearchZooReference);
+// H starts at 4: below H = 3 partition() delegates to the reference
+// path, and timing identical code would pin the report's minimum
+// speedup at 1x.
+BENCHMARK(BM_OptimalPartition)->DenseRange(4, 6, 2);
+BENCHMARK(BM_OptimalPartitionReference)->DenseRange(4, 6, 2);
+BENCHMARK(BM_SweepLevelBytes);
+BENCHMARK(BM_SweepLevelBytesReference);
 BENCHMARK(BM_CommModelPlanBytes);

@@ -1,11 +1,124 @@
 #include "core/brute_force.hh"
 
+#include <bit>
+
+#include "core/tie_break.hh"
 #include "util/logging.hh"
 
 namespace hypar::core {
 
+namespace {
+
+/**
+ * Prefix-sum tape over the 2L-1 cost terms of one level plan, laid out
+ * exactly as CommModel::pairBytes accumulates them: intra(0), inter(0),
+ * intra(1), inter(1), ..., intra(L-1). total() replays that precise
+ * left-to-right addition order, so it is bit-identical to a pairBytes
+ * rescore while a single-term repair only touches a suffix.
+ */
+class TermTape
+{
+  public:
+    explicit TermTape(std::size_t layers)
+        : terms_(layers > 0 ? 2 * layers - 1 : 0),
+          prefix_(terms_.size())
+    {}
+
+    double &term(std::size_t i) { return terms_[i]; }
+
+    /** Recompute prefix sums from term index `from` to the end. */
+    void repairFrom(std::size_t from)
+    {
+        for (std::size_t i = from; i < terms_.size(); ++i)
+            prefix_[i] = i == 0 ? terms_[0] : prefix_[i - 1] + terms_[i];
+    }
+
+    double total() const
+    {
+        return prefix_.empty() ? 0.0 : prefix_.back();
+    }
+
+  private:
+    std::vector<double> terms_;
+    std::vector<double> prefix_;
+};
+
+/** First tape index affected by a flip of layer j: its left inter term
+ *  (or its own intra term for the first layer). */
+std::size_t
+repairStart(std::size_t j)
+{
+    return j > 0 ? 2 * j - 1 : 0;
+}
+
+} // namespace
+
 PairwiseResult
 bruteForcePairwise(const CommModel &model, const History &hist)
+{
+    const std::size_t num_layers = model.numLayers();
+    if (num_layers > 24)
+        util::fatal("bruteForcePairwise: network too large to enumerate");
+
+    PairwiseResult best;
+    if (num_layers == 0) {
+        best.plan = levelPlanFromMask(0, 0);
+        best.commBytes = model.pairBytes(best.plan, hist);
+        return best;
+    }
+
+    PairTables t;
+    model.fillPairTables(hist, t);
+
+    // Start at mask 0: all layers dp, all inter terms dp-dp (= 0).
+    TermTape tape(num_layers);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        tape.term(2 * l) = t.intra[2 * l];
+        if (l + 1 < num_layers)
+            tape.term(2 * l + 1) = t.inter[4 * l];
+    }
+    tape.repairFrom(0);
+
+    std::uint64_t mask = 0;
+    std::uint64_t best_mask = 0;
+    double best_bytes = tape.total();
+
+    const std::uint64_t count = std::uint64_t{1} << num_layers;
+    for (std::uint64_t i = 1; i < count; ++i) {
+        // Reflected Gray code: step i flips exactly one bit. Map the
+        // low (frequently flipped) Gray bits to the *last* layers so
+        // the tape suffix to repair is O(1) amortized.
+        const auto gray_bit =
+            static_cast<std::size_t>(std::countr_zero(i));
+        const std::size_t j = num_layers - 1 - gray_bit;
+        mask ^= std::uint64_t{1} << j;
+
+        const std::size_t pj = (mask >> j) & 1u;
+        tape.term(2 * j) = t.intra[2 * j + pj];
+        if (j > 0) {
+            const std::size_t pp = (mask >> (j - 1)) & 1u;
+            tape.term(2 * j - 1) = t.inter[4 * (j - 1) + 2 * pp + pj];
+        }
+        if (j + 1 < num_layers) {
+            const std::size_t pn = (mask >> (j + 1)) & 1u;
+            tape.term(2 * j + 1) = t.inter[4 * j + 2 * pj + pn];
+        }
+        tape.repairFrom(repairStart(j));
+
+        const double bytes = tape.total();
+        if (better(bytes, mask, best_bytes, best_mask)) {
+            best_bytes = bytes;
+            best_mask = mask;
+        }
+    }
+
+    best.plan = levelPlanFromMask(best_mask, num_layers);
+    best.commBytes = best_bytes;
+    return best;
+}
+
+PairwiseResult
+bruteForcePairwiseReference(const CommModel &model, const History &hist)
 {
     const std::size_t num_layers = model.numLayers();
     if (num_layers > 24)
@@ -89,10 +202,132 @@ sweepLevelMasks(
         util::fatal("sweepLevelMasks: too many layers to sweep");
 
     HierarchicalPlan plan = base;
+    plan.levels[level] = levelPlanFromMask(0, num_layers);
+    visit(0, plan);
+
+    // Ascending masks, patched in place: the increment mask -> mask+1
+    // flips exactly the bits of mask ^ (mask+1) (amortized two per
+    // step), so no per-mask LevelPlan is ever built.
     const std::uint64_t count = std::uint64_t{1} << num_layers;
-    for (std::uint64_t mask = 0; mask < count; ++mask) {
-        plan.levels[level] = levelPlanFromMask(mask, num_layers);
+    for (std::uint64_t mask = 1; mask < count; ++mask) {
+        std::uint64_t toggled = mask ^ (mask - 1);
+        while (toggled != 0) {
+            const auto l =
+                static_cast<std::size_t>(std::countr_zero(toggled));
+            plan.levels[level][l] = (mask >> l) & 1u
+                                        ? Parallelism::kModel
+                                        : Parallelism::kData;
+            toggled &= toggled - 1;
+        }
         visit(mask, plan);
+    }
+}
+
+void
+sweepLevelBytes(const CommModel &model, const HierarchicalPlan &base,
+                std::size_t level,
+                const std::function<void(std::uint64_t, double)> &visit)
+{
+    if (level >= base.numLevels())
+        util::fatal("sweepLevelBytes: level out of range");
+    const std::size_t num_layers = base.numLayers();
+    if (num_layers > 24)
+        util::fatal("sweepLevelBytes: too many layers to sweep");
+    if (num_layers != model.numLayers())
+        util::fatal("sweepLevelBytes: plan does not match the model");
+    const std::size_t num_levels = base.numLevels();
+    for (const auto &level_plan : base.levels)
+        if (level_plan.size() != num_layers)
+            util::fatal("sweepLevelBytes: ragged plan (level layer "
+                        "counts differ)");
+
+    if (num_layers == 0) {
+        // Degenerate: every mask is the empty plan.
+        visit(0, model.planBytes(base));
+        return;
+    }
+
+    // choices[h][l], with the swept level starting at mask 0 (all dp).
+    std::vector<LevelPlan> choices(base.levels);
+    choices[level].assign(num_layers, Parallelism::kData);
+
+    // Per-level upper dp/mp counts under the *current* swept mask.
+    std::vector<std::vector<unsigned>> dpc(
+        num_levels, std::vector<unsigned>(num_layers, 0));
+    std::vector<std::vector<unsigned>> mpc(
+        num_levels, std::vector<unsigned>(num_layers, 0));
+    for (std::size_t h = 1; h < num_levels; ++h) {
+        for (std::size_t l = 0; l < num_layers; ++l) {
+            const bool mp = choices[h - 1][l] == Parallelism::kModel;
+            dpc[h][l] = dpc[h - 1][l] + (mp ? 0u : 1u);
+            mpc[h][l] = mpc[h - 1][l] + (mp ? 1u : 0u);
+        }
+    }
+
+    auto fillTerm = [&](TermTape &tape, std::size_t h, std::size_t l) {
+        tape.term(2 * l) = model.intraBytesAt(l, choices[h][l],
+                                              dpc[h][l], mpc[h][l]);
+        if (l + 1 < num_layers) {
+            tape.term(2 * l + 1) =
+                model.interBytesAt(l, choices[h][l], choices[h][l + 1],
+                                   dpc[h][l], dpc[h][l + 1]);
+        }
+    };
+
+    std::vector<TermTape> tapes(num_levels, TermTape(num_layers));
+    for (std::size_t h = 0; h < num_levels; ++h) {
+        for (std::size_t l = 0; l < num_layers; ++l)
+            fillTerm(tapes[h], h, l);
+        tapes[h].repairFrom(0);
+    }
+
+    // Replays planBytes' accumulation exactly: level-ascending adds of
+    // 2^h * per-pair bytes, each per-pair total itself tape-exact.
+    auto totalBytes = [&] {
+        double total = 0.0;
+        double pairs = 1.0;
+        for (std::size_t h = 0; h < num_levels; ++h) {
+            total += pairs * tapes[h].total();
+            pairs *= 2.0;
+        }
+        return total;
+    };
+
+    std::uint64_t mask = 0;
+    visit(0, totalBytes());
+
+    const std::uint64_t count = std::uint64_t{1} << num_layers;
+    for (std::uint64_t i = 1; i < count; ++i) {
+        const auto gray_bit =
+            static_cast<std::size_t>(std::countr_zero(i));
+        const std::size_t j = num_layers - 1 - gray_bit;
+        mask ^= std::uint64_t{1} << j;
+        const bool now_mp = (mask >> j) & 1u;
+        choices[level][j] =
+            now_mp ? Parallelism::kModel : Parallelism::kData;
+
+        // The swept level's own terms change through the choice; the
+        // levels below it see layer j's upper counts shift by one.
+        const std::size_t start = repairStart(j);
+        fillTerm(tapes[level], level, j);
+        if (j > 0)
+            fillTerm(tapes[level], level, j - 1);
+        tapes[level].repairFrom(start);
+        for (std::size_t h = level + 1; h < num_levels; ++h) {
+            if (now_mp) {
+                --dpc[h][j];
+                ++mpc[h][j];
+            } else {
+                ++dpc[h][j];
+                --mpc[h][j];
+            }
+            fillTerm(tapes[h], h, j);
+            if (j > 0)
+                fillTerm(tapes[h], h, j - 1);
+            tapes[h].repairFrom(start);
+        }
+
+        visit(mask, totalBytes());
     }
 }
 

@@ -1,10 +1,39 @@
 #include "core/comm_model.hh"
 
+#include <array>
 #include <cmath>
 
 #include "util/logging.hh"
 
 namespace hypar::core {
+
+namespace {
+
+/** Largest halving count served from the lookup table. Histories never
+ *  get near this deep (HierarchicalPartitioner caps H at 20). */
+constexpr unsigned kMaxTableHalvings = 64;
+
+constexpr std::array<double, kMaxTableHalvings>
+makeHalvingsTable()
+{
+    std::array<double, kMaxTableHalvings> t{};
+    double v = 1.0;
+    for (unsigned n = 0; n < kMaxTableHalvings; ++n) {
+        t[n] = v;
+        v *= 0.5;
+    }
+    return t;
+}
+
+constexpr auto kHalvings = makeHalvingsTable();
+
+constexpr std::size_t
+idx(Parallelism p)
+{
+    return static_cast<std::size_t>(p);
+}
+
+} // namespace
 
 CommModel::CommModel(const dnn::Network &network, const CommConfig &config)
     : network_(&network), config_(config)
@@ -17,9 +46,13 @@ CommModel::CommModel(const dnn::Network &network, const CommConfig &config)
         util::fatal("CommModel: exchange factor must be positive");
 
     const auto batch = static_cast<double>(config_.batch);
+    const double ef = config_.exchangeFactor;
     weightBytes_.reserve(network.size());
     outRawBytes_.reserve(network.size());
     boundaryBytes_.reserve(network.size());
+    scaledWeightBytes_.reserve(network.size());
+    scaledOutRawBytes_.reserve(network.size());
+    scaledBoundaryBytes_.reserve(network.size());
     for (const auto &layer : network.layers()) {
         weightBytes_.push_back(
             static_cast<double>(layer.weightElems()) * config_.wordBytes);
@@ -29,6 +62,12 @@ CommModel::CommModel(const dnn::Network &network, const CommConfig &config)
         boundaryBytes_.push_back(
             static_cast<double>(layer.outElemsPerSample()) * batch *
             config_.wordBytes);
+        // Hot-path operand tables: the exchange factor is folded in once
+        // here; every later scale factor is a power of two, so queries
+        // against these are single exact multiplications.
+        scaledWeightBytes_.push_back(ef * weightBytes_.back());
+        scaledOutRawBytes_.push_back(ef * outRawBytes_.back());
+        scaledBoundaryBytes_.push_back(ef * boundaryBytes_.back());
     }
 }
 
@@ -56,6 +95,8 @@ CommModel::boundaryBytes(std::size_t l) const
 double
 CommModel::halvings(unsigned n)
 {
+    if (n < kMaxTableHalvings)
+        return kHalvings[n];
     return std::ldexp(1.0, -static_cast<int>(n));
 }
 
@@ -81,11 +122,11 @@ CommModel::intraBytesAt(std::size_t l, Parallelism p, unsigned dp_above,
 {
     const bool scale = config_.scaling == CommConfig::Scaling::kPartitioned;
     if (p == Parallelism::kData) {
-        return config_.exchangeFactor * weightBytes(l) *
-               (scale ? halvings(mp_above) : 1.0);
+        HYPAR_ASSERT(l < scaledWeightBytes_.size(), "layer index");
+        return scaledWeightBytes_[l] * (scale ? halvings(mp_above) : 1.0);
     }
-    return config_.exchangeFactor * outRawBytes(l) *
-           (scale ? halvings(dp_above) : 1.0);
+    HYPAR_ASSERT(l < scaledOutRawBytes_.size(), "layer index");
+    return scaledOutRawBytes_[l] * (scale ? halvings(dp_above) : 1.0);
 }
 
 double
@@ -94,20 +135,16 @@ CommModel::interBytesAt(std::size_t l, Parallelism prev, Parallelism cur,
 {
     HYPAR_ASSERT(l + 1 < numLayers(), "inter-layer transition index");
     const bool scale = config_.scaling == CommConfig::Scaling::kPartitioned;
-    const double f_bytes =
-        boundaryBytes(l) * (scale ? halvings(dp_above_l) : 1.0);
-    const double e_bytes =
-        boundaryBytes(l) * (scale ? halvings(dp_above_next) : 1.0);
+    const double b = scaledBoundaryBytes_[l];
+    const double f_bytes = b * (scale ? halvings(dp_above_l) : 1.0);
+    const double e_bytes = b * (scale ? halvings(dp_above_next) : 1.0);
 
-    double coeff_f = 0.0;
-    double coeff_e = 0.0;
-    if (prev == Parallelism::kData && cur == Parallelism::kModel) {
-        coeff_f = 0.25;
-        coeff_e = 0.25;
-    } else if (prev == Parallelism::kModel) {
-        coeff_e = 0.5;
+    if (prev == Parallelism::kData) {
+        if (cur == Parallelism::kModel)
+            return 0.25 * f_bytes + 0.25 * e_bytes;
+        return 0.0; // dp-dp
     }
-    return config_.exchangeFactor * (coeff_f * f_bytes + coeff_e * e_bytes);
+    return 0.5 * e_bytes; // mp-mp and mp-dp (Table 2)
 }
 
 double
@@ -117,11 +154,13 @@ CommModel::intraBytes(std::size_t l, Parallelism p,
     if (p == Parallelism::kData) {
         // Gradient partial sums: each peer holds a full-shape partial
         // gradient; kernels shrink under upper mp splits.
-        return config_.exchangeFactor * weightBytes(l) * gradScale(l, hist);
+        HYPAR_ASSERT(l < scaledWeightBytes_.size(), "layer index");
+        return scaledWeightBytes_[l] * gradScale(l, hist);
     }
     // Output partial sums on the raw (pre-pooling) output; the batch
     // shrinks under upper dp splits.
-    return config_.exchangeFactor * outRawBytes(l) * featScale(l, hist);
+    HYPAR_ASSERT(l < scaledOutRawBytes_.size(), "layer index");
+    return scaledOutRawBytes_[l] * featScale(l, hist);
 }
 
 double
@@ -130,13 +169,11 @@ CommModel::interBytesF(std::size_t l, Parallelism prev, Parallelism cur,
 {
     HYPAR_ASSERT(l + 1 < numLayers(), "inter-layer transition index");
 
+    if (!(prev == Parallelism::kData && cur == Parallelism::kModel))
+        return 0.0;
     // Boundary feature tensor: produced by layer l's forward pass, so
     // its batch dimension follows layer l's upper dp splits.
-    const double f_bytes = boundaryBytes(l) * featScale(l, hist);
-    const double coeff_f =
-        (prev == Parallelism::kData && cur == Parallelism::kModel) ? 0.25
-                                                                   : 0.0;
-    return config_.exchangeFactor * coeff_f * f_bytes;
+    return 0.25 * (scaledBoundaryBytes_[l] * featScale(l, hist));
 }
 
 double
@@ -145,15 +182,16 @@ CommModel::interBytesE(std::size_t l, Parallelism prev, Parallelism cur,
 {
     HYPAR_ASSERT(l + 1 < numLayers(), "inter-layer transition index");
 
-    // Boundary error tensor: produced by layer l+1's backward pass.
-    const double e_bytes = boundaryBytes(l) * featScale(l + 1, hist);
     double coeff_e = 0.0;
     if (prev == Parallelism::kData && cur == Parallelism::kModel)
         coeff_e = 0.25;
     else if (prev == Parallelism::kModel)
         coeff_e = 0.5; // mp-mp and mp-dp (Table 2)
     // dp-dp stays zero.
-    return config_.exchangeFactor * coeff_e * e_bytes;
+    if (coeff_e == 0.0)
+        return 0.0;
+    // Boundary error tensor: produced by layer l+1's backward pass.
+    return coeff_e * (scaledBoundaryBytes_[l] * featScale(l + 1, hist));
 }
 
 double
@@ -162,6 +200,88 @@ CommModel::interBytes(std::size_t l, Parallelism prev, Parallelism cur,
 {
     return interBytesF(l, prev, cur, hist) +
            interBytesE(l, prev, cur, hist);
+}
+
+double
+CommModel::intraBytesReference(std::size_t l, Parallelism p,
+                               const History &hist) const
+{
+    const bool scale = config_.scaling == CommConfig::Scaling::kPartitioned;
+    if (p == Parallelism::kData) {
+        const double grad_scale =
+            scale ? std::ldexp(1.0, -static_cast<int>(hist.mpCount(l)))
+                  : 1.0;
+        return config_.exchangeFactor * weightBytes(l) * grad_scale;
+    }
+    const double feat_scale =
+        scale ? std::ldexp(1.0, -static_cast<int>(hist.dpCount(l))) : 1.0;
+    return config_.exchangeFactor * outRawBytes(l) * feat_scale;
+}
+
+double
+CommModel::interBytesReference(std::size_t l, Parallelism prev,
+                               Parallelism cur, const History &hist) const
+{
+    HYPAR_ASSERT(l + 1 < numLayers(), "inter-layer transition index");
+    const bool scale = config_.scaling == CommConfig::Scaling::kPartitioned;
+    const double f_scale =
+        scale ? std::ldexp(1.0, -static_cast<int>(hist.dpCount(l))) : 1.0;
+    const double e_scale =
+        scale ? std::ldexp(1.0, -static_cast<int>(hist.dpCount(l + 1)))
+              : 1.0;
+    const double f_bytes = boundaryBytes(l) * f_scale;
+    const double e_bytes = boundaryBytes(l) * e_scale;
+
+    const double coeff_f =
+        (prev == Parallelism::kData && cur == Parallelism::kModel) ? 0.25
+                                                                   : 0.0;
+    double coeff_e = 0.0;
+    if (prev == Parallelism::kData && cur == Parallelism::kModel)
+        coeff_e = 0.25;
+    else if (prev == Parallelism::kModel)
+        coeff_e = 0.5;
+
+    return config_.exchangeFactor * coeff_f * f_bytes +
+           config_.exchangeFactor * coeff_e * e_bytes;
+}
+
+void
+CommModel::fillPairTables(const History &hist, PairTables &out) const
+{
+    const std::size_t layers = numLayers();
+    if (hist.numLayers() != layers)
+        util::fatal("CommModel::fillPairTables: history size mismatch");
+
+    out.intra.resize(2 * layers);
+    out.inter.resize(layers > 0 ? 4 * (layers - 1) : 0);
+
+    const bool scale = config_.scaling == CommConfig::Scaling::kPartitioned;
+    double feat_next =
+        layers > 0 && scale ? halvings(hist.dpCount(0)) : 1.0;
+    for (std::size_t l = 0; l < layers; ++l) {
+        const double grad = scale ? halvings(hist.mpCount(l)) : 1.0;
+        const double feat = feat_next;
+        out.intra[2 * l + idx(Parallelism::kData)] =
+            scaledWeightBytes_[l] * grad;
+        out.intra[2 * l + idx(Parallelism::kModel)] =
+            scaledOutRawBytes_[l] * feat;
+
+        if (l + 1 == layers)
+            break;
+        feat_next = scale ? halvings(hist.dpCount(l + 1)) : 1.0;
+        const double b = scaledBoundaryBytes_[l];
+        // Same single-rounding shapes as interBytes(): every factor
+        // besides b is a power of two, so each product is exact and the
+        // dp-mp entry rounds once in the final addition.
+        double *row = &out.inter[4 * l];
+        row[2 * idx(Parallelism::kData) + idx(Parallelism::kData)] = 0.0;
+        row[2 * idx(Parallelism::kData) + idx(Parallelism::kModel)] =
+            0.25 * (b * feat) + 0.25 * (b * feat_next);
+        row[2 * idx(Parallelism::kModel) + idx(Parallelism::kData)] =
+            0.5 * (b * feat_next);
+        row[2 * idx(Parallelism::kModel) + idx(Parallelism::kModel)] =
+            0.5 * (b * feat_next);
+    }
 }
 
 double

@@ -23,6 +23,15 @@
  * upper mp halves kernels/gradients, upper dp halves batches (feature
  * and error tensors). This reproduces the paper's Fig. 8 Data
  * Parallelism column exactly and Fig. 5(a)'s fc1@H3 flip for SFC.
+ *
+ * Evaluation is table driven: the constructor pre-multiplies every
+ * per-layer tensor amount by the exchange factor, and the hierarchical
+ * halvings come from a power-of-two lookup table, so a query is one or
+ * two exact multiplications instead of an ldexp chain. Because every
+ * scale factor is a power of two, the cached path returns bit-identical
+ * results to the straightforward formula (kept as the *Reference
+ * methods and cross-checked in tests), and the History-based and
+ * count-based APIs agree exactly as well.
  */
 
 #ifndef HYPAR_CORE_COMM_MODEL_HH
@@ -58,6 +67,19 @@ struct CommConfig
     double exchangeFactor = 2.0;
 
     Scaling scaling = Scaling::kPartitioned;
+};
+
+/**
+ * Flat per-layer cost tables for one fixed History: everything a
+ * single-level search over that history can ask the model. Filled by
+ * CommModel::fillPairTables; reused across calls to avoid allocation.
+ */
+struct PairTables
+{
+    /** intra[2*l + p]: intra-layer bytes of layer l under choice p. */
+    std::vector<double> intra;
+    /** inter[4*l + 2*prev + cur]: l -> l+1 bytes, l < layers-1. */
+    std::vector<double> inter;
 };
 
 /**
@@ -124,7 +146,8 @@ class CommModel
     // The History overloads above derive the upper-level dp/mp counts
     // from a recorded history; these take the counts directly, which
     // lets OptimalPartitioner evaluate arbitrary per-layer level
-    // vectors without materializing History objects.
+    // vectors without materializing History objects. They return
+    // bit-identical values to the History-based API for equal counts.
 
     /** Intra-layer bytes with explicit upper-level counts for layer l. */
     double intraBytesAt(std::size_t l, Parallelism p, unsigned dp_above,
@@ -138,7 +161,34 @@ class CommModel
     double interBytesAt(std::size_t l, Parallelism prev, Parallelism cur,
                         unsigned dp_above_l, unsigned dp_above_next) const;
 
+    // --- batch precompute ----------------------------------------------
+
+    /**
+     * Fill flat intra/inter cost tables for every layer and choice
+     * combination under `hist` — one pass over the cached per-layer
+     * amounts, no per-entry call overhead. Every entry is bit-identical
+     * to the corresponding intraBytes/interBytes call. Existing vector
+     * capacity in `out` is reused.
+     */
+    void fillPairTables(const History &hist, PairTables &out) const;
+
+    // --- reference implementations (test oracles / before-benches) ----
+    //
+    // The original straight-line formulas with per-call ldexp chains,
+    // kept so tests can assert that the table-driven path above is
+    // bit-identical and so the micro benches can quote before/after
+    // numbers from one binary.
+
+    /** intraBytes computed the pre-optimization way. */
+    double intraBytesReference(std::size_t l, Parallelism p,
+                               const History &hist) const;
+
+    /** interBytes computed the pre-optimization way. */
+    double interBytesReference(std::size_t l, Parallelism prev,
+                               Parallelism cur, const History &hist) const;
+
   private:
+    /** 2^-n, via lookup table (exact for every representable n). */
     static double halvings(unsigned n);
 
     double gradScale(std::size_t l, const History &hist) const;
@@ -149,6 +199,10 @@ class CommModel
     std::vector<double> weightBytes_;
     std::vector<double> outRawBytes_;
     std::vector<double> boundaryBytes_;
+    // Exchange-factor-premultiplied copies: the hot-path operand tables.
+    std::vector<double> scaledWeightBytes_;
+    std::vector<double> scaledOutRawBytes_;
+    std::vector<double> scaledBoundaryBytes_;
 };
 
 } // namespace hypar::core

@@ -1,14 +1,20 @@
 #include "core/optimal_partitioner.hh"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <limits>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace hypar::core {
 
 namespace {
+
+/** Hard ceiling on the joint search depth (4^H transition blow-up). */
+constexpr std::size_t kMaxLevels = 10;
 
 /** dp count among the bits of `v` strictly below level h (bit = mp). */
 unsigned
@@ -31,6 +37,70 @@ choiceAt(std::uint32_t v, std::size_t h)
 {
     return (v >> h) & 1u ? Parallelism::kModel : Parallelism::kData;
 }
+
+/**
+ * Factored inter-layer cost table of one l -> l+1 transition.
+ *
+ * interCost(l, p, s) = sum_h 2^h * interBytesAt(l, p_h, s_h,
+ *                                               dpAbove(p,h),
+ *                                               dpAbove(s,h))
+ *
+ * Each addend depends on the level h, the two choices at h, and the two
+ * producer dp counts below h — at most H * 2 * 2 * (H+1) * (H+1)
+ * distinct values per layer, which this table enumerates up front so
+ * the DP never calls the CommModel again. Layout groups the s-side keys
+ * (h, s_h, dpAbove(s,h)) outermost: for a fixed target state the DP
+ * grabs one contiguous [p_h][dpAbove(p,h)] row per level.
+ */
+class InterTermTable
+{
+  public:
+    InterTermTable(const CommModel &model, std::size_t layer,
+                   std::size_t levels)
+        : levels_(levels), terms_(levels * 2 * (levels + 1) * 2 *
+                                  (levels + 1))
+    {
+        double pairs = 1.0;
+        for (std::size_t h = 0; h < levels; ++h) {
+            for (unsigned sb = 0; sb < 2; ++sb) {
+                for (unsigned b = 0; b <= levels; ++b) {
+                    double *row = rowAt(h, sb, b);
+                    for (unsigned pb = 0; pb < 2; ++pb) {
+                        for (unsigned a = 0; a <= levels; ++a) {
+                            row[pb * (levels_ + 1) + a] =
+                                pairs *
+                                model.interBytesAt(
+                                    layer,
+                                    pb ? Parallelism::kModel
+                                       : Parallelism::kData,
+                                    sb ? Parallelism::kModel
+                                       : Parallelism::kData,
+                                    a, b);
+                        }
+                    }
+                }
+            }
+            pairs *= 2.0;
+        }
+    }
+
+    /** Contiguous [p_h][dpAbove(p,h)] row for the s-side key (h, sb, b). */
+    const double *rowAt(std::size_t h, unsigned sb, unsigned b) const
+    {
+        return &terms_[((h * 2 + sb) * (levels_ + 1) + b) * 2 *
+                       (levels_ + 1)];
+    }
+
+  private:
+    double *rowAt(std::size_t h, unsigned sb, unsigned b)
+    {
+        return &terms_[((h * 2 + sb) * (levels_ + 1) + b) * 2 *
+                       (levels_ + 1)];
+    }
+
+    std::size_t levels_;
+    std::vector<double> terms_;
+};
 
 } // namespace
 
@@ -73,7 +143,129 @@ OptimalPartitioner::interCost(std::size_t layer, std::uint32_t v_l,
 HierarchicalResult
 OptimalPartitioner::partition(std::size_t levels) const
 {
-    if (levels > 10)
+    if (levels > kMaxLevels)
+        util::fatal("OptimalPartitioner: 4^H transitions explode past "
+                    "H = 10");
+
+    // Below H = 3 the factored table holds more entries than the DP has
+    // transitions, so the naive loop is cheaper. Results are identical.
+    if (levels <= 2)
+        return partitionReference(levels);
+
+    const std::size_t num_layers = model_->numLayers();
+    HYPAR_ASSERT(num_layers > 0, "partitioning an empty network");
+    HierarchicalResult result;
+    result.plan.levels.assign(levels,
+                              LevelPlan(num_layers, Parallelism::kData));
+
+    const std::uint32_t states = 1u << levels;
+    auto &pool = util::ThreadPool::global();
+    // Fixed chunking => identical chunk grids (and thus identical
+    // per-state results) for every thread count; see thread_pool.hh.
+    const std::size_t grain =
+        std::max<std::size_t>(1, states / (4 * pool.parallelism()));
+
+    // Flat per-layer intra tables: intra[l * states + s], each entry
+    // summed exactly as intraCost does (2^h pair weighting, level
+    // ascending) so the DP stays bit-identical to the reference.
+    std::vector<double> intra(num_layers * states);
+    pool.parallelFor(0, num_layers * states, states,
+                     [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i)
+                             intra[i] = intraCost(i / states,
+                                                  static_cast<std::uint32_t>(
+                                                      i % states),
+                                                  levels);
+                     });
+
+    // Chain DP: cost[s] = best total with layer l in level vector s.
+    std::vector<double> cost(intra.begin(), intra.begin() + states);
+    std::vector<std::uint32_t> parent(num_layers * states, 0);
+
+    std::vector<double> next(states);
+    for (std::size_t l = 1; l < num_layers; ++l) {
+        // All inter terms of the l-1 -> l transition, keyed by level.
+        const InterTermTable iterm(*model_, l - 1, levels);
+        const double *intra_l = &intra[l * states];
+        std::uint32_t *parent_l = &parent[l * states];
+
+        pool.parallelFor(0, states, grain, [&](std::size_t s_begin,
+                                               std::size_t s_end) {
+            // trans[p] = interCost(l-1, p, s), built for all 2^H
+            // predecessor states at once by expanding one level bit at
+            // a time: after step h, trans[p_low] holds the partial sum
+            // of the first h terms for the length-h prefix p_low. The
+            // additions run in the same level-ascending order as
+            // interCost, keeping every partial sum bit-identical.
+            std::array<double, std::size_t{1} << kMaxLevels> trans;
+            std::array<const double *, kMaxLevels> rows;
+
+            for (std::size_t s = s_begin; s < s_end; ++s) {
+                const auto sv = static_cast<std::uint32_t>(s);
+                for (std::size_t h = 0; h < levels; ++h)
+                    rows[h] = iterm.rowAt(h, (sv >> h) & 1u,
+                                          dpAbove(sv, h));
+
+                trans[0] = 0.0;
+                for (std::size_t h = 0; h < levels; ++h) {
+                    const double *row = rows[h];
+                    const std::size_t half = std::size_t{1} << h;
+                    for (std::size_t p_low = 0; p_low < half; ++p_low) {
+                        const auto mp_below = static_cast<unsigned>(
+                            std::popcount(static_cast<std::uint32_t>(
+                                p_low)));
+                        const unsigned a =
+                            static_cast<unsigned>(h) - mp_below;
+                        const double acc = trans[p_low];
+                        trans[p_low] = acc + row[a];
+                        trans[p_low + half] =
+                            acc + row[(levels + 1) + a];
+                    }
+                }
+
+                // Ascending p with strict < implements the shared
+                // tie-break rule (core/tie_break.hh): dp-heavier
+                // predecessor wins exact ties.
+                double best = std::numeric_limits<double>::infinity();
+                std::uint32_t best_prev = 0;
+                for (std::uint32_t p = 0; p < states; ++p) {
+                    const double c = cost[p] + trans[p];
+                    if (c < best) {
+                        best = c;
+                        best_prev = p;
+                    }
+                }
+                next[s] = best + intra_l[s];
+                parent_l[s] = best_prev;
+            }
+        });
+        cost.swap(next);
+    }
+
+    // Final argmin: ascending s with strict < == dp-heavier tie-break.
+    std::uint32_t state = 0;
+    double best = cost[0];
+    for (std::uint32_t s = 1; s < states; ++s) {
+        if (cost[s] < best) {
+            best = cost[s];
+            state = s;
+        }
+    }
+
+    result.commBytes = best;
+    for (std::size_t l = num_layers; l-- > 0;) {
+        for (std::size_t h = 0; h < levels; ++h)
+            result.plan.levels[h][l] = choiceAt(state, h);
+        if (l > 0)
+            state = parent[l * states + state];
+    }
+    return result;
+}
+
+HierarchicalResult
+OptimalPartitioner::partitionReference(std::size_t levels) const
+{
+    if (levels > kMaxLevels)
         util::fatal("OptimalPartitioner: 4^H transitions explode past "
                     "H = 10");
 
@@ -86,7 +278,6 @@ OptimalPartitioner::partition(std::size_t levels) const
 
     const std::uint32_t states = 1u << levels;
 
-    // Chain DP: cost[s] = best total with layer l in level vector s.
     std::vector<double> cost(states);
     std::vector<std::vector<std::uint32_t>> parent(
         num_layers, std::vector<std::uint32_t>(states, 0));

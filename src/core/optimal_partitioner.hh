@@ -17,6 +17,18 @@
  * standard chain DP over 2^H states per layer: O(L * 4^H) time — for
  * the paper's H = 4, a 256-state DP, exactly optimal.
  *
+ * Engine: the naive DP re-derived every per-level cost term inside the
+ * O(L * 4^H) transition loop, costing O(L * 4^H * H) CommModel calls.
+ * partition() instead precomputes flat tables — intra[l][s] for all 2^H
+ * states, and the inter cost factored per level into terms keyed by
+ * (level, choice pair, producer dp-counts), a table of only O(H^3)
+ * entries per layer — and then evaluates all 2^H transition costs into
+ * a state s with one in-place prefix expansion over the level bits
+ * (O(2^H) adds instead of O(2^H * H)). The per-state transition loop
+ * runs on util::ThreadPool with fixed chunking, so results are
+ * bit-identical for every thread count; they are also bit-identical to
+ * partitionReference(), the original naive DP kept as a test oracle.
+ *
  * Used by the ablation harness to measure how much the greedy
  * hierarchical search leaves on the table (empirically: nothing for
  * most of the zoo, small single-digit percentages elsewhere).
@@ -41,10 +53,19 @@ class OptimalPartitioner
     explicit OptimalPartitioner(const CommModel &model);
 
     /**
-     * Globally optimal hierarchical plan for `levels` levels.
-     * Fatal for levels > 10 (4^H transition blow-up).
+     * Globally optimal hierarchical plan for `levels` levels, via the
+     * table-driven parallel DP. Ties break toward the dp-heavier state
+     * (core/tie_break.hh). Fatal for levels > 10 (4^H transition
+     * blow-up).
      */
     HierarchicalResult partition(std::size_t levels) const;
+
+    /**
+     * The pre-optimization DP: per-transition intraCost/interCost
+     * calls, serial. Bit-identical results to partition(); kept as a
+     * test oracle and benchmark baseline.
+     */
+    HierarchicalResult partitionReference(std::size_t levels) const;
 
     /**
      * Total communication of a single layer under level vector `v`

@@ -18,26 +18,75 @@ PairwisePartitioner::partition(const History &hist) const
     if (hist.numLayers() != num_layers)
         util::fatal("PairwisePartitioner: history size mismatch");
 
-    constexpr std::array<Parallelism, 2> kStates = {
-        Parallelism::kData, Parallelism::kModel};
+    PairTables t;
+    model_->fillPairTables(hist, t);
 
     // cost[s]: minimal accumulated communication with layer l in state s.
-    std::array<double, 2> cost{};
+    std::array<double, 2> cost{t.intra[0], t.intra[1]};
     // parent[l][s]: best predecessor state of layer l in state s.
     std::vector<std::array<std::uint8_t, 2>> parent(num_layers);
 
+    for (std::size_t l = 1; l < num_layers; ++l) {
+        const double *inter = &t.inter[4 * (l - 1)];
+        std::array<double, 2> next{};
+        for (std::size_t s = 0; s < 2; ++s) {
+            const double via_dp = cost[0] + inter[s];
+            const double via_mp = cost[1] + inter[2 + s];
+            // Tie-break toward the dp predecessor (core/tie_break.hh).
+            if (via_dp <= via_mp) {
+                next[s] = via_dp;
+                parent[l][s] = 0;
+            } else {
+                next[s] = via_mp;
+                parent[l][s] = 1;
+            }
+            next[s] += t.intra[2 * l + s];
+        }
+        cost = next;
+    }
+
+    PairwiseResult result;
+    // Tie-break toward dp at the last layer as well.
+    std::uint8_t state = cost[0] <= cost[1] ? std::uint8_t{0}
+                                            : std::uint8_t{1};
+    result.commBytes = cost[state];
+    result.plan.assign(num_layers, Parallelism::kData);
+    for (std::size_t l = num_layers; l-- > 0;) {
+        result.plan[l] = state ? Parallelism::kModel : Parallelism::kData;
+        if (l > 0)
+            state = parent[l][state];
+    }
+    return result;
+}
+
+PairwiseResult
+PairwisePartitioner::partitionReference(const History &hist) const
+{
+    const std::size_t num_layers = model_->numLayers();
+    HYPAR_ASSERT(num_layers > 0, "partitioning an empty network");
+    if (hist.numLayers() != num_layers)
+        util::fatal("PairwisePartitioner: history size mismatch");
+
+    constexpr std::array<Parallelism, 2> kStates = {
+        Parallelism::kData, Parallelism::kModel};
+
+    std::array<double, 2> cost{};
+    std::vector<std::array<std::uint8_t, 2>> parent(num_layers);
+
     for (std::size_t s = 0; s < 2; ++s)
-        cost[s] = model_->intraBytes(0, kStates[s], hist);
+        cost[s] = model_->intraBytesReference(0, kStates[s], hist);
 
     for (std::size_t l = 1; l < num_layers; ++l) {
         std::array<double, 2> next{};
         for (std::size_t s = 0; s < 2; ++s) {
             const double via_dp =
-                cost[0] + model_->interBytes(l - 1, Parallelism::kData,
-                                             kStates[s], hist);
+                cost[0] +
+                model_->interBytesReference(l - 1, Parallelism::kData,
+                                            kStates[s], hist);
             const double via_mp =
-                cost[1] + model_->interBytes(l - 1, Parallelism::kModel,
-                                             kStates[s], hist);
+                cost[1] +
+                model_->interBytesReference(l - 1, Parallelism::kModel,
+                                            kStates[s], hist);
             // Tie-break toward the dp predecessor for determinism.
             if (via_dp <= via_mp) {
                 next[s] = via_dp;
@@ -46,13 +95,12 @@ PairwisePartitioner::partition(const History &hist) const
                 next[s] = via_mp;
                 parent[l][s] = 1;
             }
-            next[s] += model_->intraBytes(l, kStates[s], hist);
+            next[s] += model_->intraBytesReference(l, kStates[s], hist);
         }
         cost = next;
     }
 
     PairwiseResult result;
-    // Tie-break toward dp at the last layer as well.
     std::uint8_t state = cost[0] <= cost[1] ? std::uint8_t{0}
                                             : std::uint8_t{1};
     result.commBytes = cost[state];

@@ -13,6 +13,12 @@
  * list recovered through back-pointers. Time complexity is O(L) — the
  * linearity the paper emphasizes (validated by bench_partitioner_micro).
  *
+ * The implementation is table driven: all per-layer intra/inter costs
+ * under the given History are batch-filled into flat tables first
+ * (CommModel::fillPairTables), then the DP recurrence runs as pure
+ * arithmetic over those tables. partitionReference() keeps the original
+ * call-per-transition implementation as a test oracle and before-bench.
+ *
  * The same routine partitions two *groups* of accelerators: the History
  * argument carries the upper-level choices so the communication model
  * can scale tensor amounts (see Algorithm 2 / HierarchicalPartitioner).
@@ -35,8 +41,9 @@ struct PairwiseResult
 
 /**
  * Dynamic-programming partitioner between two accelerator groups.
- * Deterministic tie-breaking: on equal cost, data parallelism wins
- * (dp-dp transitions are free, which makes dp the safer default).
+ * Deterministic tie-breaking (shared by every partitioner in this
+ * library, see core/tie_break.hh): on equal cost, data parallelism
+ * wins — dp-dp transitions are free, which makes dp the safer default.
  */
 class PairwisePartitioner
 {
@@ -48,6 +55,13 @@ class PairwisePartitioner
 
     /** Convenience overload: top level (empty history). */
     PairwiseResult partition() const;
+
+    /**
+     * The pre-optimization implementation: one CommModel call per DP
+     * transition, ldexp-chain scaling. Returns bit-identical results to
+     * partition(); kept as a test oracle and benchmark baseline.
+     */
+    PairwiseResult partitionReference(const History &hist) const;
 
   private:
     const CommModel *model_;

@@ -1,0 +1,122 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+namespace hypar::util {
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runChunks()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (next_ < end_) {
+        const std::size_t b = next_;
+        const std::size_t e = std::min(end_, b + grain_);
+        next_ = e;
+        ++busy_;
+        lock.unlock();
+        try {
+            (*body_)(b, e);
+        } catch (...) {
+            lock.lock();
+            if (!error_)
+                error_ = std::current_exception();
+            // Drain the remaining chunks: with a poisoned batch there is
+            // no point running them, and skipping keeps shutdown simple.
+            next_ = end_;
+            --busy_;
+            break;
+        }
+        lock.lock();
+        --busy_;
+    }
+    if (next_ >= end_ && busy_ == 0)
+        done_cv_.notify_all();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || (epoch_ != seen_epoch && next_ < end_);
+            });
+            if (stop_)
+                return;
+            seen_epoch = epoch_;
+        }
+        runChunks();
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)> &body)
+{
+    if (end <= begin)
+        return;
+    if (grain == 0)
+        grain = 1;
+
+    // Serial pool, or too little work to amortize a wakeup: run inline.
+    if (workers_.empty() || end - begin <= grain) {
+        for (std::size_t b = begin; b < end; b += grain)
+            body(b, std::min(end, b + grain));
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        body_ = &body;
+        next_ = begin;
+        end_ = end;
+        grain_ = grain;
+        error_ = nullptr;
+        ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    // The caller works too, then waits for stragglers.
+    runChunks();
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] { return next_ >= end_ && busy_ == 0; });
+        body_ = nullptr;
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool([] {
+        const unsigned hw = std::thread::hardware_concurrency();
+        const std::size_t workers = hw > 1 ? hw - 1 : 0;
+        return std::min<std::size_t>(workers, 15);
+    }());
+    return pool;
+}
+
+} // namespace hypar::util

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Randomized equivalence tests for the table-driven search engines: the
+ * optimized DP (OptimalPartitioner::partition), the table-driven
+ * Algorithm 1 (PairwisePartitioner::partition), the Gray-code
+ * enumerator (bruteForcePairwise) and the incremental sweep scorer
+ * (sweepLevelBytes) must return *bit-identical* costs and plans to the
+ * naive seed implementations, which are kept as *_reference oracles.
+ *
+ * "Bit-identical" is EXPECT_EQ on doubles — no ULP tolerance. The
+ * optimized paths are constructed to replay the oracles' exact
+ * floating-point operation order, and these tests enforce that across
+ * 100+ random networks, histories, batch sizes, word widths, exchange
+ * factors and scaling modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/brute_force.hh"
+#include "core/comm_model.hh"
+#include "core/optimal_partitioner.hh"
+#include "core/pairwise_partitioner.hh"
+#include "dnn/builder.hh"
+
+using namespace hypar;
+using core::CommConfig;
+using core::CommModel;
+using core::History;
+using core::LevelPlan;
+using core::Parallelism;
+
+namespace {
+
+/** Random conv/fc chain with 2..10 weighted layers. */
+dnn::Network
+randomNetwork(std::mt19937 &rng)
+{
+    std::uniform_int_distribution<int> convs(0, 2);
+    std::uniform_int_distribution<int> fcs(2, 8);
+    std::uniform_int_distribution<std::size_t> channels(1, 64);
+    std::uniform_int_distribution<std::size_t> widths(1, 512);
+
+    const int num_convs = convs(rng);
+    dnn::NetworkBuilder b("rand",
+                          num_convs > 0
+                              ? dnn::SampleShape{3, 16, 16}
+                              : dnn::SampleShape{widths(rng), 1, 1});
+    for (int c = 0; c < num_convs; ++c)
+        b.conv("conv" + std::to_string(c), channels(rng), 3);
+    const int num_fcs = fcs(rng);
+    for (int f = 0; f < num_fcs; ++f)
+        b.fc("fc" + std::to_string(f), widths(rng));
+    return b.build();
+}
+
+CommConfig
+randomConfig(std::mt19937 &rng)
+{
+    std::uniform_int_distribution<std::size_t> batch(1, 512);
+    std::uniform_int_distribution<int> word(0, 2);
+    std::bernoulli_distribution coin(0.5);
+
+    CommConfig cfg;
+    cfg.batch = batch(rng);
+    cfg.wordBytes = std::array<double, 3>{1.0, 2.0, 4.0}[word(rng)];
+    cfg.exchangeFactor = coin(rng) ? 2.0 : 1.0;
+    cfg.scaling = coin(rng) ? CommConfig::Scaling::kPartitioned
+                            : CommConfig::Scaling::kNone;
+    return cfg;
+}
+
+History
+randomHistory(std::size_t layers, std::mt19937 &rng)
+{
+    std::uniform_int_distribution<int> depth(0, 4);
+    std::bernoulli_distribution coin(0.5);
+    History hist(layers);
+    const int d = depth(rng);
+    for (int i = 0; i < d; ++i) {
+        LevelPlan plan(layers, Parallelism::kData);
+        for (auto &p : plan)
+            if (coin(rng))
+                p = Parallelism::kModel;
+        hist.push(plan);
+    }
+    return hist;
+}
+
+} // namespace
+
+TEST(EquivalenceRandom, CommModelTablesMatchReferenceFormulas)
+{
+    std::mt19937 rng(101);
+    for (int trial = 0; trial < 100; ++trial) {
+        const dnn::Network net = randomNetwork(rng);
+        const CommModel model(net, randomConfig(rng));
+        const History hist = randomHistory(net.size(), rng);
+
+        core::PairTables tables;
+        model.fillPairTables(hist, tables);
+
+        for (std::size_t l = 0; l < net.size(); ++l) {
+            for (auto p : {Parallelism::kData, Parallelism::kModel}) {
+                const double cached = model.intraBytes(l, p, hist);
+                EXPECT_EQ(cached,
+                          model.intraBytesReference(l, p, hist))
+                    << "trial " << trial << " layer " << l;
+                EXPECT_EQ(cached,
+                          tables.intra[2 * l + static_cast<int>(p)]);
+            }
+            if (l + 1 == net.size())
+                continue;
+            for (auto prev : {Parallelism::kData, Parallelism::kModel}) {
+                for (auto cur :
+                     {Parallelism::kData, Parallelism::kModel}) {
+                    const double cached =
+                        model.interBytes(l, prev, cur, hist);
+                    EXPECT_EQ(cached, model.interBytesReference(
+                                          l, prev, cur, hist))
+                        << "trial " << trial << " layer " << l;
+                    EXPECT_EQ(cached,
+                              tables.inter[4 * l +
+                                           2 * static_cast<int>(prev) +
+                                           static_cast<int>(cur)]);
+                    // Count-based API agrees exactly too.
+                    EXPECT_EQ(cached,
+                              model.interBytesAt(l, prev, cur,
+                                                 hist.dpCount(l),
+                                                 hist.dpCount(l + 1)));
+                }
+            }
+        }
+    }
+}
+
+TEST(EquivalenceRandom, PairwisePartitionerMatchesReference)
+{
+    std::mt19937 rng(202);
+    for (int trial = 0; trial < 150; ++trial) {
+        const dnn::Network net = randomNetwork(rng);
+        const CommModel model(net, randomConfig(rng));
+        const History hist = randomHistory(net.size(), rng);
+
+        const core::PairwisePartitioner partitioner(model);
+        const auto fast = partitioner.partition(hist);
+        const auto ref = partitioner.partitionReference(hist);
+        EXPECT_EQ(fast.commBytes, ref.commBytes) << "trial " << trial;
+        EXPECT_EQ(fast.plan, ref.plan) << "trial " << trial;
+    }
+}
+
+TEST(EquivalenceRandom, GrayCodeEnumeratorMatchesReference)
+{
+    std::mt19937 rng(303);
+    for (int trial = 0; trial < 120; ++trial) {
+        const dnn::Network net = randomNetwork(rng);
+        const CommModel model(net, randomConfig(rng));
+        const History hist = randomHistory(net.size(), rng);
+
+        const auto fast = core::bruteForcePairwise(model, hist);
+        const auto ref = core::bruteForcePairwiseReference(model, hist);
+        EXPECT_EQ(fast.commBytes, ref.commBytes) << "trial " << trial;
+        EXPECT_EQ(fast.plan, ref.plan) << "trial " << trial;
+
+        // The enumerated optimum is also what Algorithm 1 finds.
+        const auto dp = core::PairwisePartitioner(model).partition(hist);
+        EXPECT_EQ(fast.commBytes, dp.commBytes) << "trial " << trial;
+        EXPECT_EQ(fast.plan, dp.plan) << "trial " << trial;
+    }
+}
+
+TEST(EquivalenceRandom, OptimalPartitionerMatchesReference)
+{
+    std::mt19937 rng(404);
+    std::uniform_int_distribution<std::size_t> levels(1, 4);
+    for (int trial = 0; trial < 100; ++trial) {
+        const dnn::Network net = randomNetwork(rng);
+        const CommModel model(net, randomConfig(rng));
+        const core::OptimalPartitioner partitioner(model);
+
+        const std::size_t h = levels(rng);
+        const auto fast = partitioner.partition(h);
+        const auto ref = partitioner.partitionReference(h);
+        EXPECT_EQ(fast.commBytes, ref.commBytes)
+            << "trial " << trial << " H=" << h;
+        EXPECT_EQ(fast.plan, ref.plan) << "trial " << trial << " H=" << h;
+    }
+}
+
+TEST(EquivalenceRandom, SweepLevelBytesMatchesPlanBytes)
+{
+    std::mt19937 rng(505);
+    std::uniform_int_distribution<std::size_t> levels(1, 4);
+    std::bernoulli_distribution coin(0.5);
+    for (int trial = 0; trial < 100; ++trial) {
+        const dnn::Network net = randomNetwork(rng);
+        if (net.size() > 10)
+            continue; // keep the 2^L naive rescan cheap
+        const CommModel model(net, randomConfig(rng));
+
+        const std::size_t num_levels = levels(rng);
+        core::HierarchicalPlan base;
+        base.levels.assign(num_levels,
+                           LevelPlan(net.size(), Parallelism::kData));
+        for (auto &level : base.levels)
+            for (auto &p : level)
+                if (coin(rng))
+                    p = Parallelism::kModel;
+        const std::size_t swept =
+            std::uniform_int_distribution<std::size_t>(
+                0, num_levels - 1)(rng);
+
+        // Naive oracle: substitute each mask and fully rescore.
+        std::vector<double> expected(std::size_t{1} << net.size());
+        core::sweepLevelMasks(
+            base, swept,
+            [&](std::uint64_t mask, const core::HierarchicalPlan &plan) {
+                expected[mask] = model.planBytes(plan);
+            });
+
+        std::size_t visited = 0;
+        core::sweepLevelBytes(
+            model, base, swept,
+            [&](std::uint64_t mask, double bytes) {
+                EXPECT_EQ(bytes, expected[mask])
+                    << "trial " << trial << " mask " << mask;
+                ++visited;
+            });
+        EXPECT_EQ(visited, expected.size()) << "trial " << trial;
+    }
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Performance smoke test for the table-driven joint DP: the documented
+ * H = 10 ceiling (1024 states, ~1M transitions per layer pair) must
+ * complete on a 16-layer network in single-digit seconds. The naive
+ * engine needed O(L * 4^H * H) CommModel calls and was two orders of
+ * magnitude off that budget; a regression back to per-transition model
+ * calls trips this test long before users notice.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/comm_model.hh"
+#include "core/optimal_partitioner.hh"
+#include "core/strategies.hh"
+#include "dnn/builder.hh"
+
+using namespace hypar;
+
+TEST(PerfSmoke, JointDpAtLevelCeilingFinishesInSingleDigitSeconds)
+{
+    dnn::NetworkBuilder b("deep16", {256, 1, 1});
+    for (int l = 0; l < 16; ++l)
+        b.fc("fc" + std::to_string(l), l % 2 ? 512 : 128);
+    const dnn::Network net = b.build();
+    const core::CommModel model(net, core::CommConfig{});
+    const core::OptimalPartitioner partitioner(model);
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = partitioner.partition(10);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::steady_clock::now() - start);
+
+    EXPECT_LT(elapsed.count(), 10) << "H=10 joint DP took "
+                                   << elapsed.count() << "s";
+
+    // Sanity on the result itself: full shape, and at least as cheap as
+    // the all-dp default it would fall back to.
+    ASSERT_EQ(result.plan.numLevels(), 10u);
+    ASSERT_EQ(result.plan.numLayers(), net.size());
+    const auto dp = core::makeDataParallelPlan(net, 10);
+    EXPECT_LE(result.commBytes, model.planBytes(dp));
+    EXPECT_GT(result.commBytes, 0.0);
+}

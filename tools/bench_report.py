@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Summarize bench_partitioner_micro JSON output.
+
+Reads a google-benchmark JSON file (by default
+build/BENCH_partitioner.json, as written by the `bench_partitioner_json`
+CMake target) and prints every optimized/Reference benchmark pair with
+its speedup, so the perf trajectory of the partition-search engine can
+be tracked across PRs.
+
+Usage:
+    tools/bench_report.py [BENCH_partitioner.json]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else Path(
+        "build/BENCH_partitioner.json")
+    if not path.exists():
+        print(f"error: {path} not found — build and run the "
+              "`bench_partitioner_json` CMake target first",
+              file=sys.stderr)
+        return 1
+
+    data = load(path)
+    times = {}  # name -> (real_time, unit)
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = (bench["real_time"], bench["time_unit"])
+
+    rows = []
+    for name, (fast, unit) in sorted(times.items()):
+        if "Reference" in name:
+            continue
+        # BM_Foo/arg pairs with BM_FooReference/arg.
+        head, slash, arg = name.partition("/")
+        ref_name = head + "Reference" + slash + arg
+        if ref_name not in times:
+            continue
+        ref, ref_unit = times[ref_name]
+        assert unit == ref_unit, f"unit mismatch for {name}"
+        rows.append((name, ref, fast, unit, ref / fast if fast else 0.0))
+
+    if not rows:
+        print("no optimized/Reference pairs found in", path)
+        return 1
+
+    name_w = max(len(r[0]) for r in rows)
+    print(f"{'benchmark':<{name_w}}  {'reference':>14}  "
+          f"{'optimized':>14}  {'speedup':>8}")
+    for name, ref, fast, unit, speedup in rows:
+        print(f"{name:<{name_w}}  {ref:>12.1f} {unit}  "
+              f"{fast:>12.1f} {unit}  {speedup:>7.2f}x")
+
+    worst = min(r[4] for r in rows)
+    print(f"\nminimum speedup across {len(rows)} pairs: {worst:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
