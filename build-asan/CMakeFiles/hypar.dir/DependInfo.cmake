@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accelerator.cc" "CMakeFiles/hypar.dir/src/arch/accelerator.cc.o" "gcc" "CMakeFiles/hypar.dir/src/arch/accelerator.cc.o.d"
+  "/root/repo/src/arch/energy_model.cc" "CMakeFiles/hypar.dir/src/arch/energy_model.cc.o" "gcc" "CMakeFiles/hypar.dir/src/arch/energy_model.cc.o.d"
+  "/root/repo/src/arch/row_stationary.cc" "CMakeFiles/hypar.dir/src/arch/row_stationary.cc.o" "gcc" "CMakeFiles/hypar.dir/src/arch/row_stationary.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "CMakeFiles/hypar.dir/src/core/brute_force.cc.o" "gcc" "CMakeFiles/hypar.dir/src/core/brute_force.cc.o.d"
+  "/root/repo/src/core/comm_model.cc" "CMakeFiles/hypar.dir/src/core/comm_model.cc.o" "gcc" "CMakeFiles/hypar.dir/src/core/comm_model.cc.o.d"
+  "/root/repo/src/core/comm_report.cc" "CMakeFiles/hypar.dir/src/core/comm_report.cc.o" "gcc" "CMakeFiles/hypar.dir/src/core/comm_report.cc.o.d"
+  "/root/repo/src/core/hierarchical_partitioner.cc" "CMakeFiles/hypar.dir/src/core/hierarchical_partitioner.cc.o" "gcc" "CMakeFiles/hypar.dir/src/core/hierarchical_partitioner.cc.o.d"
+  "/root/repo/src/core/optimal_partitioner.cc" "CMakeFiles/hypar.dir/src/core/optimal_partitioner.cc.o" "gcc" "CMakeFiles/hypar.dir/src/core/optimal_partitioner.cc.o.d"
+  "/root/repo/src/core/pairwise_partitioner.cc" "CMakeFiles/hypar.dir/src/core/pairwise_partitioner.cc.o" "gcc" "CMakeFiles/hypar.dir/src/core/pairwise_partitioner.cc.o.d"
+  "/root/repo/src/core/plan.cc" "CMakeFiles/hypar.dir/src/core/plan.cc.o" "gcc" "CMakeFiles/hypar.dir/src/core/plan.cc.o.d"
+  "/root/repo/src/core/shard_geometry.cc" "CMakeFiles/hypar.dir/src/core/shard_geometry.cc.o" "gcc" "CMakeFiles/hypar.dir/src/core/shard_geometry.cc.o.d"
+  "/root/repo/src/core/strategies.cc" "CMakeFiles/hypar.dir/src/core/strategies.cc.o" "gcc" "CMakeFiles/hypar.dir/src/core/strategies.cc.o.d"
+  "/root/repo/src/dnn/builder.cc" "CMakeFiles/hypar.dir/src/dnn/builder.cc.o" "gcc" "CMakeFiles/hypar.dir/src/dnn/builder.cc.o.d"
+  "/root/repo/src/dnn/layer.cc" "CMakeFiles/hypar.dir/src/dnn/layer.cc.o" "gcc" "CMakeFiles/hypar.dir/src/dnn/layer.cc.o.d"
+  "/root/repo/src/dnn/model_zoo.cc" "CMakeFiles/hypar.dir/src/dnn/model_zoo.cc.o" "gcc" "CMakeFiles/hypar.dir/src/dnn/model_zoo.cc.o.d"
+  "/root/repo/src/dnn/network.cc" "CMakeFiles/hypar.dir/src/dnn/network.cc.o" "gcc" "CMakeFiles/hypar.dir/src/dnn/network.cc.o.d"
+  "/root/repo/src/dnn/spec_parser.cc" "CMakeFiles/hypar.dir/src/dnn/spec_parser.cc.o" "gcc" "CMakeFiles/hypar.dir/src/dnn/spec_parser.cc.o.d"
+  "/root/repo/src/noc/htree.cc" "CMakeFiles/hypar.dir/src/noc/htree.cc.o" "gcc" "CMakeFiles/hypar.dir/src/noc/htree.cc.o.d"
+  "/root/repo/src/noc/topology.cc" "CMakeFiles/hypar.dir/src/noc/topology.cc.o" "gcc" "CMakeFiles/hypar.dir/src/noc/topology.cc.o.d"
+  "/root/repo/src/noc/torus.cc" "CMakeFiles/hypar.dir/src/noc/torus.cc.o" "gcc" "CMakeFiles/hypar.dir/src/noc/torus.cc.o.d"
+  "/root/repo/src/sim/evaluator.cc" "CMakeFiles/hypar.dir/src/sim/evaluator.cc.o" "gcc" "CMakeFiles/hypar.dir/src/sim/evaluator.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "CMakeFiles/hypar.dir/src/sim/event_queue.cc.o" "gcc" "CMakeFiles/hypar.dir/src/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "CMakeFiles/hypar.dir/src/sim/metrics.cc.o" "gcc" "CMakeFiles/hypar.dir/src/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "CMakeFiles/hypar.dir/src/sim/trace_export.cc.o" "gcc" "CMakeFiles/hypar.dir/src/sim/trace_export.cc.o.d"
+  "/root/repo/src/sim/training_sim.cc" "CMakeFiles/hypar.dir/src/sim/training_sim.cc.o" "gcc" "CMakeFiles/hypar.dir/src/sim/training_sim.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/hypar.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/hypar.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/hypar.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/hypar.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/strings.cc" "CMakeFiles/hypar.dir/src/util/strings.cc.o" "gcc" "CMakeFiles/hypar.dir/src/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/hypar.dir/src/util/table.cc.o" "gcc" "CMakeFiles/hypar.dir/src/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/hypar.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/hypar.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

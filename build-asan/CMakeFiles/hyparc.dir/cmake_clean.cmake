@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyparc.dir/tools/hyparc.cc.o"
+  "CMakeFiles/hyparc.dir/tools/hyparc.cc.o.d"
+  "hyparc"
+  "hyparc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyparc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

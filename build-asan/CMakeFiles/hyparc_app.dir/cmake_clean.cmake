@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyparc_app.dir/tools/hyparc_app.cc.o"
+  "CMakeFiles/hyparc_app.dir/tools/hyparc_app.cc.o.d"
+  "libhyparc_app.a"
+  "libhyparc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyparc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

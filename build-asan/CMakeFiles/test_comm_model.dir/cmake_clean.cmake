@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_model.dir/tests/test_comm_model.cc.o"
+  "CMakeFiles/test_comm_model.dir/tests/test_comm_model.cc.o.d"
+  "test_comm_model"
+  "test_comm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_model_counts.dir/tests/test_comm_model_counts.cc.o"
+  "CMakeFiles/test_comm_model_counts.dir/tests/test_comm_model_counts.cc.o.d"
+  "test_comm_model_counts"
+  "test_comm_model_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_model_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

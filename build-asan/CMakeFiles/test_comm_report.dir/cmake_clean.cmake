@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_report.dir/tests/test_comm_report.cc.o"
+  "CMakeFiles/test_comm_report.dir/tests/test_comm_report.cc.o.d"
+  "test_comm_report"
+  "test_comm_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivalence_random.dir/tests/test_equivalence_random.cc.o"
+  "CMakeFiles/test_equivalence_random.dir/tests/test_equivalence_random.cc.o.d"
+  "test_equivalence_random"
+  "test_equivalence_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivalence_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

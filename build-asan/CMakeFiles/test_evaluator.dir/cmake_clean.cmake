@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evaluator.dir/tests/test_evaluator.cc.o"
+  "CMakeFiles/test_evaluator.dir/tests/test_evaluator.cc.o.d"
+  "test_evaluator"
+  "test_evaluator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evaluator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

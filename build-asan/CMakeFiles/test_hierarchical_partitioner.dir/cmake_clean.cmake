@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierarchical_partitioner.dir/tests/test_hierarchical_partitioner.cc.o"
+  "CMakeFiles/test_hierarchical_partitioner.dir/tests/test_hierarchical_partitioner.cc.o.d"
+  "test_hierarchical_partitioner"
+  "test_hierarchical_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierarchical_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

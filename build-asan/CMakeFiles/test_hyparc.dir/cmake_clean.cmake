@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyparc.dir/tests/test_hyparc.cc.o"
+  "CMakeFiles/test_hyparc.dir/tests/test_hyparc.cc.o.d"
+  "test_hyparc"
+  "test_hyparc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyparc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_zoo.dir/tests/test_model_zoo.cc.o"
+  "CMakeFiles/test_model_zoo.dir/tests/test_model_zoo.cc.o.d"
+  "test_model_zoo"
+  "test_model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

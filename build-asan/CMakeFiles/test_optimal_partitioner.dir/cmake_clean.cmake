@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimal_partitioner.dir/tests/test_optimal_partitioner.cc.o"
+  "CMakeFiles/test_optimal_partitioner.dir/tests/test_optimal_partitioner.cc.o.d"
+  "test_optimal_partitioner"
+  "test_optimal_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimal_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pairwise_partitioner.dir/tests/test_pairwise_partitioner.cc.o"
+  "CMakeFiles/test_pairwise_partitioner.dir/tests/test_pairwise_partitioner.cc.o.d"
+  "test_pairwise_partitioner"
+  "test_pairwise_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pairwise_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

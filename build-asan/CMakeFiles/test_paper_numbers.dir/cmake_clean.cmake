@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_numbers.dir/tests/test_paper_numbers.cc.o"
+  "CMakeFiles/test_paper_numbers.dir/tests/test_paper_numbers.cc.o.d"
+  "test_paper_numbers"
+  "test_paper_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

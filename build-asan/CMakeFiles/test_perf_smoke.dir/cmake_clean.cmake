@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_smoke.dir/tests/test_perf_smoke.cc.o"
+  "CMakeFiles/test_perf_smoke.dir/tests/test_perf_smoke.cc.o.d"
+  "test_perf_smoke"
+  "test_perf_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

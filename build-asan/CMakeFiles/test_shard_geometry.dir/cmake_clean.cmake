@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shard_geometry.dir/tests/test_shard_geometry.cc.o"
+  "CMakeFiles/test_shard_geometry.dir/tests/test_shard_geometry.cc.o.d"
+  "test_shard_geometry"
+  "test_shard_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shard_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

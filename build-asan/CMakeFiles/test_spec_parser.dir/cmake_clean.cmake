@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_parser.dir/tests/test_spec_parser.cc.o"
+  "CMakeFiles/test_spec_parser.dir/tests/test_spec_parser.cc.o.d"
+  "test_spec_parser"
+  "test_spec_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

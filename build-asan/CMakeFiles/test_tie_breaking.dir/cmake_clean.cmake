@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tie_breaking.dir/tests/test_tie_breaking.cc.o"
+  "CMakeFiles/test_tie_breaking.dir/tests/test_tie_breaking.cc.o.d"
+  "test_tie_breaking"
+  "test_tie_breaking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tie_breaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_training_sim.dir/tests/test_training_sim.cc.o"
+  "CMakeFiles/test_training_sim.dir/tests/test_training_sim.cc.o.d"
+  "test_training_sim"
+  "test_training_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_training_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

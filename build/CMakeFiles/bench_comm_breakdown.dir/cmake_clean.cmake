@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_breakdown.dir/bench/bench_comm_breakdown.cc.o"
+  "CMakeFiles/bench_comm_breakdown.dir/bench/bench_comm_breakdown.cc.o.d"
+  "bench_comm_breakdown"
+  "bench_comm_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_batch_sweep.dir/bench/bench_ext_batch_sweep.cc.o"
+  "CMakeFiles/bench_ext_batch_sweep.dir/bench/bench_ext_batch_sweep.cc.o.d"
+  "bench_ext_batch_sweep"
+  "bench_ext_batch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_batch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_topology.dir/bench/bench_fig12_topology.cc.o"
+  "CMakeFiles/bench_fig12_topology.dir/bench/bench_fig12_topology.cc.o.d"
+  "bench_fig12_topology"
+  "bench_fig12_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_owt.dir/bench/bench_fig13_owt.cc.o"
+  "CMakeFiles/bench_fig13_owt.dir/bench/bench_fig13_owt.cc.o.d"
+  "bench_fig13_owt"
+  "bench_fig13_owt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_owt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

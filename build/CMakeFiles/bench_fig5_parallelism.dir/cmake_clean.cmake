@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_parallelism.dir/bench/bench_fig5_parallelism.cc.o"
+  "CMakeFiles/bench_fig5_parallelism.dir/bench/bench_fig5_parallelism.cc.o.d"
+  "bench_fig5_parallelism"
+  "bench_fig5_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

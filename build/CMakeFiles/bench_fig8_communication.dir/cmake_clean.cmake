@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_communication.dir/bench/bench_fig8_communication.cc.o"
+  "CMakeFiles/bench_fig8_communication.dir/bench/bench_fig8_communication.cc.o.d"
+  "bench_fig8_communication"
+  "bench_fig8_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

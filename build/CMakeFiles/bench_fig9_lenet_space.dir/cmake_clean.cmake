@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_lenet_space.dir/bench/bench_fig9_lenet_space.cc.o"
+  "CMakeFiles/bench_fig9_lenet_space.dir/bench/bench_fig9_lenet_space.cc.o.d"
+  "bench_fig9_lenet_space"
+  "bench_fig9_lenet_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_lenet_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

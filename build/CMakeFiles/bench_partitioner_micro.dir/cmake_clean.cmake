@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioner_micro.dir/bench/bench_partitioner_micro.cc.o"
+  "CMakeFiles/bench_partitioner_micro.dir/bench/bench_partitioner_micro.cc.o.d"
+  "bench_partitioner_micro"
+  "bench_partitioner_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioner_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

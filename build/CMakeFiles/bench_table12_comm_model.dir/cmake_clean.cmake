@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_comm_model.dir/bench/bench_table12_comm_model.cc.o"
+  "CMakeFiles/bench_table12_comm_model.dir/bench/bench_table12_comm_model.cc.o.d"
+  "bench_table12_comm_model"
+  "bench_table12_comm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_comm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_alexnet_planner.dir/examples/alexnet_planner.cpp.o"
+  "CMakeFiles/example_alexnet_planner.dir/examples/alexnet_planner.cpp.o.d"
+  "example_alexnet_planner"
+  "example_alexnet_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_alexnet_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

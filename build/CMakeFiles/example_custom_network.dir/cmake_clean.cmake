@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_network.dir/examples/custom_network.cpp.o"
+  "CMakeFiles/example_custom_network.dir/examples/custom_network.cpp.o.d"
+  "example_custom_network"
+  "example_custom_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

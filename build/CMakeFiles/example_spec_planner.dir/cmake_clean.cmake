@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spec_planner.dir/examples/spec_planner.cpp.o"
+  "CMakeFiles/example_spec_planner.dir/examples/spec_planner.cpp.o.d"
+  "example_spec_planner"
+  "example_spec_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spec_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

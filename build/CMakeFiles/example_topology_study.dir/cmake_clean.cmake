@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_topology_study.dir/examples/topology_study.cpp.o"
+  "CMakeFiles/example_topology_study.dir/examples/topology_study.cpp.o.d"
+  "example_topology_study"
+  "example_topology_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_topology_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
