@@ -12,6 +12,9 @@
 
 #include "bench_common.hh"
 
+#include <chrono>
+
+#include "core/optimal_partitioner.hh"
 #include "dnn/model_zoo.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -53,5 +56,38 @@ main()
                  "accelerators; HyPar's keep growing until past 32, "
                  "and\nHyPar's communication stays roughly an order of "
                  "magnitude below DP's.\n";
+
+    // Beyond the paper: search scalability past the old joint-DP
+    // ceiling. The greedy Algorithm 2 always scales, but only the
+    // beam/sparse engines can check it against the joint optimum at
+    // H = 12-14 (4096-16384 accelerators).
+    bench::banner("Joint search past the H = 10 ceiling on VGG-A",
+                  "extension");
+    core::CommModel model(vgg_a, bench::paperConfig().comm);
+    core::HierarchicalPartitioner greedy(model);
+    core::OptimalPartitioner optimal(model);
+    util::Table joint({"levels", "accelerators", "greedy comm",
+                       "joint-optimal comm", "engine", "search time"});
+    for (std::size_t levels : {10u, 12u, 14u}) {
+        const auto g = greedy.partition(levels);
+        const auto start = std::chrono::steady_clock::now();
+        const auto opt = optimal.partition(levels); // auto: dense/beam
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        joint.addRow({std::to_string(levels),
+                      std::to_string(std::size_t{1} << levels),
+                      util::formatBytes(g.commBytes),
+                      util::formatBytes(opt.commBytes),
+                      levels <= core::OptimalPartitioner::kDenseMaxLevels
+                          ? "dense"
+                          : "beam",
+                      std::to_string(ms) + " ms"});
+    }
+    joint.print(std::cout);
+    std::cout << "\nThe joint optimum stays at or below the greedy "
+                 "total at every depth, and the beam\nengine keeps the "
+                 "search interactive far past the dense 4^H wall.\n";
     return 0;
 }

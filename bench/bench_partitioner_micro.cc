@@ -183,6 +183,65 @@ BM_OptimalPartitionReference(benchmark::State &state)
 }
 
 void
+BM_OptimalPartitionSparse(benchmark::State &state)
+{
+    const auto levels = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(12);
+    core::CommModel model(net, core::CommConfig{});
+    core::OptimalPartitioner partitioner(model);
+    core::SearchOptions opts;
+    opts.engine = core::SearchEngine::kSparse;
+    for (auto _ : state) {
+        auto result = partitioner.partition(levels, opts);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_OptimalPartitionBeam(benchmark::State &state)
+{
+    // Past the dense H = 10 ceiling: the frontier-pruned beam engine at
+    // its default width. H = 12 and 14 were unreachable before this
+    // engine existed; the dense DP's 4^H loop is 16x / 256x the H = 10
+    // work.
+    const auto levels = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(12);
+    core::CommModel model(net, core::CommConfig{});
+    core::OptimalPartitioner partitioner(model);
+    core::SearchOptions opts;
+    opts.engine = core::SearchEngine::kBeam;
+    for (auto _ : state) {
+        auto result = partitioner.partition(levels, opts);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_BruteForceHierarchical(benchmark::State &state)
+{
+    // The Gray-code joint enumerator: (2^L)^H plans, one flip apart.
+    dnn::Network net = deepNet(6);
+    core::CommModel model(net, core::CommConfig{});
+    for (auto _ : state) {
+        auto result = core::bruteForceHierarchical(model, 3);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+}
+
+void
+BM_BruteForceHierarchicalReference(benchmark::State &state)
+{
+    dnn::Network net = deepNet(6);
+    core::CommModel model(net, core::CommConfig{});
+    for (auto _ : state) {
+        auto result = core::bruteForceHierarchicalReference(model, 3);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+}
+
+void
 BM_SweepLevelBytes(benchmark::State &state)
 {
     // The Fig. 9/10 building block: score all 2^L substitutions of one
@@ -254,6 +313,13 @@ BENCHMARK(BM_HyparFullSearchZooReference);
 // speedup at 1x.
 BENCHMARK(BM_OptimalPartition)->DenseRange(4, 6, 2);
 BENCHMARK(BM_OptimalPartitionReference)->DenseRange(4, 6, 2);
+// The sparse engine is paired with the dense DP at matching depths by
+// eye (no *Reference twin): its win is the skipped transitions.
+BENCHMARK(BM_OptimalPartitionSparse)->DenseRange(6, 10, 2);
+// Depths the dense DP cannot reach at all.
+BENCHMARK(BM_OptimalPartitionBeam)->DenseRange(10, 14, 2);
+BENCHMARK(BM_BruteForceHierarchical);
+BENCHMARK(BM_BruteForceHierarchicalReference);
 BENCHMARK(BM_SweepLevelBytes);
 BENCHMARK(BM_SweepLevelBytesReference);
 BENCHMARK(BM_CommModelPlanBytes);

@@ -178,6 +178,136 @@ enumerateLevels(const CommModel &model, std::size_t levels_left,
 BruteForceResult
 bruteForceHierarchical(const CommModel &model, std::size_t levels)
 {
+    const std::size_t num_layers = model.numLayers();
+    const std::size_t bits = num_layers * levels;
+    if (bits > 26)
+        util::fatal("bruteForceHierarchical: search space too large");
+    if (levels == 0 || num_layers == 0)
+        return bruteForceHierarchicalReference(model, levels);
+
+    // One TermTape per level, exactly as in sweepLevelBytes — but here
+    // *every* level is swept jointly: the enumeration walks a Gray code
+    // over all H*L (level, layer) bits, so each visited plan differs
+    // from the previous one by a single choice flip. A flip at (h, j)
+    // repairs level h's own terms at layer j and, through the upper
+    // dp/mp counts, the terms of every level below h.
+
+    // choices[h][l] under the current joint mask (all-dp at the start).
+    std::vector<LevelPlan> choices(
+        levels, LevelPlan(num_layers, Parallelism::kData));
+
+    // Per-level upper dp/mp counts under the current joint mask.
+    std::vector<std::vector<unsigned>> dpc(
+        levels, std::vector<unsigned>(num_layers, 0));
+    std::vector<std::vector<unsigned>> mpc(
+        levels, std::vector<unsigned>(num_layers, 0));
+    for (std::size_t h = 1; h < levels; ++h)
+        for (std::size_t l = 0; l < num_layers; ++l)
+            dpc[h][l] = static_cast<unsigned>(h);
+
+    auto fillTerm = [&](TermTape &tape, std::size_t h, std::size_t l) {
+        tape.term(2 * l) = model.intraBytesAt(l, choices[h][l],
+                                              dpc[h][l], mpc[h][l]);
+        if (l + 1 < num_layers) {
+            tape.term(2 * l + 1) =
+                model.interBytesAt(l, choices[h][l], choices[h][l + 1],
+                                   dpc[h][l], dpc[h][l + 1]);
+        }
+    };
+
+    std::vector<TermTape> tapes(levels, TermTape(num_layers));
+    for (std::size_t h = 0; h < levels; ++h) {
+        for (std::size_t l = 0; l < num_layers; ++l)
+            fillTerm(tapes[h], h, l);
+        tapes[h].repairFrom(0);
+    }
+
+    // Replays the naive recursion's accumulation exactly: level-
+    // ascending adds of 2^h * per-pair bytes, each per-pair total
+    // itself tape-exact.
+    auto totalBytes = [&] {
+        double total = 0.0;
+        double pairs = 1.0;
+        for (std::size_t h = 0; h < levels; ++h) {
+            total += pairs * tapes[h].total();
+            pairs *= 2.0;
+        }
+        return total;
+    };
+
+    // The naive recursion enumerates level-0 masks outermost and keeps
+    // the first optimum it meets, i.e. the smallest value of the
+    // concatenated key mask_0 .. mask_{H-1} (mask_0 most significant).
+    // The Gray walk visits plans in a different order, so ties resolve
+    // through better() on that same key, keeping the returned plan
+    // bit-identical to the reference.
+    auto keyBit = [&](std::size_t h, std::size_t j) {
+        return std::uint64_t{1} << ((levels - 1 - h) * num_layers + j);
+    };
+
+    std::uint64_t key = 0;
+    std::uint64_t best_key = 0;
+    double best_bytes = totalBytes();
+
+    const std::uint64_t count = std::uint64_t{1} << bits;
+    for (std::uint64_t i = 1; i < count; ++i) {
+        // Reflected Gray code over the joint bit-string. The frequently
+        // flipped low Gray bits map to the *bottom* hierarchy level
+        // (whose flips touch no other level) and to the *last* layers
+        // (shortest tape suffix), so the repair work per visited plan
+        // is O(1) amortized.
+        const auto gray_bit =
+            static_cast<std::size_t>(std::countr_zero(i));
+        const std::size_t h = levels - 1 - gray_bit / num_layers;
+        const std::size_t j = num_layers - 1 - gray_bit % num_layers;
+
+        const bool now_mp = choices[h][j] == Parallelism::kData;
+        choices[h][j] = now_mp ? Parallelism::kModel : Parallelism::kData;
+        key ^= keyBit(h, j);
+
+        // Level h's own terms change through the choice; the levels
+        // below it see layer j's upper counts shift by one.
+        const std::size_t start = repairStart(j);
+        fillTerm(tapes[h], h, j);
+        if (j > 0)
+            fillTerm(tapes[h], h, j - 1);
+        tapes[h].repairFrom(start);
+        for (std::size_t below = h + 1; below < levels; ++below) {
+            if (now_mp) {
+                --dpc[below][j];
+                ++mpc[below][j];
+            } else {
+                ++dpc[below][j];
+                --mpc[below][j];
+            }
+            fillTerm(tapes[below], below, j);
+            if (j > 0)
+                fillTerm(tapes[below], below, j - 1);
+            tapes[below].repairFrom(start);
+        }
+
+        const double bytes = totalBytes();
+        if (better(bytes, key, best_bytes, best_key)) {
+            best_bytes = bytes;
+            best_key = key;
+        }
+    }
+
+    BruteForceResult best;
+    best.commBytes = best_bytes;
+    best.plan.levels.reserve(levels);
+    const std::uint64_t layer_mask =
+        (std::uint64_t{1} << num_layers) - 1;
+    for (std::size_t h = 0; h < levels; ++h)
+        best.plan.levels.push_back(levelPlanFromMask(
+            (best_key >> ((levels - 1 - h) * num_layers)) & layer_mask,
+            num_layers));
+    return best;
+}
+
+BruteForceResult
+bruteForceHierarchicalReference(const CommModel &model, std::size_t levels)
+{
     if (model.numLayers() * levels > 24)
         util::fatal("bruteForceHierarchical: search space too large");
 

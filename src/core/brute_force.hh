@@ -58,10 +58,28 @@ PairwiseResult bruteForcePairwiseReference(const CommModel &model,
 
 /**
  * Enumerate all (2^L)^H hierarchical plans and return the cheapest by
- * total communication. Fatal when L*H > 24.
+ * total communication — the oracle for the joint (OptimalPartitioner)
+ * search. The walk is a Gray code over the joint H*L bit-string: each
+ * visited plan differs from the previous one by a single (level, layer)
+ * flip, which repairs that level's prefix-sum tape and the upper-count
+ * dependent terms of the levels below it, so a visit costs O(1)
+ * amortized instead of a full O(L*H) rescore. Costs and the returned
+ * plan are bit-identical to the naive recursion (kept as
+ * bruteForceHierarchicalReference); ties resolve by the shared rule of
+ * core/tie_break.hh on the concatenated level-mask key. Fatal when
+ * L*H > 26.
  */
 BruteForceResult bruteForceHierarchical(const CommModel &model,
                                         std::size_t levels);
+
+/**
+ * The pre-optimization enumerator: the naive (2^L)^H recursion with one
+ * LevelPlan allocation and one full pairBytes rescore per plan.
+ * Bit-identical results to bruteForceHierarchical(); kept as a test
+ * oracle and benchmark baseline. Fatal when L*H > 24.
+ */
+BruteForceResult bruteForceHierarchicalReference(const CommModel &model,
+                                                 std::size_t levels);
 
 /**
  * Visit every plan produced by substituting all 2^(layers) masks at the

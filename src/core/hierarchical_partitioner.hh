@@ -27,6 +27,14 @@ struct HierarchicalResult
     HierarchicalPlan plan;
     /** Total communication, com = sum_h 2^h * com_h, in bytes. */
     double commBytes = 0.0;
+    /**
+     * Transition relaxations the search evaluated — one candidate
+     * cost[p] + trans(p -> s) considered by a DP engine. 0 for searches
+     * that don't count (greedy Algorithm 2, the naive references).
+     * Deterministic for a given model and engine, so tests can assert
+     * how much work the sparse/beam engines actually skipped.
+     */
+    std::uint64_t transitionsEvaluated = 0;
 };
 
 /**

@@ -5,7 +5,9 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
+#include "core/tie_break.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -13,8 +15,8 @@ namespace hypar::core {
 
 namespace {
 
-/** Hard ceiling on the joint search depth (4^H transition blow-up). */
-constexpr std::size_t kMaxLevels = 10;
+constexpr std::size_t kDenseMax = OptimalPartitioner::kDenseMaxLevels;
+constexpr std::size_t kWideMax = OptimalPartitioner::kMaxLevels;
 
 /** dp count among the bits of `v` strictly below level h (bit = mp). */
 unsigned
@@ -102,7 +104,55 @@ class InterTermTable
     std::vector<double> terms_;
 };
 
+/**
+ * Final argmin over the last layer's costs (ascending s with strict <
+ * == the dp-heavier tie-break) plus parent-chain plan reconstruction,
+ * shared by every table engine. `parent` is the flat
+ * [layer * states + state] predecessor table.
+ */
+HierarchicalResult
+assemblePlan(std::size_t levels, std::size_t num_layers,
+             std::uint32_t states, const std::vector<double> &cost,
+             const std::vector<std::uint32_t> &parent)
+{
+    HierarchicalResult result;
+    result.plan.levels.assign(levels,
+                              LevelPlan(num_layers, Parallelism::kData));
+
+    std::uint32_t state = 0;
+    double best = cost[0];
+    for (std::uint32_t s = 1; s < states; ++s) {
+        if (cost[s] < best) {
+            best = cost[s];
+            state = s;
+        }
+    }
+
+    result.commBytes = best;
+    for (std::size_t l = num_layers; l-- > 0;) {
+        assignLayerFromState(result.plan, l, state);
+        if (l > 0)
+            state = parent[l * states + state];
+    }
+    return result;
+}
+
 } // namespace
+
+SearchEngine
+searchEngineFromName(const std::string &name)
+{
+    if (name == "auto")
+        return SearchEngine::kAuto;
+    if (name == "dense")
+        return SearchEngine::kDense;
+    if (name == "sparse")
+        return SearchEngine::kSparse;
+    if (name == "beam")
+        return SearchEngine::kBeam;
+    util::fatal("unknown search engine '" + name +
+                "' (auto|dense|sparse|beam)");
+}
 
 OptimalPartitioner::OptimalPartitioner(const CommModel &model)
     : model_(&model)
@@ -140,12 +190,59 @@ OptimalPartitioner::interCost(std::size_t layer, std::uint32_t v_l,
     return total;
 }
 
+std::vector<double>
+OptimalPartitioner::intraTable(std::size_t levels) const
+{
+    const std::size_t num_layers = model_->numLayers();
+    const std::size_t states = std::size_t{1} << levels;
+    // Flat per-layer intra tables: intra[l * states + s], each entry
+    // summed exactly as intraCost does (2^h pair weighting, level
+    // ascending) so every engine stays bit-identical to the reference.
+    std::vector<double> intra(num_layers * states);
+    util::ThreadPool::global().parallelFor(
+        0, num_layers * states, states,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                intra[i] = intraCost(i / states,
+                                     static_cast<std::uint32_t>(i % states),
+                                     levels);
+        });
+    return intra;
+}
+
 HierarchicalResult
 OptimalPartitioner::partition(std::size_t levels) const
 {
-    if (levels > kMaxLevels)
+    return partition(levels, SearchOptions{});
+}
+
+HierarchicalResult
+OptimalPartitioner::partition(std::size_t levels,
+                              const SearchOptions &options) const
+{
+    SearchEngine engine = options.engine;
+    if (engine == SearchEngine::kAuto)
+        engine = levels <= kDenseMax ? SearchEngine::kDense
+                                     : SearchEngine::kBeam;
+    switch (engine) {
+    case SearchEngine::kDense:
+        return partitionDense(levels);
+    case SearchEngine::kSparse:
+        return partitionSparse(levels);
+    case SearchEngine::kBeam:
+        return partitionBeam(levels, options.beamWidth);
+    case SearchEngine::kAuto:
+        break;
+    }
+    util::fatal("OptimalPartitioner: unresolved search engine");
+}
+
+HierarchicalResult
+OptimalPartitioner::partitionDense(std::size_t levels) const
+{
+    if (levels > kDenseMax)
         util::fatal("OptimalPartitioner: 4^H transitions explode past "
-                    "H = 10");
+                    "H = 10 (use the sparse or beam engine)");
 
     // Below H = 3 the factored table holds more entries than the DP has
     // transitions, so the naive loop is cheaper. Results are identical.
@@ -154,9 +251,6 @@ OptimalPartitioner::partition(std::size_t levels) const
 
     const std::size_t num_layers = model_->numLayers();
     HYPAR_ASSERT(num_layers > 0, "partitioning an empty network");
-    HierarchicalResult result;
-    result.plan.levels.assign(levels,
-                              LevelPlan(num_layers, Parallelism::kData));
 
     const std::uint32_t states = 1u << levels;
     auto &pool = util::ThreadPool::global();
@@ -165,18 +259,7 @@ OptimalPartitioner::partition(std::size_t levels) const
     const std::size_t grain =
         std::max<std::size_t>(1, states / (4 * pool.parallelism()));
 
-    // Flat per-layer intra tables: intra[l * states + s], each entry
-    // summed exactly as intraCost does (2^h pair weighting, level
-    // ascending) so the DP stays bit-identical to the reference.
-    std::vector<double> intra(num_layers * states);
-    pool.parallelFor(0, num_layers * states, states,
-                     [&](std::size_t begin, std::size_t end) {
-                         for (std::size_t i = begin; i < end; ++i)
-                             intra[i] = intraCost(i / states,
-                                                  static_cast<std::uint32_t>(
-                                                      i % states),
-                                                  levels);
-                     });
+    const std::vector<double> intra = intraTable(levels);
 
     // Chain DP: cost[s] = best total with layer l in level vector s.
     std::vector<double> cost(intra.begin(), intra.begin() + states);
@@ -197,8 +280,8 @@ OptimalPartitioner::partition(std::size_t levels) const
             // of the first h terms for the length-h prefix p_low. The
             // additions run in the same level-ascending order as
             // interCost, keeping every partial sum bit-identical.
-            std::array<double, std::size_t{1} << kMaxLevels> trans;
-            std::array<const double *, kMaxLevels> rows;
+            std::array<double, std::size_t{1} << kDenseMax> trans;
+            std::array<const double *, kDenseMax> rows;
 
             for (std::size_t s = s_begin; s < s_end; ++s) {
                 const auto sv = static_cast<std::uint32_t>(s);
@@ -242,30 +325,296 @@ OptimalPartitioner::partition(std::size_t levels) const
         cost.swap(next);
     }
 
-    // Final argmin: ascending s with strict < == dp-heavier tie-break.
-    std::uint32_t state = 0;
-    double best = cost[0];
-    for (std::uint32_t s = 1; s < states; ++s) {
-        if (cost[s] < best) {
-            best = cost[s];
-            state = s;
+    HierarchicalResult result =
+        assemblePlan(levels, num_layers, states, cost, parent);
+    result.transitionsEvaluated = static_cast<std::uint64_t>(states) *
+                                  states * (num_layers - 1);
+    return result;
+}
+
+HierarchicalResult
+OptimalPartitioner::partitionSparse(std::size_t levels) const
+{
+    if (levels > kWideMax)
+        util::fatal("OptimalPartitioner: sparse engine capped at H = 16");
+    if (levels <= 2)
+        return partitionReference(levels);
+
+    const std::size_t num_layers = model_->numLayers();
+    HYPAR_ASSERT(num_layers > 0, "partitioning an empty network");
+
+    const std::uint32_t states = 1u << levels;
+    auto &pool = util::ThreadPool::global();
+    const std::size_t grain =
+        std::max<std::size_t>(1, states / (4 * pool.parallelism()));
+    const std::size_t chunks = (states + grain - 1) / grain;
+
+    const std::vector<double> intra = intraTable(levels);
+
+    // pcol[p * levels + h]: column of predecessor p in the level-h row
+    // of the factored table — (p_h, dpAbove(p,h)) flattened. Shared by
+    // every layer transition.
+    std::vector<std::uint16_t> pcol(states * levels);
+    for (std::uint32_t p = 0; p < states; ++p)
+        for (std::size_t h = 0; h < levels; ++h)
+            pcol[p * levels + h] = static_cast<std::uint16_t>(
+                ((p >> h) & 1u) * (levels + 1) + dpAbove(p, h));
+
+    std::vector<double> cost(intra.begin(), intra.begin() + states);
+    std::vector<std::uint32_t> parent(num_layers * states, 0);
+    std::vector<double> next(states);
+    std::vector<std::uint32_t> order(states);
+    std::vector<std::uint64_t> evaluated(chunks);
+    std::uint64_t total_evaluated = 0;
+
+    for (std::size_t l = 1; l < num_layers; ++l) {
+        const InterTermTable iterm(*model_, l - 1, levels);
+        const double *intra_l = &intra[l * states];
+        std::uint32_t *parent_l = &parent[l * states];
+
+        // rowmin[(h * 2 + sb) * (levels + 1) + b]: the cheapest
+        // admissible p-side entry (p_h in {0,1}, dpAbove(p,h) <= h) of
+        // the (h, sb, b) row — the per-level ingredient of the lower
+        // bound below.
+        std::vector<double> rowmin(levels * 2 * (levels + 1),
+                                   std::numeric_limits<double>::infinity());
+        for (std::size_t h = 0; h < levels; ++h) {
+            for (unsigned sb = 0; sb < 2; ++sb) {
+                for (unsigned b = 0; b <= h; ++b) {
+                    const double *row = iterm.rowAt(h, sb, b);
+                    double m = std::numeric_limits<double>::infinity();
+                    for (unsigned pb = 0; pb < 2; ++pb)
+                        for (unsigned a = 0; a <= h; ++a)
+                            m = std::min(m, row[pb * (levels + 1) + a]);
+                    rowmin[(h * 2 + sb) * (levels + 1) + b] = m;
+                }
+            }
         }
+
+        // Predecessors in ascending (cost, index): the scan below then
+        // visits candidates best-first under the shared tie-break
+        // order, which is what makes the early break exact.
+        std::iota(order.begin(), order.end(), 0u);
+        std::sort(order.begin(), order.end(),
+                  [&](std::uint32_t x, std::uint32_t y) {
+                      return better(cost[x], x, cost[y], y);
+                  });
+
+        std::fill(evaluated.begin(), evaluated.end(), 0);
+        pool.parallelFor(0, states, grain, [&](std::size_t s_begin,
+                                               std::size_t s_end) {
+            std::uint64_t &count = evaluated[s_begin / grain];
+            std::array<const double *, kWideMax> rows;
+            std::array<double, kWideMax> rmins;
+
+            for (std::size_t s = s_begin; s < s_end; ++s) {
+                const auto sv = static_cast<std::uint32_t>(s);
+                for (std::size_t h = 0; h < levels; ++h) {
+                    const unsigned sb = (sv >> h) & 1u;
+                    const unsigned b = dpAbove(sv, h);
+                    rows[h] = iterm.rowAt(h, sb, b);
+                    rmins[h] = rowmin[(h * 2 + sb) * (levels + 1) + b];
+                }
+                // Floating-point lower bound on any transition into s,
+                // accumulated in the same level-ascending order as the
+                // real transition sums. Rounding is monotone, so
+                // lb <= trans(p, s) holds in float arithmetic for every
+                // p, making the break below exact (and the surviving
+                // argmin bit-identical to the dense DP).
+                double lb = 0.0;
+                for (std::size_t h = 0; h < levels; ++h)
+                    lb += rmins[h];
+
+                double best = std::numeric_limits<double>::infinity();
+                std::uint32_t best_prev = 0;
+                for (std::uint32_t k = 0; k < states; ++k) {
+                    const std::uint32_t p = order[k];
+                    if (cost[p] + lb > best)
+                        break; // every later p costs at least as much
+                    double t = 0.0;
+                    const std::uint16_t *pc = &pcol[std::size_t{p} *
+                                                    levels];
+                    for (std::size_t h = 0; h < levels; ++h)
+                        t += rows[h][pc[h]];
+                    ++count;
+                    const double c = cost[p] + t;
+                    if (better(c, p, best, best_prev)) {
+                        best = c;
+                        best_prev = p;
+                    }
+                }
+                next[s] = best + intra_l[s];
+                parent_l[s] = best_prev;
+            }
+        });
+        for (std::uint64_t e : evaluated)
+            total_evaluated += e;
+        cost.swap(next);
     }
 
-    result.commBytes = best;
-    for (std::size_t l = num_layers; l-- > 0;) {
-        for (std::size_t h = 0; h < levels; ++h)
-            result.plan.levels[h][l] = choiceAt(state, h);
-        if (l > 0)
-            state = parent[l * states + state];
+    HierarchicalResult result =
+        assemblePlan(levels, num_layers, states, cost, parent);
+    result.transitionsEvaluated = total_evaluated;
+    return result;
+}
+
+HierarchicalResult
+OptimalPartitioner::partitionBeam(std::size_t levels,
+                                  std::size_t beam_width) const
+{
+    if (levels > kWideMax)
+        util::fatal("OptimalPartitioner: beam engine capped at H = 16");
+    if (levels <= 2)
+        return partitionReference(levels);
+
+    const std::size_t num_layers = model_->numLayers();
+    HYPAR_ASSERT(num_layers > 0, "partitioning an empty network");
+
+    const std::uint32_t states = 1u << levels;
+    if (beam_width == 0)
+        beam_width = std::max<std::size_t>(kDefaultBeamWidth, states / 16);
+    beam_width = std::min<std::size_t>(beam_width, states);
+
+    auto &pool = util::ThreadPool::global();
+    const std::vector<double> intra = intraTable(levels);
+
+    std::vector<double> cost(intra.begin(), intra.begin() + states);
+    std::vector<std::uint32_t> parent(num_layers * states, 0);
+    std::vector<double> next(states);
+    std::vector<std::uint32_t> frontier;
+    std::uint64_t total_evaluated = 0;
+
+    // The beam: the `beam_width` cheapest states under the shared
+    // (cost, index) tie-break order, listed in ascending state index.
+    // The best set under a strict total order is unique, so the
+    // frontier — and everything downstream — is deterministic.
+    auto pruneFrontier = [&] {
+        frontier.resize(states);
+        std::iota(frontier.begin(), frontier.end(), 0u);
+        if (beam_width < states) {
+            std::nth_element(frontier.begin(),
+                             frontier.begin() +
+                                 static_cast<std::ptrdiff_t>(beam_width),
+                             frontier.end(),
+                             [&](std::uint32_t x, std::uint32_t y) {
+                                 return better(cost[x], x, cost[y], y);
+                             });
+            frontier.resize(beam_width);
+            std::sort(frontier.begin(), frontier.end());
+        }
+    };
+
+    for (std::size_t l = 1; l < num_layers; ++l) {
+        const InterTermTable iterm(*model_, l - 1, levels);
+        const double *intra_l = &intra[l * states];
+        std::uint32_t *parent_l = &parent[l * states];
+
+        pruneFrontier();
+        const std::size_t fsize = frontier.size();
+        total_evaluated += static_cast<std::uint64_t>(fsize) * states;
+
+        // Parallelize over frontier chunks: each chunk relaxes every
+        // target state into its own (best, prev) arrays, merged below.
+        // An argmin under the strict total order of better() is
+        // independent of how candidates are grouped, so the merge is
+        // bit-identical for every chunk grid and thread count.
+        const std::size_t fgrain = std::max<std::size_t>(
+            1, fsize / (2 * pool.parallelism()));
+        const std::size_t chunks = (fsize + fgrain - 1) / fgrain;
+        std::vector<std::vector<double>> chunk_best(
+            chunks, std::vector<double>(
+                        states, std::numeric_limits<double>::infinity()));
+        std::vector<std::vector<std::uint32_t>> chunk_prev(
+            chunks, std::vector<std::uint32_t>(states, 0));
+
+        pool.parallelFor(0, fsize, fgrain, [&](std::size_t f_begin,
+                                               std::size_t f_end) {
+            const std::size_t ci = f_begin / fgrain;
+            std::vector<double> &best = chunk_best[ci];
+            std::vector<std::uint32_t> &prev = chunk_prev[ci];
+            // trans[s] = interCost(l-1, p, s) for the chunk's current
+            // predecessor p, built for all 2^H target states at once by
+            // expanding one level bit at a time — the mirror image of
+            // the dense engine's p-side expansion, with the additions
+            // in the same level-ascending order, so every transition
+            // sum is bit-identical to the dense DP's.
+            std::vector<double> trans(states);
+            // tp[(h * 2 + sb) * (levels + 1) + b]: the (h, sb, b) table
+            // entry at p's fixed column, gathered up front so the
+            // expansion reads contiguously.
+            std::vector<double> tp(levels * 2 * (levels + 1));
+
+            for (std::size_t k = f_begin; k < f_end; ++k) {
+                const std::uint32_t p = frontier[k];
+                for (std::size_t h = 0; h < levels; ++h) {
+                    const std::size_t col =
+                        ((p >> h) & 1u) * (levels + 1) + dpAbove(p, h);
+                    for (unsigned sb = 0; sb < 2; ++sb) {
+                        for (unsigned b = 0; b <= h; ++b)
+                            tp[(h * 2 + sb) * (levels + 1) + b] =
+                                iterm.rowAt(h, sb, b)[col];
+                    }
+                }
+
+                trans[0] = 0.0;
+                for (std::size_t h = 0; h < levels; ++h) {
+                    const std::size_t half = std::size_t{1} << h;
+                    const double *t0 = &tp[(h * 2 + 0) * (levels + 1)];
+                    const double *t1 = &tp[(h * 2 + 1) * (levels + 1)];
+                    for (std::size_t s_low = 0; s_low < half; ++s_low) {
+                        const auto mp_below = static_cast<unsigned>(
+                            std::popcount(static_cast<std::uint32_t>(
+                                s_low)));
+                        const unsigned b =
+                            static_cast<unsigned>(h) - mp_below;
+                        const double acc = trans[s_low];
+                        trans[s_low] = acc + t0[b];
+                        trans[s_low + half] = acc + t1[b];
+                    }
+                }
+
+                const double cost_p = cost[p];
+                for (std::uint32_t s = 0; s < states; ++s) {
+                    const double c = cost_p + trans[s];
+                    if (better(c, p, best[s], prev[s])) {
+                        best[s] = c;
+                        prev[s] = p;
+                    }
+                }
+            }
+        });
+
+        const std::size_t sgrain = std::max<std::size_t>(
+            1, states / (4 * pool.parallelism()));
+        pool.parallelFor(0, states, sgrain, [&](std::size_t s_begin,
+                                                std::size_t s_end) {
+            for (std::size_t s = s_begin; s < s_end; ++s) {
+                double best = chunk_best[0][s];
+                std::uint32_t best_prev = chunk_prev[0][s];
+                for (std::size_t ci = 1; ci < chunks; ++ci) {
+                    if (better(chunk_best[ci][s], chunk_prev[ci][s],
+                               best, best_prev)) {
+                        best = chunk_best[ci][s];
+                        best_prev = chunk_prev[ci][s];
+                    }
+                }
+                next[s] = best + intra_l[s];
+                parent_l[s] = best_prev;
+            }
+        });
+        cost.swap(next);
     }
+
+    HierarchicalResult result =
+        assemblePlan(levels, num_layers, states, cost, parent);
+    result.transitionsEvaluated = total_evaluated;
     return result;
 }
 
 HierarchicalResult
 OptimalPartitioner::partitionReference(std::size_t levels) const
 {
-    if (levels > kMaxLevels)
+    if (levels > kDenseMax)
         util::fatal("OptimalPartitioner: 4^H transitions explode past "
                     "H = 10");
 
@@ -316,8 +665,7 @@ OptimalPartitioner::partitionReference(std::size_t levels) const
 
     result.commBytes = best;
     for (std::size_t l = num_layers; l-- > 0;) {
-        for (std::size_t h = 0; h < levels; ++h)
-            result.plan.levels[h][l] = choiceAt(state, h);
+        assignLayerFromState(result.plan, l, state);
         if (l > 0)
             state = parent[l][state];
     }

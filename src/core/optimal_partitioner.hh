@@ -17,17 +17,41 @@
  * standard chain DP over 2^H states per layer: O(L * 4^H) time — for
  * the paper's H = 4, a 256-state DP, exactly optimal.
  *
- * Engine: the naive DP re-derived every per-level cost term inside the
- * O(L * 4^H) transition loop, costing O(L * 4^H * H) CommModel calls.
- * partition() instead precomputes flat tables — intra[l][s] for all 2^H
- * states, and the inter cost factored per level into terms keyed by
- * (level, choice pair, producer dp-counts), a table of only O(H^3)
- * entries per layer — and then evaluates all 2^H transition costs into
- * a state s with one in-place prefix expansion over the level bits
- * (O(2^H) adds instead of O(2^H * H)). The per-state transition loop
- * runs on util::ThreadPool with fixed chunking, so results are
- * bit-identical for every thread count; they are also bit-identical to
- * partitionReference(), the original naive DP kept as a test oracle.
+ * Engines (SearchEngine):
+ *
+ *  - kDense — the table-driven exhaustive DP. Precomputes flat tables
+ *    (intra[l][s] for all 2^H states, and the inter cost factored per
+ *    level into terms keyed by (level, choice pair, producer dp
+ *    counts), only O(H^3) entries per layer) and evaluates all 2^H
+ *    transition costs into a state s with one in-place prefix expansion
+ *    over the level bits. Exact; capped at H = 10 by the 4^H transition
+ *    blow-up.
+ *
+ *  - kSparse — exact like the dense DP but skips provably dominated
+ *    transitions: predecessors are scanned in ascending (cost, index)
+ *    order and the scan stops once cost[p] plus a per-target lower
+ *    bound (the floating-point sum of per-level row minima of the
+ *    factored inter table) can no longer beat the incumbent. Because
+ *    rounding is monotone, the bound is safe in float arithmetic, so
+ *    the result — cost and plan — is bit-identical to the dense DP.
+ *    Reaches H = 16.
+ *
+ *  - kBeam — keeps only the `beamWidth` cheapest states of each layer
+ *    frontier (by the shared tie-break order) as transition
+ *    predecessors. Heuristic in general; exhaustive (and bit-identical
+ *    to the dense DP) when beamWidth >= 2^H. Empirically the optimality
+ *    gap is zero on the model zoo at the default width. Reaches H = 16;
+ *    H = 12-14 searches finish in seconds.
+ *
+ *  - kAuto (default) — dense up to H = 10, beam beyond, preserving the
+ *    historical bit-exact behaviour for every depth that was previously
+ *    reachable while lifting the ceiling.
+ *
+ * Every engine runs its per-state loops on util::ThreadPool with fixed
+ * chunking (or order-independent total-order argmins), so results are
+ * bit-identical for every thread count; the dense path is also
+ * bit-identical to partitionReference(), the original naive DP kept as
+ * a test oracle.
  *
  * Used by the ablation harness to measure how much the greedy
  * hierarchical search leaves on the table (empirically: nothing for
@@ -38,6 +62,7 @@
 #define HYPAR_CORE_OPTIMAL_PARTITIONER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/comm_model.hh"
@@ -46,24 +71,62 @@
 
 namespace hypar::core {
 
+/** Which transition engine OptimalPartitioner::partition runs. */
+enum class SearchEngine {
+    kAuto,   //!< dense up to H = 10, beam beyond
+    kDense,  //!< exhaustive O(L * 4^H) table DP (exact, H <= 10)
+    kSparse, //!< exact DP with dominance pruning (H <= 16)
+    kBeam,   //!< frontier-pruned DP (exact when beamWidth >= 2^H)
+};
+
+/** Parse "auto" | "dense" | "sparse" | "beam" (fatal otherwise). */
+SearchEngine searchEngineFromName(const std::string &name);
+
+/** Tunables of the joint search. */
+struct SearchOptions
+{
+    SearchEngine engine = SearchEngine::kAuto;
+
+    /**
+     * Beam frontier width (kBeam only). 0 picks the default
+     * max(1024, 2^H / 16). A width >= 2^H keeps every state and makes
+     * the beam exhaustive — exact and bit-identical to the dense DP.
+     */
+    std::size_t beamWidth = 0;
+};
+
 /** Exact minimum-communication partitioner over all level vectors. */
 class OptimalPartitioner
 {
   public:
+    /** Depth ceiling of the dense engine (4^H transition blow-up). */
+    static constexpr std::size_t kDenseMaxLevels = 10;
+
+    /** Depth ceiling of the sparse/beam engines (and of kAuto). */
+    static constexpr std::size_t kMaxLevels = 16;
+
+    /** Default beam width floor; see SearchOptions::beamWidth. */
+    static constexpr std::size_t kDefaultBeamWidth = 1024;
+
     explicit OptimalPartitioner(const CommModel &model);
 
     /**
-     * Globally optimal hierarchical plan for `levels` levels, via the
-     * table-driven parallel DP. Ties break toward the dp-heavier state
-     * (core/tie_break.hh). Fatal for levels > 10 (4^H transition
-     * blow-up).
+     * Optimal hierarchical plan for `levels` levels via the kAuto
+     * engine policy: the exact dense DP up to H = 10 (bit-identical to
+     * the historical behaviour), the beam engine beyond. Ties break
+     * toward the dp-heavier state (core/tie_break.hh). Fatal for
+     * levels > 16.
      */
     HierarchicalResult partition(std::size_t levels) const;
 
+    /** Same search with an explicit engine / beam width. */
+    HierarchicalResult partition(std::size_t levels,
+                                 const SearchOptions &options) const;
+
     /**
      * The pre-optimization DP: per-transition intraCost/interCost
-     * calls, serial. Bit-identical results to partition(); kept as a
-     * test oracle and benchmark baseline.
+     * calls, serial. Bit-identical results to the dense engine; kept
+     * as a test oracle and benchmark baseline. Fatal for levels > 10.
      */
     HierarchicalResult partitionReference(std::size_t levels) const;
 
@@ -80,6 +143,14 @@ class OptimalPartitioner
                      std::uint32_t v_next, std::size_t levels) const;
 
   private:
+    HierarchicalResult partitionDense(std::size_t levels) const;
+    HierarchicalResult partitionSparse(std::size_t levels) const;
+    HierarchicalResult partitionBeam(std::size_t levels,
+                                     std::size_t beam_width) const;
+
+    /** Flat intra[l * 2^levels + s] table, filled on the pool. */
+    std::vector<double> intraTable(std::size_t levels) const;
+
     const CommModel *model_;
 };
 

@@ -65,6 +65,19 @@ levelPlanFromMask(std::uint64_t mask, std::size_t layers)
     return plan;
 }
 
+void
+assignLayerFromState(HierarchicalPlan &plan, std::size_t layer,
+                     std::uint64_t state)
+{
+    if (plan.numLevels() > 64)
+        util::fatal("assignLayerFromState supports at most 64 levels");
+    if (layer >= plan.numLayers())
+        util::fatal("assignLayerFromState: layer out of range");
+    for (std::size_t h = 0; h < plan.numLevels(); ++h)
+        plan.levels[h][layer] = (state >> h) & 1u ? Parallelism::kModel
+                                                  : Parallelism::kData;
+}
+
 std::string
 toBitString(const LevelPlan &plan)
 {

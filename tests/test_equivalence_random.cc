@@ -189,6 +189,96 @@ TEST(EquivalenceRandom, OptimalPartitionerMatchesReference)
     }
 }
 
+TEST(EquivalenceRandom, SparseAndBeamEnginesMatchDenseDp)
+{
+    // The sparse engine prunes with a monotone floating-point lower
+    // bound and the beam engine is exhaustive whenever its width covers
+    // 2^H — both must reproduce the dense DP bit for bit across random
+    // networks, depths up to the old ceiling, and model configs.
+    std::mt19937 rng(606);
+    std::uniform_int_distribution<std::size_t> levels(3, 8);
+    for (int trial = 0; trial < 60; ++trial) {
+        const dnn::Network net = randomNetwork(rng);
+        const CommModel model(net, randomConfig(rng));
+        const core::OptimalPartitioner partitioner(model);
+
+        const std::size_t h = levels(rng);
+        const auto dense = partitioner.partition(h);
+
+        core::SearchOptions sparse;
+        sparse.engine = core::SearchEngine::kSparse;
+        const auto sp = partitioner.partition(h, sparse);
+        EXPECT_EQ(sp.commBytes, dense.commBytes)
+            << "trial " << trial << " H=" << h;
+        EXPECT_EQ(sp.plan, dense.plan) << "trial " << trial << " H=" << h;
+
+        // Default width (>= 1024) covers every state at H <= 8, so the
+        // beam is exhaustive and exact here.
+        core::SearchOptions beam;
+        beam.engine = core::SearchEngine::kBeam;
+        const auto bm = partitioner.partition(h, beam);
+        EXPECT_EQ(bm.commBytes, dense.commBytes)
+            << "trial " << trial << " H=" << h;
+        EXPECT_EQ(bm.plan, dense.plan) << "trial " << trial << " H=" << h;
+    }
+}
+
+TEST(EquivalenceRandom, GrayCodeHierarchicalMatchesReference)
+{
+    // The joint Gray-code enumerator must reproduce the naive (2^L)^H
+    // recursion bit for bit: same total bytes, same plan on ties.
+    std::mt19937 rng(707);
+    std::uniform_int_distribution<std::size_t> levels(1, 3);
+    for (int trial = 0; trial < 60; ++trial) {
+        const dnn::Network net = randomNetwork(rng);
+        const CommModel model(net, randomConfig(rng));
+
+        std::size_t h = levels(rng);
+        while (h > 1 && net.size() * h > 16)
+            --h; // keep the naive oracle's rescan affordable
+        if (net.size() * h > 16)
+            continue;
+
+        const auto fast = core::bruteForceHierarchical(model, h);
+        const auto ref = core::bruteForceHierarchicalReference(model, h);
+        EXPECT_EQ(fast.commBytes, ref.commBytes)
+            << "trial " << trial << " L=" << net.size() << " H=" << h;
+        EXPECT_EQ(fast.plan, ref.plan)
+            << "trial " << trial << " L=" << net.size() << " H=" << h;
+    }
+}
+
+TEST(EquivalenceRandom, JointDpMatchesGrayCodeHierarchicalOracle)
+{
+    // The widened oracle at work: every engine of the joint DP agrees
+    // with exhaustive enumeration at H = 2-3 on networks big enough to
+    // exercise real pruning (the old naive recursion choked above
+    // L*H = 24; the Gray-code tape reaches these sizes in well under a
+    // second).
+    std::mt19937 rng(808);
+    for (int trial = 0; trial < 25; ++trial) {
+        const dnn::Network net = randomNetwork(rng);
+        const CommModel model(net, randomConfig(rng));
+        const core::OptimalPartitioner partitioner(model);
+
+        const std::size_t h = net.size() <= 8 ? 3 : 2;
+        if (net.size() * h > 26)
+            continue;
+        const auto brute = core::bruteForceHierarchical(model, h);
+
+        for (auto engine :
+             {core::SearchEngine::kDense, core::SearchEngine::kSparse,
+              core::SearchEngine::kBeam}) {
+            core::SearchOptions opts;
+            opts.engine = engine;
+            const auto exact = partitioner.partition(h, opts);
+            EXPECT_DOUBLE_EQ(exact.commBytes, brute.commBytes)
+                << "trial " << trial << " L=" << net.size() << " H=" << h
+                << " engine=" << static_cast<int>(engine);
+        }
+    }
+}
+
 TEST(EquivalenceRandom, SweepLevelBytesMatchesPlanBytes)
 {
     std::mt19937 rng(505);

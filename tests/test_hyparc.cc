@@ -45,6 +45,55 @@ TEST(HyparcArgs, ParsesFlags)
     EXPECT_EQ(opts.strategy, "owt");
 }
 
+TEST(HyparcArgs, ParsesSearchEngineFlags)
+{
+    const auto opts = parseArgs({"plan", "--model", "Lenet-c",
+                                 "--strategy", "optimal", "--engine",
+                                 "beam", "--beam-width", "64"});
+    EXPECT_EQ(opts.strategy, "optimal");
+    EXPECT_EQ(opts.engine, "beam");
+    EXPECT_EQ(opts.beamWidth, 64u);
+    // Defaults: auto engine, engine-chosen width.
+    const auto defaults = parseArgs({"plan", "--model", "Lenet-c"});
+    EXPECT_EQ(defaults.engine, "auto");
+    EXPECT_EQ(defaults.beamWidth, 0u);
+}
+
+TEST(HyparcCommands, OptimalStrategyHonorsEngines)
+{
+    // All engines agree on the optimal plan's total communication line.
+    const std::string dense = run({"plan", "--model", "Lenet-c",
+                                   "--strategy", "optimal", "--engine",
+                                   "dense"});
+    const std::string sparse = run({"plan", "--model", "Lenet-c",
+                                    "--strategy", "optimal", "--engine",
+                                    "sparse"});
+    const std::string beam = run({"plan", "--model", "Lenet-c",
+                                  "--strategy", "optimal", "--engine",
+                                  "beam"});
+    EXPECT_EQ(dense, sparse);
+    EXPECT_EQ(dense, beam);
+    EXPECT_NE(dense.find("total communication"), std::string::npos);
+
+    // Past the dense ceiling only through sparse/beam (or auto).
+    std::ostringstream os;
+    EXPECT_THROW(runCommand(parseArgs({"plan", "--model", "Lenet-c",
+                                       "--levels", "12", "--strategy",
+                                       "optimal", "--engine", "dense"}),
+                            os),
+                 util::FatalError);
+    const std::string wide = run({"plan", "--model", "Lenet-c",
+                                  "--levels", "12", "--strategy",
+                                  "optimal"});
+    EXPECT_NE(wide.find("H12:"), std::string::npos);
+
+    EXPECT_THROW(runCommand(parseArgs({"plan", "--model", "Lenet-c",
+                                       "--strategy", "optimal",
+                                       "--engine", "bogus"}),
+                            os),
+                 util::FatalError);
+}
+
 TEST(HyparcArgs, Rejections)
 {
     EXPECT_THROW(parseArgs({}), util::FatalError);

@@ -39,14 +39,83 @@ TEST(OptimalPartitioner, MatchesExhaustiveSearchOnTinyNets)
         cfg.batch = 32;
         CommModel model(net, cfg);
         for (std::size_t levels : {1u, 2u, 3u}) {
-            const auto exact =
-                OptimalPartitioner(model).partition(levels);
             const auto brute =
                 core::bruteForceHierarchical(model, levels);
-            EXPECT_DOUBLE_EQ(exact.commBytes, brute.commBytes)
-                << net.name() << " H=" << levels;
+            for (auto engine :
+                 {core::SearchEngine::kAuto, core::SearchEngine::kDense,
+                  core::SearchEngine::kSparse,
+                  core::SearchEngine::kBeam}) {
+                core::SearchOptions opts;
+                opts.engine = engine;
+                const auto exact =
+                    OptimalPartitioner(model).partition(levels, opts);
+                EXPECT_DOUBLE_EQ(exact.commBytes, brute.commBytes)
+                    << net.name() << " H=" << levels << " engine="
+                    << static_cast<int>(engine);
+            }
         }
     }
+}
+
+TEST(OptimalPartitioner, WideEnginesBitIdenticalToDenseAtTheOldCeiling)
+{
+    // The sparse engine is exact by construction; the beam engine is
+    // exhaustive whenever its width covers all 2^H states. Both must
+    // reproduce the dense DP bit for bit at the old H = 10 ceiling.
+    dnn::NetworkBuilder b("deep8", {256, 1, 1});
+    for (int l = 0; l < 8; ++l)
+        b.fc("fc" + std::to_string(l), l % 2 ? 512 : 128);
+    const dnn::Network net = b.build();
+    CommModel model(net, CommConfig{});
+    OptimalPartitioner opt(model);
+
+    const auto dense = opt.partition(10);
+
+    core::SearchOptions sparse;
+    sparse.engine = core::SearchEngine::kSparse;
+    const auto sp = opt.partition(10, sparse);
+    EXPECT_EQ(sp.commBytes, dense.commBytes);
+    EXPECT_EQ(sp.plan, dense.plan);
+    // The whole point of the sparse engine: it proves most transitions
+    // dominated without evaluating them.
+    EXPECT_LT(sp.transitionsEvaluated, dense.transitionsEvaluated / 2);
+
+    core::SearchOptions beam;
+    beam.engine = core::SearchEngine::kBeam;
+    beam.beamWidth = std::size_t{1} << 10; // exhaustive
+    const auto bm = opt.partition(10, beam);
+    EXPECT_EQ(bm.commBytes, dense.commBytes);
+    EXPECT_EQ(bm.plan, dense.plan);
+    EXPECT_EQ(bm.transitionsEvaluated, dense.transitionsEvaluated);
+}
+
+TEST(OptimalPartitioner, DefaultBeamGapIsZeroPastTheOldCeiling)
+{
+    // H = 12 exceeds the dense ceiling. The exhaustive beam (width =
+    // 2^12) is exact there; the default pruned beam must find the same
+    // optimum — the measured optimality gap the beam design banks on.
+    dnn::NetworkBuilder b("deep8", {256, 1, 1});
+    for (int l = 0; l < 8; ++l)
+        b.fc("fc" + std::to_string(l), l % 2 ? 512 : 128);
+    const dnn::Network net = b.build();
+    CommModel model(net, CommConfig{});
+    OptimalPartitioner opt(model);
+
+    core::SearchOptions exhaustive;
+    exhaustive.engine = core::SearchEngine::kBeam;
+    exhaustive.beamWidth = std::size_t{1} << 12;
+    const auto exact = opt.partition(12, exhaustive);
+
+    const auto pruned = opt.partition(12); // kAuto -> default beam
+    EXPECT_EQ(pruned.commBytes, exact.commBytes);
+    EXPECT_EQ(pruned.plan, exact.plan);
+    EXPECT_LT(pruned.transitionsEvaluated, exact.transitionsEvaluated);
+
+    core::SearchOptions sparse;
+    sparse.engine = core::SearchEngine::kSparse;
+    const auto sp = opt.partition(12, sparse);
+    EXPECT_EQ(sp.commBytes, exact.commBytes);
+    EXPECT_EQ(sp.plan, exact.plan);
 }
 
 TEST(OptimalPartitioner, CostEqualsPlanReplay)
@@ -135,6 +204,34 @@ TEST(OptimalPartitioner, RejectsAbsurdDepth)
 {
     dnn::Network net = dnn::makeLenetC();
     CommModel model(net, CommConfig{});
-    EXPECT_THROW((void)OptimalPartitioner(model).partition(11),
+    const OptimalPartitioner opt(model);
+
+    // H = 11 used to be fatal; kAuto now routes it to the beam engine.
+    EXPECT_NO_THROW((void)opt.partition(11));
+
+    // The dense engine (and its reference) keep the 4^H ceiling...
+    core::SearchOptions dense;
+    dense.engine = core::SearchEngine::kDense;
+    EXPECT_THROW((void)opt.partition(11, dense), util::FatalError);
+    EXPECT_THROW((void)opt.partitionReference(11), util::FatalError);
+
+    // ...and the wide engines stop at H = 16.
+    EXPECT_THROW((void)opt.partition(17), util::FatalError);
+    core::SearchOptions sparse;
+    sparse.engine = core::SearchEngine::kSparse;
+    EXPECT_THROW((void)opt.partition(17, sparse), util::FatalError);
+}
+
+TEST(OptimalPartitioner, SearchEngineNames)
+{
+    EXPECT_EQ(core::searchEngineFromName("auto"),
+              core::SearchEngine::kAuto);
+    EXPECT_EQ(core::searchEngineFromName("dense"),
+              core::SearchEngine::kDense);
+    EXPECT_EQ(core::searchEngineFromName("sparse"),
+              core::SearchEngine::kSparse);
+    EXPECT_EQ(core::searchEngineFromName("beam"),
+              core::SearchEngine::kBeam);
+    EXPECT_THROW((void)core::searchEngineFromName("bogus"),
                  util::FatalError);
 }

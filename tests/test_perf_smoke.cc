@@ -16,6 +16,7 @@
 #include "core/optimal_partitioner.hh"
 #include "core/strategies.hh"
 #include "dnn/builder.hh"
+#include "dnn/model_zoo.hh"
 
 using namespace hypar;
 
@@ -41,6 +42,31 @@ TEST(PerfSmoke, JointDpAtLevelCeilingFinishesInSingleDigitSeconds)
     ASSERT_EQ(result.plan.numLevels(), 10u);
     ASSERT_EQ(result.plan.numLayers(), net.size());
     const auto dp = core::makeDataParallelPlan(net, 10);
+    EXPECT_LE(result.commBytes, model.planBytes(dp));
+    EXPECT_GT(result.commBytes, 0.0);
+}
+
+TEST(PerfSmoke, JointDpReachesH12OnTheZooInSingleDigitSeconds)
+{
+    // Past the dense ceiling kAuto switches to the beam engine; H = 12
+    // (4096 accelerators) on the 16-layer VGG-E must stay interactive.
+    // The dense DP's 4^H transition loop would be 16x the H = 10
+    // budget here; the beam does O(width * 2^H) per layer instead.
+    const dnn::Network net = dnn::makeVggE();
+    const core::CommModel model(net, core::CommConfig{});
+    const core::OptimalPartitioner partitioner(model);
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = partitioner.partition(12);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::steady_clock::now() - start);
+
+    EXPECT_LT(elapsed.count(), 10) << "H=12 beam search took "
+                                   << elapsed.count() << "s";
+
+    ASSERT_EQ(result.plan.numLevels(), 12u);
+    ASSERT_EQ(result.plan.numLayers(), net.size());
+    const auto dp = core::makeDataParallelPlan(net, 12);
     EXPECT_LE(result.commBytes, model.planBytes(dp));
     EXPECT_GT(result.commBytes, 0.0);
 }

@@ -59,8 +59,14 @@ makeStrategyPlan(const Options &opts, const core::CommModel &model)
         return core::makeModelParallelPlan(model.network(), opts.levels);
     if (opts.strategy == "owt")
         return core::makeOneWeirdTrickPlan(model.network(), opts.levels);
-    if (opts.strategy == "optimal")
-        return core::OptimalPartitioner(model).partition(opts.levels).plan;
+    if (opts.strategy == "optimal") {
+        core::SearchOptions search;
+        search.engine = core::searchEngineFromName(opts.engine);
+        search.beamWidth = opts.beamWidth;
+        return core::OptimalPartitioner(model)
+            .partition(opts.levels, search)
+            .plan;
+    }
     util::fatal("unknown strategy '" + opts.strategy +
                 "' (hypar|dp|mp|owt|optimal)");
 }
@@ -161,7 +167,10 @@ usage()
     return "usage: hyparc <plan|simulate|report|trace|models>\n"
            "  --model <zoo name> | --spec <file>\n"
            "  [--levels N] [--batch B] [--topology htree|torus|mesh]\n"
-           "  [--strategy hypar|dp|mp|owt|optimal] [-o <file>]";
+           "  [--strategy hypar|dp|mp|owt|optimal] [-o <file>]\n"
+           "  [--engine auto|dense|sparse|beam] [--beam-width N]\n"
+           "    (strategy=optimal: joint-DP engine; dense is exact to\n"
+           "     H=10, sparse/beam reach H=16, beam-width 0 = default)";
 }
 
 Options
@@ -193,6 +202,10 @@ parseArgs(const std::vector<std::string> &args)
             opts.topology = value(i);
         } else if (arg == "--strategy") {
             opts.strategy = value(i);
+        } else if (arg == "--engine") {
+            opts.engine = value(i);
+        } else if (arg == "--beam-width") {
+            opts.beamWidth = std::stoul(value(i));
         } else if (arg == "-o" || arg == "--output") {
             opts.output = value(i);
         } else {

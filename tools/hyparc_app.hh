@@ -28,6 +28,8 @@ struct Options
     std::string output;       //!< -o target (trace)
     std::string topology = "htree"; //!< htree | torus | mesh
     std::string strategy = "hypar"; //!< hypar | dp | mp | owt | optimal
+    std::string engine = "auto";    //!< auto | dense | sparse | beam
+    std::size_t beamWidth = 0;      //!< 0 = engine default
     std::size_t levels = 4;
     std::size_t batch = 256;
 };
