@@ -9,9 +9,11 @@
 #ifndef HYPAR_BENCH_BENCH_COMMON_HH
 #define HYPAR_BENCH_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "sim/evaluator.hh"
 
@@ -53,6 +55,35 @@ ratio(double v)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.2f", v);
     return buf;
+}
+
+/**
+ * The Fig. 10 grid: HyPar's VGG-A plan with all 2^H x 2^H (conv5_2,
+ * fc1) level-vector combinations substituted
+ * (core::assignLayerFromState), conv5_2 mask in the outer position
+ * (grid[2^H * mc + mf]; 16 x 16 at the paper's H = 4). Shared by the
+ * figure bench and the sweep micro bench so both score the identical
+ * plan batch.
+ */
+inline std::vector<core::HierarchicalPlan>
+fig10Grid(const sim::Evaluator &ev)
+{
+    const std::size_t conv5_2 = ev.network().layerIndex("conv5_2");
+    const std::size_t fc1 = ev.network().layerIndex("fc1");
+    core::HierarchicalPlan scaffold = ev.plan(core::Strategy::kHypar);
+
+    const std::uint64_t masks = std::uint64_t{1}
+                                << ev.config().levels;
+    std::vector<core::HierarchicalPlan> grid;
+    grid.reserve(masks * masks);
+    for (std::uint64_t mc = 0; mc < masks; ++mc) {
+        core::assignLayerFromState(scaffold, conv5_2, mc);
+        for (std::uint64_t mf = 0; mf < masks; ++mf) {
+            core::assignLayerFromState(scaffold, fc1, mf);
+            grid.push_back(scaffold);
+        }
+    }
+    return grid;
 }
 
 } // namespace hypar::bench

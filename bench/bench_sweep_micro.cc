@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Micro benchmarks for the batched / incremental design-space sweep
+ * paths of sim::Evaluator (the Fig. 9/10 simulation grids), in
+ * google-benchmark harness form so `bench_sweep_json` can emit
+ * BENCH_sweep.json for tools/bench_report.py.
+ *
+ * Naming follows the partitioner micro benches: BM_Foo is the
+ * optimized path (evaluateBatch on the thread pool, sweepNeighborhood),
+ * BM_FooReference is the sequential evaluate()-per-point loop the
+ * fig9/fig10 benches used to run. Both sides score the identical grid
+ * and fold the step times into a checksum, so the report's speedup
+ * pairs compare equal work — and the differential tests
+ * (tests/test_evaluator_batch.cc) guarantee equal *results*.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/plan.hh"
+#include "dnn/model_zoo.hh"
+
+using namespace hypar;
+
+namespace {
+
+void
+BM_Fig10VggaGridReference(benchmark::State &state)
+{
+    const dnn::Network vgg_a = dnn::makeVggA();
+    const sim::Evaluator ev(vgg_a, sim::SimConfig{});
+    const auto grid = bench::fig10Grid(ev);
+
+    for (auto _ : state) {
+        double checksum = 0.0;
+        for (const auto &plan : grid)
+            checksum += ev.evaluate(plan).stepSeconds;
+        benchmark::DoNotOptimize(checksum);
+    }
+}
+BENCHMARK(BM_Fig10VggaGridReference)->Unit(benchmark::kMillisecond);
+
+void
+BM_Fig10VggaGrid(benchmark::State &state)
+{
+    const dnn::Network vgg_a = dnn::makeVggA();
+    const sim::Evaluator ev(vgg_a, sim::SimConfig{});
+    const auto grid = bench::fig10Grid(ev);
+
+    for (auto _ : state) {
+        const auto metrics = ev.evaluateBatch(grid);
+        double checksum = 0.0;
+        for (const auto &m : metrics)
+            checksum += m.stepSeconds;
+        benchmark::DoNotOptimize(checksum);
+    }
+}
+BENCHMARK(BM_Fig10VggaGrid)->Unit(benchmark::kMillisecond);
+
+void
+BM_Fig9LenetSweepReference(benchmark::State &state)
+{
+    const dnn::Network lenet = dnn::makeLenetC();
+    const sim::Evaluator ev(lenet, sim::SimConfig{});
+    const std::size_t layers = lenet.size();
+    core::HierarchicalPlan scaffold =
+        ev.plan(core::Strategy::kHypar);
+
+    for (auto _ : state) {
+        double checksum = 0.0;
+        for (std::uint64_t h1 = 0; h1 < (1u << layers); ++h1) {
+            scaffold.levels[0] = core::levelPlanFromMask(h1, layers);
+            for (std::uint64_t h4 = 0; h4 < (1u << layers); ++h4) {
+                scaffold.levels[3] =
+                    core::levelPlanFromMask(h4, layers);
+                checksum += ev.evaluate(scaffold).stepSeconds;
+            }
+        }
+        benchmark::DoNotOptimize(checksum);
+    }
+}
+BENCHMARK(BM_Fig9LenetSweepReference)->Unit(benchmark::kMillisecond);
+
+void
+BM_Fig9LenetSweep(benchmark::State &state)
+{
+    const dnn::Network lenet = dnn::makeLenetC();
+    const sim::Evaluator ev(lenet, sim::SimConfig{});
+    const std::size_t layers = lenet.size();
+    core::HierarchicalPlan scaffold =
+        ev.plan(core::Strategy::kHypar);
+
+    for (auto _ : state) {
+        double checksum = 0.0;
+        for (std::uint64_t h1 = 0; h1 < (1u << layers); ++h1) {
+            scaffold.levels[0] = core::levelPlanFromMask(h1, layers);
+            ev.sweepNeighborhood(
+                scaffold, 3,
+                [&](std::uint64_t, const sim::StepMetrics &m) {
+                    checksum += m.stepSeconds;
+                });
+        }
+        benchmark::DoNotOptimize(checksum);
+    }
+}
+BENCHMARK(BM_Fig9LenetSweep)->Unit(benchmark::kMillisecond);
+
+/** Strategy-sweep path: the four named strategies on one Evaluator. */
+void
+BM_StrategyBatchAlexNetReference(benchmark::State &state)
+{
+    const dnn::Network alexnet = dnn::modelByName("AlexNet");
+    const sim::Evaluator ev(alexnet, sim::SimConfig{});
+    const std::vector<core::Strategy> strategies = {
+        core::Strategy::kDataParallel, core::Strategy::kModelParallel,
+        core::Strategy::kOneWeirdTrick, core::Strategy::kHypar};
+
+    for (auto _ : state) {
+        double checksum = 0.0;
+        for (const auto s : strategies)
+            checksum += ev.evaluate(s).stepSeconds;
+        benchmark::DoNotOptimize(checksum);
+    }
+}
+BENCHMARK(BM_StrategyBatchAlexNetReference)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_StrategyBatchAlexNet(benchmark::State &state)
+{
+    const dnn::Network alexnet = dnn::modelByName("AlexNet");
+    const sim::Evaluator ev(alexnet, sim::SimConfig{});
+    const std::vector<core::Strategy> strategies = {
+        core::Strategy::kDataParallel, core::Strategy::kModelParallel,
+        core::Strategy::kOneWeirdTrick, core::Strategy::kHypar};
+
+    for (auto _ : state) {
+        const auto metrics = ev.evaluateBatch(strategies);
+        double checksum = 0.0;
+        for (const auto &m : metrics)
+            checksum += m.stepSeconds;
+        benchmark::DoNotOptimize(checksum);
+    }
+}
+BENCHMARK(BM_StrategyBatchAlexNet)->Unit(benchmark::kMicrosecond);
+
+} // namespace

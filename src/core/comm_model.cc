@@ -148,6 +148,35 @@ CommModel::interBytesAt(std::size_t l, Parallelism prev, Parallelism cur,
 }
 
 double
+CommModel::interBytesFAt(std::size_t l, Parallelism prev, Parallelism cur,
+                         unsigned dp_above_l) const
+{
+    HYPAR_ASSERT(l + 1 < numLayers(), "inter-layer transition index");
+    if (!(prev == Parallelism::kData && cur == Parallelism::kModel))
+        return 0.0;
+    const bool scale = config_.scaling == CommConfig::Scaling::kPartitioned;
+    return 0.25 * (scaledBoundaryBytes_[l] *
+                   (scale ? halvings(dp_above_l) : 1.0));
+}
+
+double
+CommModel::interBytesEAt(std::size_t l, Parallelism prev, Parallelism cur,
+                         unsigned dp_above_next) const
+{
+    HYPAR_ASSERT(l + 1 < numLayers(), "inter-layer transition index");
+    double coeff_e = 0.0;
+    if (prev == Parallelism::kData && cur == Parallelism::kModel)
+        coeff_e = 0.25;
+    else if (prev == Parallelism::kModel)
+        coeff_e = 0.5; // mp-mp and mp-dp (Table 2)
+    if (coeff_e == 0.0)
+        return 0.0;
+    const bool scale = config_.scaling == CommConfig::Scaling::kPartitioned;
+    return coeff_e * (scaledBoundaryBytes_[l] *
+                      (scale ? halvings(dp_above_next) : 1.0));
+}
+
+double
 CommModel::intraBytes(std::size_t l, Parallelism p,
                       const History &hist) const
 {

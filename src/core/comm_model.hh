@@ -161,6 +161,19 @@ class CommModel
     double interBytesAt(std::size_t l, Parallelism prev, Parallelism cur,
                         unsigned dp_above_l, unsigned dp_above_next) const;
 
+    /**
+     * Count-based split of the inter-layer cost, mirroring
+     * interBytesF/interBytesE: the feature part scales with layer l's
+     * upper dp count, the error part with layer l+1's. Bit-identical to
+     * the History-based methods for equal counts; these are what
+     * TrainingSimulator::sweepNeighborhood uses to precompute exchange
+     * variants without materializing History objects per mask.
+     */
+    double interBytesFAt(std::size_t l, Parallelism prev, Parallelism cur,
+                         unsigned dp_above_l) const;
+    double interBytesEAt(std::size_t l, Parallelism prev, Parallelism cur,
+                         unsigned dp_above_next) const;
+
     // --- batch precompute ----------------------------------------------
 
     /**

@@ -256,8 +256,7 @@ OptimalPartitioner::partitionDense(std::size_t levels) const
     auto &pool = util::ThreadPool::global();
     // Fixed chunking => identical chunk grids (and thus identical
     // per-state results) for every thread count; see thread_pool.hh.
-    const std::size_t grain =
-        std::max<std::size_t>(1, states / (4 * pool.parallelism()));
+    const std::size_t grain = pool.grainFor(states);
 
     const std::vector<double> intra = intraTable(levels);
 
@@ -345,8 +344,7 @@ OptimalPartitioner::partitionSparse(std::size_t levels) const
 
     const std::uint32_t states = 1u << levels;
     auto &pool = util::ThreadPool::global();
-    const std::size_t grain =
-        std::max<std::size_t>(1, states / (4 * pool.parallelism()));
+    const std::size_t grain = pool.grainFor(states);
     const std::size_t chunks = (states + grain - 1) / grain;
 
     const std::vector<double> intra = intraTable(levels);
@@ -584,8 +582,7 @@ OptimalPartitioner::partitionBeam(std::size_t levels,
             }
         });
 
-        const std::size_t sgrain = std::max<std::size_t>(
-            1, states / (4 * pool.parallelism()));
+        const std::size_t sgrain = pool.grainFor(states);
         pool.parallelFor(0, states, sgrain, [&](std::size_t s_begin,
                                                 std::size_t s_end) {
             for (std::size_t s = s_begin; s < s_end; ++s) {

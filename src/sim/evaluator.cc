@@ -43,6 +43,57 @@ Evaluator::evaluate(core::Strategy strategy) const
     return evaluate(plan(strategy));
 }
 
+std::vector<StepMetrics>
+Evaluator::evaluateBatch(std::span<const core::HierarchicalPlan> plans,
+                         util::ThreadPool &pool) const
+{
+    std::vector<StepMetrics> results(plans.size());
+    if (plans.empty())
+        return results;
+
+    // Each chunk clones the (cheap) simulator so the mutable trace
+    // buffer is never shared; model/topology are read-only. Results are
+    // written by index, so any chunk grid is bit-identical to the
+    // sequential loop.
+    SimOptions options = config_.options;
+    options.recordTrace = false;
+    pool.parallelFor(
+        0, plans.size(), pool.grainFor(plans.size()),
+        [&](std::size_t begin, std::size_t end) {
+            TrainingSimulator sim(model_, config_.acc, config_.energy,
+                                  *topology_, options);
+            for (std::size_t i = begin; i < end; ++i)
+                results[i] = sim.simulate(plans[i]);
+        });
+    return results;
+}
+
+std::vector<StepMetrics>
+Evaluator::evaluateBatch(
+    std::span<const core::HierarchicalPlan> plans) const
+{
+    return evaluateBatch(plans, util::ThreadPool::global());
+}
+
+std::vector<StepMetrics>
+Evaluator::evaluateBatch(std::span<const core::Strategy> strategies) const
+{
+    std::vector<core::HierarchicalPlan> plans;
+    plans.reserve(strategies.size());
+    for (const core::Strategy s : strategies)
+        plans.push_back(plan(s));
+    return evaluateBatch(plans);
+}
+
+void
+Evaluator::sweepNeighborhood(
+    const core::HierarchicalPlan &base, std::size_t level,
+    const std::function<void(std::uint64_t, const StepMetrics &)> &visit)
+    const
+{
+    simulator_->sweepNeighborhood(base, level, visit);
+}
+
 StepMetrics
 Evaluator::evaluateSteadyState(const core::HierarchicalPlan &plan,
                                std::size_t steps) const

@@ -9,8 +9,11 @@
 #ifndef HYPAR_SIM_EVALUATOR_HH
 #define HYPAR_SIM_EVALUATOR_HH
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "arch/accelerator.hh"
@@ -21,6 +24,7 @@
 #include "noc/topology.hh"
 #include "sim/metrics.hh"
 #include "sim/training_sim.hh"
+#include "util/thread_pool.hh"
 
 namespace hypar::sim {
 
@@ -49,7 +53,22 @@ std::unique_ptr<noc::Topology> makeTopology(TopologyKind kind,
 
 /**
  * Bundles model + topology + simulator for one (network, config) pair.
- * Build once, evaluate many plans (the Fig. 9/10 sweeps rely on this).
+ *
+ * Build-once / evaluate-many contract: constructing an Evaluator does
+ * all the (network, config)-dependent work — the CommModel byte tables,
+ * the topology, the simulator — exactly once, and every evaluate /
+ * evaluateBatch / sweepNeighborhood call afterwards only reads that
+ * shared immutable state. Design-space sweeps (Fig. 9/10) must hoist
+ * the Evaluator (and any plan scaffolding) out of their loops and score
+ * plans through the batch/sweep entry points; rebuilding an Evaluator,
+ * a SimConfig, or per-plan scratch inside a sweep loop forfeits exactly
+ * the reuse this class exists to provide.
+ *
+ * Batch calls are deterministic: evaluateBatch fans the plans over a
+ * util::ThreadPool but each plan's simulation is independent and its
+ * result is written by index, so the output is bit-identical to calling
+ * evaluate() back-to-back, for every thread count (enforced by
+ * tests/test_evaluator_batch.cc).
  */
 class Evaluator
 {
@@ -61,6 +80,44 @@ class Evaluator
 
     /** Build a named strategy's plan, then simulate it. */
     StepMetrics evaluate(core::Strategy strategy) const;
+
+    /**
+     * Simulate every plan of a design-space batch, fanned out over
+     * `pool` (the process-global pool by default) with the library's
+     * deterministic chunking (util::ThreadPool::grainFor). The CommModel
+     * tables and topology are shared read-only across threads; each
+     * chunk clones the lightweight per-thread TrainingSimulator state.
+     * results[i] is bit-identical to evaluate(plans[i]). SimOptions::
+     * recordTrace is not supported here (per-thread traces would be
+     * discarded); lastTrace() is unaffected by batch calls.
+     */
+    std::vector<StepMetrics>
+    evaluateBatch(std::span<const core::HierarchicalPlan> plans) const;
+    std::vector<StepMetrics>
+    evaluateBatch(std::span<const core::HierarchicalPlan> plans,
+                  util::ThreadPool &pool) const;
+
+    /**
+     * Strategy-sweep overload: build each named strategy's plan, then
+     * batch-evaluate them. results[i] is bit-identical to
+     * evaluate(strategies[i]).
+     */
+    std::vector<StepMetrics>
+    evaluateBatch(std::span<const core::Strategy> strategies) const;
+
+    /**
+     * Incremental single-level sweep: visit the StepMetrics of `base`
+     * with hierarchy level `level` replaced by every 2^L layer mask, in
+     * ascending mask order, bit-identical to evaluating each
+     * substituted plan — without rebuilding per-plan simulator state
+     * (see TrainingSimulator::sweepNeighborhood). This is the Fig. 9
+     * fast path and composes with an outer sweepLevelMasks-style
+     * substitution for two-level studies.
+     */
+    void sweepNeighborhood(
+        const core::HierarchicalPlan &base, std::size_t level,
+        const std::function<void(std::uint64_t, const StepMetrics &)>
+            &visit) const;
 
     /**
      * Simulate `steps` back-to-back steps and report the steady-state

@@ -23,6 +23,8 @@ struct EnergyBreakdown
     {
         return computeJ + sramJ + dramJ + commJ;
     }
+
+    bool operator==(const EnergyBreakdown &) const = default;
 };
 
 /** Per-phase step time breakdown in seconds. */
@@ -33,6 +35,8 @@ struct TimeBreakdown
     double gradient = 0.0;
 
     double total() const { return forward + backward + gradient; }
+
+    bool operator==(const TimeBreakdown &) const = default;
 };
 
 /** Everything the paper reports about one simulated training step. */
@@ -64,6 +68,13 @@ struct StepMetrics
 
     /** One-line human-readable summary. */
     std::string summary() const;
+
+    /**
+     * Exact field-wise equality (no tolerance) — this is what the
+     * batch/sweep differential tests assert against the sequential
+     * simulator path.
+     */
+    bool operator==(const StepMetrics &) const = default;
 };
 
 } // namespace hypar::sim

@@ -45,7 +45,8 @@ TrainingSimulator::TrainingSimulator(const core::CommModel &model,
 void
 TrainingSimulator::addExchange(std::vector<Task> &tasks, std::size_t level,
                                double pair_bytes, bool async, int phase,
-                               const std::string &label,
+                               const char *tag,
+                               const std::string &layer_name,
                                StepMetrics &metrics) const
 {
     if (pair_bytes <= 0.0)
@@ -57,7 +58,11 @@ TrainingSimulator::addExchange(std::vector<Task> &tasks, std::size_t level,
     t.globalBytes = pair_bytes * std::ldexp(1.0, static_cast<int>(level));
     t.async = async;
     t.phase = phase;
-    t.label = label + "@H" + std::to_string(level + 1);
+    // Labels only feed the trace; skipping them keeps the hot sweep and
+    // batch paths free of per-task string allocations.
+    if (options_.recordTrace)
+        t.label = std::string(tag) + ":" + layer_name + "@H" +
+                  std::to_string(level + 1);
     metrics.commBytes += t.globalBytes;
 
     // Remote word: DRAM read at the producer, link traversal, DRAM
@@ -131,7 +136,8 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
         t.kind = Task::Kind::kCompute;
         t.seconds = std::max(pe_sec, dram_sec);
         t.phase = phase;
-        t.label = std::string(tag) + ":" + layer.name;
+        if (options_.recordTrace)
+            t.label = std::string(tag) + ":" + layer.name;
         metrics.computeBusySeconds += t.seconds;
 
         const arch::Mapping mapping = mapper_.map(layer, map_batch);
@@ -166,14 +172,14 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
                 addExchange(tasks, h,
                             model_->intraBytes(
                                 l, core::Parallelism::kModel, hists[h]),
-                            false, kFwd, "psum:" + layer.name, metrics);
+                            false, kFwd, "psum", layer.name, metrics);
             }
             if (l + 1 < num_layers) {
                 addExchange(tasks, h,
                             model_->interBytesF(
                                 l, plan.levels[h][l],
                                 plan.levels[h][l + 1], hists[h]),
-                            false, kFwd, "featx:" + layer.name, metrics);
+                            false, kFwd, "featx", layer.name, metrics);
             }
         }
     }
@@ -195,7 +201,7 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
                         model_->interBytesE(
                             l - 1, plan.levels[h][l - 1],
                             plan.levels[h][l], hists[h]),
-                        false, kBwd, "errx:" + layer.name, metrics);
+                        false, kBwd, "errx", layer.name, metrics);
         }
     }
 
@@ -217,8 +223,8 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
                 addExchange(tasks, h,
                             model_->intraBytes(
                                 l, core::Parallelism::kData, hists[h]),
-                            options_.overlapGradComm, kGrad,
-                            "gradx:" + layer.name, metrics);
+                            options_.overlapGradComm, kGrad, "gradx",
+                            layer.name, metrics);
             }
         }
     }
@@ -332,6 +338,306 @@ TrainingSimulator::simulateSteadyState(const core::HierarchicalPlan &plan,
             (static_cast<double>(steps) - 1.0);
     }
     return metrics;
+}
+
+namespace {
+
+/** Precomputed contributions of one compute task under one flip bit. */
+struct ComputeContrib
+{
+    double seconds = 0.0;
+    double computeJ = 0.0;
+    double sramJ = 0.0;
+    double dramJ = 0.0;
+};
+
+/** Precomputed contributions of one exchange slot under one variant. */
+struct ExchangeContrib
+{
+    bool present = false; //!< addExchange skips zero-byte exchanges
+    double seconds = 0.0;
+    double globalBytes = 0.0;
+    double commJ = 0.0; //!< remote DRAM + link energy
+    double addJ = 0.0;  //!< reduction adds, booked as compute energy
+};
+
+} // namespace
+
+void
+TrainingSimulator::sweepNeighborhood(
+    const core::HierarchicalPlan &base, std::size_t level,
+    const std::function<void(std::uint64_t, const StepMetrics &)> &visit)
+    const
+{
+    const dnn::Network &net = model_->network();
+    const core::CommConfig &comm = model_->config();
+    const std::size_t num_layers = net.size();
+    const std::size_t levels = base.numLevels();
+
+    core::validatePlan(base, net);
+    if (levels != topo_->levels())
+        util::fatal("sweepNeighborhood: plan depth does not match the "
+                    "topology");
+    if (level >= levels)
+        util::fatal("sweepNeighborhood: swept level out of range");
+    if (num_layers > 24)
+        util::fatal("sweepNeighborhood: more than 24 layers makes the "
+                    "2^L sweep unreasonable");
+
+    const std::uint64_t num_masks = std::uint64_t{1} << num_layers;
+
+    // Async gradient overlap reorders the replay and tracing needs the
+    // real task list; both are off on the paper path. Fall back to one
+    // full simulate() per mask — same results, just slower.
+    if (options_.overlapGradComm || options_.recordTrace) {
+        core::HierarchicalPlan plan = base;
+        for (std::uint64_t mask = 0; mask < num_masks; ++mask) {
+            plan.levels[level] =
+                core::levelPlanFromMask(mask, num_layers);
+            visit(mask, simulate(plan));
+        }
+        return;
+    }
+
+    // ---- precompute ---------------------------------------------------
+    //
+    // Flipping layer l's choice at the swept level changes only values
+    // that depend on that bit: layer l's shard geometry (all three
+    // compute tasks), its intra exchanges at the swept level (choice)
+    // and below it (scaling), and the two adjacent inter exchanges
+    // (which also read the neighbor's bit). Every task slot therefore
+    // has at most 4 variants; precompute them all with the exact
+    // arithmetic buildTasks uses, then score each mask by replaying the
+    // accumulator sequence below.
+
+    const double num_accs = std::ldexp(1.0, static_cast<int>(levels));
+    const double batch = static_cast<double>(comm.batch);
+
+    // dp/mp counts of the base plan's levels 0..h-1 *excluding* the
+    // swept level, per layer; the swept bit is patched in per variant.
+    std::vector<unsigned> dp_excl((levels + 1) * num_layers, 0);
+    std::vector<unsigned> mp_excl((levels + 1) * num_layers, 0);
+    for (std::size_t h = 0; h < levels; ++h) {
+        for (std::size_t l = 0; l < num_layers; ++l) {
+            unsigned dp = dp_excl[h * num_layers + l];
+            unsigned mp = mp_excl[h * num_layers + l];
+            if (h != level) {
+                if (base.levels[h][l] == core::Parallelism::kData)
+                    ++dp;
+                else
+                    ++mp;
+            }
+            dp_excl[(h + 1) * num_layers + l] = dp;
+            mp_excl[(h + 1) * num_layers + l] = mp;
+        }
+    }
+    // Upper-level counts seen by hierarchy level h for layer l when the
+    // swept bit of layer l is `b` (1 = mp). The swept level only counts
+    // for levels strictly below it.
+    auto dp_above = [&](std::size_t h, std::size_t l, int b) {
+        return dp_excl[h * num_layers + l] +
+               ((h > level && b == 0) ? 1u : 0u);
+    };
+    auto mp_above = [&](std::size_t h, std::size_t l, int b) {
+        return mp_excl[h * num_layers + l] +
+               ((h > level && b == 1) ? 1u : 0u);
+    };
+    // Effective choice of (level h, layer l) when the swept bit is b.
+    auto choice = [&](std::size_t h, std::size_t l, int b) {
+        if (h == level)
+            return b ? core::Parallelism::kModel
+                     : core::Parallelism::kData;
+        return base.levels[h][l];
+    };
+
+    auto make_exchange = [&](std::size_t h, double pair_bytes) {
+        ExchangeContrib c;
+        if (pair_bytes <= 0.0)
+            return c;
+        c.present = true;
+        c.seconds = topo_->exchangeSeconds(h, pair_bytes);
+        c.globalBytes =
+            pair_bytes * std::ldexp(1.0, static_cast<int>(h));
+        const double words = c.globalBytes / comm.wordBytes;
+        c.commJ = words * 2.0 * energy_.dramWordJ +
+                  energy_.linkEnergy(words, topo_->exchangeHops(h));
+        c.addJ = words * energy_.addJ;
+        return c;
+    };
+
+    // comp[(3*l + phase) * 2 + b]; bwd entries of layer 0 stay unused.
+    std::vector<ComputeContrib> comp(num_layers * 3 * 2);
+    // intra slots: [(l * levels + h) * 2 + b]
+    std::vector<ExchangeContrib> psum(num_layers * levels * 2);
+    std::vector<ExchangeContrib> gradx(num_layers * levels * 2);
+    // inter slots of transition l -> l+1: [(l * levels + h) * 4 +
+    // (2*b_l + b_next)]
+    const std::size_t transitions = num_layers > 0 ? num_layers - 1 : 0;
+    std::vector<ExchangeContrib> featx(transitions * levels * 4);
+    std::vector<ExchangeContrib> errx(transitions * levels * 4);
+
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        const dnn::Layer &layer = net.layer(l);
+        const double macs =
+            net.layer(l).fwdMacsPerSample() * batch / num_accs;
+        for (int b = 0; b < 2; ++b) {
+            // Shard geometry after all H splits, swept bit = b.
+            const auto d_full = static_cast<int>(
+                dp_excl[levels * num_layers + l] + (b == 0 ? 1u : 0u));
+            const auto m_full = static_cast<int>(
+                mp_excl[levels * num_layers + l] + (b == 1 ? 1u : 0u));
+            const double batch_shard = batch * std::ldexp(1.0, -d_full);
+            const double weight_shard =
+                static_cast<double>(layer.weightElems()) *
+                std::ldexp(1.0, -m_full);
+            const double in_shard =
+                static_cast<double>(layer.inElemsPerSample()) *
+                std::ldexp(1.0, -m_full);
+            const double out_elems =
+                static_cast<double>(layer.outRawElemsPerSample()) *
+                batch_shard;
+
+            const auto map_batch = static_cast<std::size_t>(
+                std::max(1.0, std::floor(batch_shard)));
+            const double pe_sec =
+                mapper_.phaseSeconds(layer, map_batch, macs);
+            const arch::Mapping mapping = mapper_.map(layer, map_batch);
+            const double compute_j =
+                num_accs * energy_.computeEnergy(macs);
+            const double sram_j = num_accs * energy_.sramEnergy(
+                macs * mapping.sramWordsPerMac);
+
+            const double dram_bytes[3] = {
+                (in_shard * batch_shard + weight_shard + out_elems) *
+                    comm.wordBytes,
+                (out_elems + weight_shard + in_shard * batch_shard) *
+                    comm.wordBytes,
+                (in_shard * batch_shard + out_elems +
+                 3.0 * weight_shard) * comm.wordBytes,
+            };
+            for (int phase = 0; phase < 3; ++phase) {
+                ComputeContrib &c = comp[(3 * l + phase) * 2 + b];
+                const double dram_sec =
+                    dram_bytes[phase] / acc_.dramBandwidth;
+                c.seconds = std::max(pe_sec, dram_sec);
+                c.computeJ = compute_j;
+                c.sramJ = sram_j;
+                c.dramJ = num_accs * energy_.dramEnergy(
+                    dram_bytes[phase] / comm.wordBytes);
+            }
+
+            for (std::size_t h = 0; h < levels; ++h) {
+                if (choice(h, l, b) == core::Parallelism::kModel) {
+                    psum[(l * levels + h) * 2 + b] = make_exchange(
+                        h, model_->intraBytesAt(
+                               l, core::Parallelism::kModel,
+                               dp_above(h, l, b), mp_above(h, l, b)));
+                } else {
+                    gradx[(l * levels + h) * 2 + b] = make_exchange(
+                        h, model_->intraBytesAt(
+                               l, core::Parallelism::kData,
+                               dp_above(h, l, b), mp_above(h, l, b)));
+                }
+            }
+        }
+    }
+    for (std::size_t l = 0; l + 1 < num_layers; ++l) {
+        for (std::size_t h = 0; h < levels; ++h) {
+            for (int bl = 0; bl < 2; ++bl) {
+                for (int bn = 0; bn < 2; ++bn) {
+                    const std::size_t slot =
+                        (l * levels + h) * 4 +
+                        static_cast<std::size_t>(2 * bl + bn);
+                    featx[slot] = make_exchange(
+                        h, model_->interBytesFAt(
+                               l, choice(h, l, bl),
+                               choice(h, l + 1, bn),
+                               dp_above(h, l, bl)));
+                    errx[slot] = make_exchange(
+                        h, model_->interBytesEAt(
+                               l, choice(h, l, bl),
+                               choice(h, l + 1, bn),
+                               dp_above(h, l + 1, bn)));
+                }
+            }
+        }
+    }
+
+    // ---- per-mask replay ----------------------------------------------
+    //
+    // One walk over the task slots in buildTasks' emission order (which
+    // is also the event-queue dispatch order), updating every StepMetrics
+    // accumulator with the same additions the real path performs. With
+    // no async tasks the serial chain is a plain left-to-right sum, so
+    // stepSeconds folds identically too.
+    for (std::uint64_t mask = 0; mask < num_masks; ++mask) {
+        StepMetrics m;
+        double serial = 0.0;
+        const auto bit = [&](std::size_t l) {
+            return static_cast<int>((mask >> l) & 1);
+        };
+
+        auto tally_compute = [&](std::size_t l, int phase,
+                                 double &phase_acc) {
+            const ComputeContrib &c =
+                comp[(3 * l + phase) * 2 + bit(l)];
+            m.energy.computeJ += c.computeJ;
+            m.energy.sramJ += c.sramJ;
+            m.energy.dramJ += c.dramJ;
+            serial += c.seconds;
+            m.computeBusySeconds += c.seconds;
+            phase_acc += c.seconds;
+        };
+        auto tally_exchange = [&](const ExchangeContrib &c,
+                                  double &phase_acc) {
+            if (!c.present)
+                return;
+            m.commBytes += c.globalBytes;
+            m.energy.commJ += c.commJ;
+            m.energy.computeJ += c.addJ;
+            serial += c.seconds;
+            m.networkBusySeconds += c.seconds;
+            phase_acc += c.seconds;
+        };
+
+        // forward
+        for (std::size_t l = 0; l < num_layers; ++l) {
+            tally_compute(l, kFwd, m.phases.forward);
+            for (std::size_t h = 0; h < levels; ++h) {
+                if (choice(h, l, bit(l)) == core::Parallelism::kModel)
+                    tally_exchange(psum[(l * levels + h) * 2 + bit(l)],
+                                   m.phases.forward);
+                if (l + 1 < num_layers)
+                    tally_exchange(
+                        featx[(l * levels + h) * 4 +
+                              static_cast<std::size_t>(
+                                  2 * bit(l) + bit(l + 1))],
+                        m.phases.forward);
+            }
+        }
+        // error backward
+        for (std::size_t l = num_layers; l-- > 1;) {
+            tally_compute(l, kBwd, m.phases.backward);
+            for (std::size_t h = 0; h < levels; ++h)
+                tally_exchange(
+                    errx[((l - 1) * levels + h) * 4 +
+                         static_cast<std::size_t>(
+                             2 * bit(l - 1) + bit(l))],
+                    m.phases.backward);
+        }
+        // gradient
+        for (std::size_t l = 0; l < num_layers; ++l) {
+            tally_compute(l, kGrad, m.phases.gradient);
+            for (std::size_t h = 0; h < levels; ++h) {
+                if (choice(h, l, bit(l)) == core::Parallelism::kData)
+                    tally_exchange(gradx[(l * levels + h) * 2 + bit(l)],
+                                   m.phases.gradient);
+            }
+        }
+
+        m.stepSeconds = serial;
+        visit(mask, m);
+    }
 }
 
 } // namespace hypar::sim

@@ -27,6 +27,8 @@
 #ifndef HYPAR_SIM_TRAINING_SIM_HH
 #define HYPAR_SIM_TRAINING_SIM_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -93,6 +95,29 @@ class TrainingSimulator
     StepMetrics simulateSteadyState(const core::HierarchicalPlan &plan,
                                     std::size_t steps) const;
 
+    /**
+     * Incremental single-level sweep (the Fig. 9/10 building block):
+     * visit simulate(base with level `level` replaced by each of the
+     * 2^L masks) for all masks in ascending order, without rebuilding
+     * per-plan state. Flipping one layer's choice at one level changes
+     * at most two values of every task in the step (its own bit for
+     * compute/intra tasks, the two endpoint bits for inter exchanges),
+     * so all task-slot contributions are precomputed once and each
+     * mask's StepMetrics is a straight replay of the simulator's exact
+     * floating-point accumulation order over the selected variants —
+     * bit-identical to a full simulate() of the substituted plan
+     * (enforced by tests/test_evaluator_batch.cc).
+     *
+     * With SimOptions::overlapGradComm or recordTrace set the fast
+     * replay does not apply and each mask falls back to a full
+     * simulate(). Fatal when `level` is out of range or the network has
+     * more than 24 weighted layers (2^L enumeration).
+     */
+    void sweepNeighborhood(
+        const core::HierarchicalPlan &base, std::size_t level,
+        const std::function<void(std::uint64_t, const StepMetrics &)>
+            &visit) const;
+
     /** Trace of the most recent simulate() (needs recordTrace). */
     const std::vector<TraceEntry> &lastTrace() const { return trace_; }
 
@@ -105,7 +130,7 @@ class TrainingSimulator
         double globalBytes = 0.0; //!< bytes summed over all group pairs
         bool async = false;       //!< may overlap with later compute
         int phase = 0;            //!< 0 fwd, 1 bwd, 2 grad
-        std::string label;
+        std::string label;        //!< built only under recordTrace
     };
 
     std::vector<Task> buildTasks(const core::HierarchicalPlan &plan,
@@ -113,7 +138,7 @@ class TrainingSimulator
 
     void addExchange(std::vector<Task> &tasks, std::size_t level,
                      double pair_bytes, bool async, int phase,
-                     const std::string &label,
+                     const char *tag, const std::string &layer_name,
                      StepMetrics &metrics) const;
 
     const core::CommModel *model_;

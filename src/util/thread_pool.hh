@@ -25,6 +25,7 @@
 #ifndef HYPAR_UTIL_THREAD_POOL_HH
 #define HYPAR_UTIL_THREAD_POOL_HH
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -52,6 +53,20 @@ class ThreadPool
 
     /** Threads that execute work, including the caller. */
     std::size_t parallelism() const { return workers_.size() + 1; }
+
+    /**
+     * The library's shared chunking convention for fanning `items`
+     * independent work units over this pool: ~4 chunks per thread for
+     * load balancing, never below one item. Callers that accumulate
+     * order-sensitive per-chunk state must NOT use this (it varies with
+     * the pool size); it is only for loops whose per-item results are
+     * written independently by index, where any chunk grid yields
+     * bit-identical output.
+     */
+    std::size_t grainFor(std::size_t items) const
+    {
+        return std::max<std::size_t>(1, items / (4 * parallelism()));
+    }
 
     /**
      * Run body(chunk_begin, chunk_end) for fixed chunks of `grain`

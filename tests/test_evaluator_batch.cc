@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Differential tests for the batched / incremental design-space sweep
+ * paths of sim::Evaluator:
+ *
+ *  - evaluateBatch must be *bit-identical* (EXPECT_EQ on every
+ *    StepMetrics field, no ULP tolerance) to back-to-back evaluate()
+ *    calls, across 1/2/8-thread pools and all three TopologyKinds;
+ *  - sweepNeighborhood's incremental replay must equal a full
+ *    evaluate() rescoring of every substituted mask — which covers
+ *    every single-bit flip of the swept level (the oracle pattern of
+ *    test_equivalence_random.cc, lifted to the simulator);
+ *  - the strategy-sweep overload must match evaluate(Strategy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/brute_force.hh"
+#include "core/plan.hh"
+#include "dnn/model_zoo.hh"
+#include "sim/evaluator.hh"
+#include "util/thread_pool.hh"
+
+using namespace hypar;
+using core::HierarchicalPlan;
+using core::Parallelism;
+using sim::Evaluator;
+using sim::SimConfig;
+using sim::StepMetrics;
+using sim::TopologyKind;
+
+namespace {
+
+/** Uniformly random hierarchical plan for `layers` x `levels`. */
+HierarchicalPlan
+randomPlan(std::size_t layers, std::size_t levels, std::mt19937 &rng)
+{
+    std::bernoulli_distribution coin(0.5);
+    HierarchicalPlan plan;
+    plan.levels.assign(levels,
+                       core::LevelPlan(layers, Parallelism::kData));
+    for (auto &level : plan.levels)
+        for (auto &p : level)
+            if (coin(rng))
+                p = Parallelism::kModel;
+    return plan;
+}
+
+/** Assert exact equality of every StepMetrics field, with context. */
+void
+expectIdentical(const StepMetrics &got, const StepMetrics &want,
+                const std::string &context)
+{
+    EXPECT_EQ(got.stepSeconds, want.stepSeconds) << context;
+    EXPECT_EQ(got.computeBusySeconds, want.computeBusySeconds) << context;
+    EXPECT_EQ(got.networkBusySeconds, want.networkBusySeconds) << context;
+    EXPECT_EQ(got.commBytes, want.commBytes) << context;
+    EXPECT_EQ(got.phases.forward, want.phases.forward) << context;
+    EXPECT_EQ(got.phases.backward, want.phases.backward) << context;
+    EXPECT_EQ(got.phases.gradient, want.phases.gradient) << context;
+    EXPECT_EQ(got.energy.computeJ, want.energy.computeJ) << context;
+    EXPECT_EQ(got.energy.sramJ, want.energy.sramJ) << context;
+    EXPECT_EQ(got.energy.dramJ, want.energy.dramJ) << context;
+    EXPECT_EQ(got.energy.commJ, want.energy.commJ) << context;
+    // The defaulted operator== must agree with the field-wise check.
+    EXPECT_TRUE(got == want) << context;
+}
+
+} // namespace
+
+TEST(EvaluatorBatch, MatchesSequentialAcrossThreadsAndTopologies)
+{
+    std::mt19937 rng(1234);
+    // 1 / 2 / 8 threads: a 0-worker pool degrades to a serial inline
+    // loop, so all three exercise genuinely different chunk grids.
+    util::ThreadPool pool1(0), pool2(1), pool8(7);
+    util::ThreadPool *pools[] = {&pool1, &pool2, &pool8};
+
+    for (const char *name : {"Lenet-c", "SFC", "AlexNet"}) {
+        const dnn::Network net = dnn::modelByName(name);
+        for (const TopologyKind kind :
+             {TopologyKind::kHTree, TopologyKind::kTorus,
+              TopologyKind::kMesh}) {
+            SimConfig cfg;
+            cfg.topology = kind;
+            const Evaluator ev(net, cfg);
+
+            std::vector<HierarchicalPlan> plans;
+            for (int i = 0; i < 12; ++i)
+                plans.push_back(
+                    randomPlan(net.size(), cfg.levels, rng));
+            plans.push_back(ev.plan(core::Strategy::kHypar));
+            plans.push_back(ev.plan(core::Strategy::kDataParallel));
+
+            std::vector<StepMetrics> expected;
+            for (const auto &plan : plans)
+                expected.push_back(ev.evaluate(plan));
+
+            for (util::ThreadPool *pool : pools) {
+                const auto got = ev.evaluateBatch(plans, *pool);
+                ASSERT_EQ(got.size(), expected.size());
+                for (std::size_t i = 0; i < got.size(); ++i) {
+                    expectIdentical(
+                        got[i], expected[i],
+                        std::string(name) + " topology " +
+                            std::to_string(static_cast<int>(kind)) +
+                            " threads " +
+                            std::to_string(pool->parallelism()) +
+                            " plan " + std::to_string(i));
+                }
+            }
+        }
+    }
+}
+
+TEST(EvaluatorBatch, StrategyOverloadMatchesEvaluate)
+{
+    const dnn::Network net = dnn::modelByName("AlexNet");
+    const Evaluator ev(net, SimConfig{});
+    const std::vector<core::Strategy> strategies = {
+        core::Strategy::kDataParallel, core::Strategy::kModelParallel,
+        core::Strategy::kOneWeirdTrick, core::Strategy::kHypar};
+
+    const auto got = ev.evaluateBatch(strategies);
+    ASSERT_EQ(got.size(), strategies.size());
+    for (std::size_t i = 0; i < strategies.size(); ++i)
+        expectIdentical(got[i], ev.evaluate(strategies[i]),
+                        "strategy " + std::to_string(i));
+}
+
+TEST(EvaluatorBatch, EmptyBatchIsEmpty)
+{
+    const Evaluator ev(dnn::makeLenetC(), SimConfig{});
+    EXPECT_TRUE(
+        ev.evaluateBatch(std::span<const HierarchicalPlan>{}).empty());
+}
+
+// The Fig. 9 property: for every hierarchy level of LeNet at H = 4,
+// sweepNeighborhood's incremental metrics equal a full evaluate() of
+// the substituted plan, for all 2^L masks — i.e. for every single-bit
+// flip from any mask, both paths move in lockstep. All topologies.
+TEST(EvaluatorBatch, SweepNeighborhoodMatchesFullRescoreOnLenet)
+{
+    const dnn::Network lenet = dnn::makeLenetC();
+    for (const TopologyKind kind :
+         {TopologyKind::kHTree, TopologyKind::kTorus,
+          TopologyKind::kMesh}) {
+        SimConfig cfg;
+        cfg.topology = kind;
+        const Evaluator ev(lenet, cfg);
+        const auto base = ev.plan(core::Strategy::kHypar);
+
+        for (std::size_t level = 0; level < cfg.levels; ++level) {
+            // Oracle: substitute every mask and fully rescore.
+            std::vector<StepMetrics> expected(
+                std::size_t{1} << lenet.size());
+            core::sweepLevelMasks(
+                base, level,
+                [&](std::uint64_t mask, const HierarchicalPlan &plan) {
+                    expected[mask] = ev.evaluate(plan);
+                });
+
+            std::uint64_t next_mask = 0;
+            ev.sweepNeighborhood(
+                base, level,
+                [&](std::uint64_t mask, const StepMetrics &m) {
+                    EXPECT_EQ(mask, next_mask++) << "visit order";
+                    expectIdentical(
+                        m, expected[mask],
+                        "topology " +
+                            std::to_string(static_cast<int>(kind)) +
+                            " level " + std::to_string(level) +
+                            " mask " + std::to_string(mask));
+                });
+            EXPECT_EQ(next_mask, expected.size());
+        }
+    }
+}
+
+// Randomized bases: the incremental path must hold from any starting
+// plan, not just HyPar's (the swept level's base content is irrelevant,
+// the other levels' content feeds the scaling tables).
+TEST(EvaluatorBatch, SweepNeighborhoodMatchesFullRescoreRandomized)
+{
+    std::mt19937 rng(99);
+    const dnn::Network net = dnn::modelByName("SFC");
+    SimConfig cfg;
+    cfg.levels = 3;
+    const Evaluator ev(net, cfg);
+
+    for (int trial = 0; trial < 8; ++trial) {
+        const auto base = randomPlan(net.size(), cfg.levels, rng);
+        const std::size_t level = std::uniform_int_distribution<
+            std::size_t>(0, cfg.levels - 1)(rng);
+
+        std::vector<StepMetrics> expected(std::size_t{1} << net.size());
+        core::sweepLevelMasks(
+            base, level,
+            [&](std::uint64_t mask, const HierarchicalPlan &plan) {
+                expected[mask] = ev.evaluate(plan);
+            });
+        ev.sweepNeighborhood(
+            base, level, [&](std::uint64_t mask, const StepMetrics &m) {
+                expectIdentical(m, expected[mask],
+                                "trial " + std::to_string(trial) +
+                                    " mask " + std::to_string(mask));
+            });
+    }
+}
+
+// The gradient-overlap fallback (async exchanges disable the fast
+// replay) must still agree with per-mask simulation.
+TEST(EvaluatorBatch, SweepNeighborhoodOverlapFallback)
+{
+    const dnn::Network lenet = dnn::makeLenetC();
+    SimConfig cfg;
+    cfg.options.overlapGradComm = true;
+    const Evaluator ev(lenet, cfg);
+    const auto base = ev.plan(core::Strategy::kHypar);
+
+    std::vector<StepMetrics> expected(std::size_t{1} << lenet.size());
+    core::sweepLevelMasks(
+        base, 3, [&](std::uint64_t mask, const HierarchicalPlan &plan) {
+            expected[mask] = ev.evaluate(plan);
+        });
+    std::size_t visited = 0;
+    ev.sweepNeighborhood(base, 3,
+                         [&](std::uint64_t mask, const StepMetrics &m) {
+                             expectIdentical(m, expected[mask],
+                                             "overlap mask " +
+                                                 std::to_string(mask));
+                             ++visited;
+                         });
+    EXPECT_EQ(visited, expected.size());
+}

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -136,6 +137,107 @@ TEST(HyparcCommands, StrategySelection)
         run({"plan", "--model", "Lenet-c", "--strategy", "optimal"});
     EXPECT_NE(optimal.find("H1:"), std::string::npos);
     EXPECT_THROW(run({"plan", "--model", "SFC", "--strategy", "zen"}),
+                 util::FatalError);
+}
+
+TEST(HyparcCommands, VerboseOptimalPrintsTransitions)
+{
+    // ROADMAP PR 2 follow-up: HierarchicalResult::transitionsEvaluated
+    // surfaces in verbose plan output for the joint-DP engines only.
+    const std::string verbose = run({"plan", "--model", "Lenet-c",
+                                     "--strategy", "optimal",
+                                     "--verbose"});
+    const auto pos = verbose.find("transitions evaluated: ");
+    ASSERT_NE(pos, std::string::npos);
+    // The dense DP relaxes 2^H * 2^H * (L-1) = 16 * 16 * 3 transitions
+    // for Lenet-c at H = 4 — a deterministic count.
+    EXPECT_NE(verbose.find("transitions evaluated: 768"),
+              std::string::npos)
+        << verbose;
+
+    const std::string quiet = run({"plan", "--model", "Lenet-c",
+                                   "--strategy", "optimal"});
+    EXPECT_EQ(quiet.find("transitions evaluated"), std::string::npos);
+    // Not an optimal search: nothing to report even when verbose.
+    const std::string hypar =
+        run({"plan", "--model", "Lenet-c", "--verbose"});
+    EXPECT_EQ(hypar.find("transitions evaluated"), std::string::npos);
+}
+
+TEST(HyparcCommands, SweepLevelsGrid)
+{
+    // Fig. 9 shape: 2^4 x 2^4 masks of Lenet-c at H1 x H4.
+    const std::string csv =
+        run({"sweep", "--model", "Lenet-c", "--axes", "H1,H4"});
+    EXPECT_NE(csv.find("H1,H4,step_seconds,speedup_vs_dp"),
+              std::string::npos);
+    // Header comment + column header + 256 grid rows.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2 + 256);
+    // Masks render as layer-order bitstrings, ascending from all-dp.
+    EXPECT_NE(csv.find("0000,0000,"), std::string::npos);
+
+    const std::string json = run({"sweep", "--model", "Lenet-c",
+                                  "--axes", "H1,H4", "--format",
+                                  "json"});
+    EXPECT_NE(json.find("\"mode\":\"levels\""), std::string::npos);
+    EXPECT_NE(json.find("\"step_seconds\":"), std::string::npos);
+}
+
+TEST(HyparcCommands, SweepLayersGrid)
+{
+    // Fig. 10 shape: two layers' level vectors over 2^H x 2^H.
+    const std::string csv = run({"sweep", "--model", "Lenet-c",
+                                 "--axes", "conv1,fc1"});
+    EXPECT_NE(csv.find("conv1,fc1,step_seconds,speedup_vs_dp"),
+              std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2 + 256);
+
+    // File output reports the point count instead of the rows.
+    const std::string path = "/tmp/hyparc_test_sweep.csv";
+    const std::string msg = run({"sweep", "--model", "Lenet-c",
+                                 "--axes", "conv1,fc1", "-o", path});
+    EXPECT_NE(msg.find("wrote 256 grid points"), std::string::npos);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_NE(content.str().find("step_seconds"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(HyparcCommands, SweepRejections)
+{
+    std::ostringstream os;
+    // Missing/odd axes.
+    EXPECT_THROW(runCommand(parseArgs({"sweep", "--model", "Lenet-c"}),
+                            os),
+                 util::FatalError);
+    EXPECT_THROW(runCommand(parseArgs({"sweep", "--model", "Lenet-c",
+                                       "--axes", "H1"}),
+                            os),
+                 util::FatalError);
+    // Mixed kinds, duplicate axes, out-of-range level, unknown layer.
+    EXPECT_THROW(runCommand(parseArgs({"sweep", "--model", "Lenet-c",
+                                       "--axes", "H1,fc1"}),
+                            os),
+                 util::FatalError);
+    EXPECT_THROW(runCommand(parseArgs({"sweep", "--model", "Lenet-c",
+                                       "--axes", "H2,H2"}),
+                            os),
+                 util::FatalError);
+    EXPECT_THROW(runCommand(parseArgs({"sweep", "--model", "Lenet-c",
+                                       "--axes", "H1,H9"}),
+                            os),
+                 util::FatalError);
+    EXPECT_THROW(runCommand(parseArgs({"sweep", "--model", "Lenet-c",
+                                       "--axes", "conv1,bogus"}),
+                            os),
+                 util::FatalError);
+    // Unknown format.
+    EXPECT_THROW(runCommand(parseArgs({"sweep", "--model", "Lenet-c",
+                                       "--axes", "H1,H4", "--format",
+                                       "xml"}),
+                            os),
                  util::FatalError);
 }
 

@@ -1,7 +1,11 @@
 #include "hyparc_app.hh"
 
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <stdexcept>
+#include <vector>
 
 #include "core/comm_report.hh"
 #include "core/optimal_partitioner.hh"
@@ -49,8 +53,11 @@ makeConfig(const Options &opts)
 }
 
 core::HierarchicalPlan
-makeStrategyPlan(const Options &opts, const core::CommModel &model)
+makeStrategyPlan(const Options &opts, const core::CommModel &model,
+                 std::uint64_t *transitions_evaluated = nullptr)
 {
+    if (transitions_evaluated != nullptr)
+        *transitions_evaluated = 0;
     if (opts.strategy == "hypar")
         return core::makeHyparPlan(model, opts.levels);
     if (opts.strategy == "dp")
@@ -63,9 +70,11 @@ makeStrategyPlan(const Options &opts, const core::CommModel &model)
         core::SearchOptions search;
         search.engine = core::searchEngineFromName(opts.engine);
         search.beamWidth = opts.beamWidth;
-        return core::OptimalPartitioner(model)
-            .partition(opts.levels, search)
-            .plan;
+        auto result =
+            core::OptimalPartitioner(model).partition(opts.levels, search);
+        if (transitions_evaluated != nullptr)
+            *transitions_evaluated = result.transitionsEvaluated;
+        return result.plan;
     }
     util::fatal("unknown strategy '" + opts.strategy +
                 "' (hypar|dp|mp|owt|optimal)");
@@ -90,13 +99,19 @@ cmdPlan(const Options &opts, std::ostream &os)
     core::CommConfig comm;
     comm.batch = opts.batch;
     core::CommModel model(net, comm);
-    const auto plan = makeStrategyPlan(opts, model);
+    std::uint64_t transitions = 0;
+    const auto plan = makeStrategyPlan(opts, model, &transitions);
 
     os << net.describe() << "\n"
        << opts.strategy << " plan over " << plan.numAccelerators()
        << " accelerators:\n"
        << core::toString(plan) << "total communication: "
        << util::formatBytes(model.planBytes(plan)) << "\n";
+    // Search-effort diagnostics: only the joint-DP engines count their
+    // transition relaxations (0 elsewhere, see HierarchicalResult).
+    if (opts.verbose && opts.strategy == "optimal")
+        os << "transitions evaluated: " << transitions << " (engine "
+           << opts.engine << ")\n";
     return 0;
 }
 
@@ -159,18 +174,220 @@ cmdTrace(const Options &opts, std::ostream &os)
     return 0;
 }
 
+/** One parsed sweep axis: a hierarchy level ("H1") or a layer name. */
+struct SweepAxis
+{
+    bool isLevel = false;
+    std::size_t index = 0; //!< level index (0-based) or layer index
+    std::string name;
+};
+
+SweepAxis
+parseSweepAxis(const std::string &token, const dnn::Network &net,
+               std::size_t levels)
+{
+    if (token.size() >= 2 && token[0] == 'H' &&
+        token.find_first_not_of("0123456789", 1) == std::string::npos) {
+        std::size_t h = 0;
+        try {
+            h = std::stoul(token.substr(1));
+        } catch (const std::out_of_range &) {
+            h = 0; // falls through to the range fatal below
+        }
+        if (h < 1 || h > levels)
+            util::fatal("sweep axis '" + token +
+                        "' is outside the hierarchy (H1..H" +
+                        std::to_string(levels) + ")");
+        return {true, h - 1, token};
+    }
+    return {false, net.layerIndex(token), token};
+}
+
+/** One scored grid point, masks already rendered as bitstrings. */
+struct SweepRow
+{
+    std::string a;
+    std::string b;
+    double stepSeconds = 0.0;
+    double speedup = 0.0;
+};
+
+/** Escape a string for embedding in a JSON string value. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+writeSweepRows(const Options &opts, const std::string &mode,
+               const SweepAxis &a, const SweepAxis &b,
+               const std::vector<SweepRow> &rows, std::ostream &os)
+{
+    char buf[128];
+    if (opts.format == "csv") {
+        os << "# model=" << opts.model << opts.spec << " mode=" << mode
+           << " axes=" << a.name << "," << b.name << " levels="
+           << opts.levels << " batch=" << opts.batch << " topology="
+           << opts.topology << " strategy=" << opts.strategy << "\n"
+           << a.name << "," << b.name
+           << ",step_seconds,speedup_vs_dp\n";
+        for (const auto &row : rows) {
+            std::snprintf(buf, sizeof(buf), "%.17g,%.6g",
+                          row.stepSeconds, row.speedup);
+            os << row.a << "," << row.b << "," << buf << "\n";
+        }
+        return;
+    }
+    os << "{\"model\":\"" << jsonEscape(opts.model + opts.spec)
+       << "\",\"mode\":\"" << mode << "\",\"axes\":[\""
+       << jsonEscape(a.name) << "\",\"" << jsonEscape(b.name)
+       << "\"],\"levels\":" << opts.levels << ",\"batch\":"
+       << opts.batch << ",\"topology\":\"" << jsonEscape(opts.topology)
+       << "\",\"strategy\":\"" << jsonEscape(opts.strategy)
+       << "\",\"points\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::snprintf(buf, sizeof(buf),
+                      "\"step_seconds\":%.17g,\"speedup_vs_dp\":%.6g",
+                      rows[i].stepSeconds, rows[i].speedup);
+        os << (i == 0 ? "" : ",") << "{\"a\":\"" << rows[i].a
+           << "\",\"b\":\"" << rows[i].b << "\"," << buf << "}";
+    }
+    os << "]}\n";
+}
+
+int
+cmdSweep(const Options &opts, std::ostream &os)
+{
+    dnn::Network net = loadNetwork(opts);
+    const auto cfg = makeConfig(opts);
+    sim::Evaluator ev(net, cfg);
+
+    // Reject bad output options before the grid is computed (and
+    // before -o truncates an existing file).
+    if (opts.format != "csv" && opts.format != "json")
+        util::fatal("unknown sweep format '" + opts.format +
+                    "' (csv|json)");
+    if (opts.axes.empty())
+        util::fatal("sweep needs --axes A,B (two hierarchy levels like "
+                    "H1,H4 or two layer names like conv5_2,fc1)");
+    const auto comma = opts.axes.find(',');
+    if (comma == std::string::npos ||
+        opts.axes.find(',', comma + 1) != std::string::npos)
+        util::fatal("--axes takes exactly two comma-separated entries");
+    const SweepAxis a =
+        parseSweepAxis(opts.axes.substr(0, comma), net, opts.levels);
+    const SweepAxis b =
+        parseSweepAxis(opts.axes.substr(comma + 1), net, opts.levels);
+    if (a.isLevel != b.isLevel)
+        util::fatal("--axes must name two hierarchy levels or two "
+                    "layers, not a mix");
+    if (a.index == b.index)
+        util::fatal("--axes entries must differ");
+
+    const double dp_time =
+        ev.evaluate(core::Strategy::kDataParallel).stepSeconds;
+    const core::HierarchicalPlan base = makeStrategyPlan(opts, ev.model());
+    std::vector<SweepRow> rows;
+
+    if (a.isLevel) {
+        // Fig. 9 shape: the full 2^L x 2^L grid of layer masks at two
+        // hierarchy levels; outer axis substituted into a scaffold,
+        // inner axis scored by the incremental sweep.
+        const std::size_t num_layers = net.size();
+        if (num_layers > 8)
+            util::fatal("level-mask sweep is 4^L points; refusing "
+                        "networks with more than 8 weighted layers");
+        const std::uint64_t masks = std::uint64_t{1} << num_layers;
+        rows.reserve(masks * masks);
+        core::HierarchicalPlan scaffold = base;
+        for (std::uint64_t ma = 0; ma < masks; ++ma) {
+            scaffold.levels[a.index] =
+                core::levelPlanFromMask(ma, num_layers);
+            ev.sweepNeighborhood(
+                scaffold, b.index,
+                [&](std::uint64_t mb, const sim::StepMetrics &m) {
+                    rows.push_back({core::toBitString(
+                                        scaffold.levels[a.index]),
+                                    core::toBitString(
+                                        core::levelPlanFromMask(
+                                            mb, num_layers)),
+                                    m.stepSeconds,
+                                    dp_time / m.stepSeconds});
+                });
+        }
+    } else {
+        // Fig. 10 shape: the 2^H x 2^H grid of two layers' level
+        // vectors, scored in one evaluateBatch call.
+        if (opts.levels > 8)
+            util::fatal("layer-vector sweep is 4^H points; refusing "
+                        "more than 8 hierarchy levels");
+        const std::uint64_t masks = std::uint64_t{1} << opts.levels;
+        std::vector<core::HierarchicalPlan> grid;
+        grid.reserve(masks * masks);
+        core::HierarchicalPlan scaffold = base;
+        for (std::uint64_t ma = 0; ma < masks; ++ma) {
+            core::assignLayerFromState(scaffold, a.index, ma);
+            for (std::uint64_t mb = 0; mb < masks; ++mb) {
+                core::assignLayerFromState(scaffold, b.index, mb);
+                grid.push_back(scaffold);
+            }
+        }
+        const auto metrics = ev.evaluateBatch(grid);
+        rows.reserve(grid.size());
+        for (std::uint64_t ma = 0; ma < masks; ++ma) {
+            for (std::uint64_t mb = 0; mb < masks; ++mb) {
+                const auto &m = metrics[ma * masks + mb];
+                rows.push_back({core::toBitString(core::levelPlanFromMask(
+                                    ma, opts.levels)),
+                                core::toBitString(core::levelPlanFromMask(
+                                    mb, opts.levels)),
+                                m.stepSeconds,
+                                dp_time / m.stepSeconds});
+            }
+        }
+    }
+
+    const std::string mode = a.isLevel ? "levels" : "layers";
+    if (opts.output.empty()) {
+        writeSweepRows(opts, mode, a, b, rows, os);
+    } else {
+        std::ofstream out(opts.output);
+        if (!out)
+            util::fatal("cannot write '" + opts.output + "'");
+        writeSweepRows(opts, mode, a, b, rows, out);
+        os << "wrote " << rows.size() << " grid points to "
+           << opts.output << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 std::string
 usage()
 {
-    return "usage: hyparc <plan|simulate|report|trace|models>\n"
+    return "usage: hyparc <plan|simulate|report|trace|sweep|models>\n"
            "  --model <zoo name> | --spec <file>\n"
            "  [--levels N] [--batch B] [--topology htree|torus|mesh]\n"
            "  [--strategy hypar|dp|mp|owt|optimal] [-o <file>]\n"
            "  [--engine auto|dense|sparse|beam] [--beam-width N]\n"
            "    (strategy=optimal: joint-DP engine; dense is exact to\n"
-           "     H=10, sparse/beam reach H=16, beam-width 0 = default)";
+           "     H=10, sparse/beam reach H=16, beam-width 0 = default)\n"
+           "  [--verbose]  (plan: print search diagnostics such as\n"
+           "     transitions evaluated for --strategy optimal)\n"
+           "  sweep: --axes A,B [--format csv|json]\n"
+           "    A,B = two hierarchy levels (H1,H4 -> Fig. 9 grid) or\n"
+           "    two layer names (conv5_2,fc1 -> Fig. 10 grid), scored\n"
+           "    around the --strategy base plan via the batched\n"
+           "    evaluator";
 }
 
 Options
@@ -206,6 +423,12 @@ parseArgs(const std::vector<std::string> &args)
             opts.engine = value(i);
         } else if (arg == "--beam-width") {
             opts.beamWidth = std::stoul(value(i));
+        } else if (arg == "--axes") {
+            opts.axes = value(i);
+        } else if (arg == "--format") {
+            opts.format = value(i);
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
         } else if (arg == "-o" || arg == "--output") {
             opts.output = value(i);
         } else {
@@ -228,6 +451,8 @@ runCommand(const Options &opts, std::ostream &os)
         return cmdReport(opts, os);
     if (opts.command == "trace")
         return cmdTrace(opts, os);
+    if (opts.command == "sweep")
+        return cmdSweep(opts, os);
     util::fatal("unknown command '" + opts.command + "'\n" + usage());
 }
 

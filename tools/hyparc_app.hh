@@ -7,6 +7,8 @@
  *   hyparc simulate --spec net.hp [--topology torus] [--strategy dp]
  *   hyparc report --model AlexNet            # per-layer comm breakdown
  *   hyparc trace --model Lenet-c -o out.json # chrome://tracing export
+ *   hyparc sweep --model Lenet-c --axes H1,H4      # Fig. 9 style grid
+ *   hyparc sweep --model VGG-A --axes conv5_2,fc1  # Fig. 10 style grid
  *   hyparc models                            # list the zoo
  */
 
@@ -22,16 +24,20 @@ namespace hypar::tools {
 /** Parsed command line. */
 struct Options
 {
-    std::string command;      //!< plan | simulate | report | trace | models
+    std::string command; //!< plan | simulate | report | trace | sweep |
+                         //!< models
     std::string model;        //!< zoo model name
     std::string spec;         //!< path to a network spec file
-    std::string output;       //!< -o target (trace)
+    std::string output;       //!< -o target (trace, sweep)
     std::string topology = "htree"; //!< htree | torus | mesh
     std::string strategy = "hypar"; //!< hypar | dp | mp | owt | optimal
     std::string engine = "auto";    //!< auto | dense | sparse | beam
+    std::string axes;         //!< sweep axes: "H1,H4" or "conv5_2,fc1"
+    std::string format = "csv";     //!< sweep output: csv | json
     std::size_t beamWidth = 0;      //!< 0 = engine default
     std::size_t levels = 4;
     std::size_t batch = 256;
+    bool verbose = false;     //!< extra search diagnostics (plan)
 };
 
 /**
