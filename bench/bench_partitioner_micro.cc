@@ -202,15 +202,58 @@ void
 BM_OptimalPartitionBeam(benchmark::State &state)
 {
     // Past the dense H = 10 ceiling: the frontier-pruned beam engine at
-    // its default width. H = 12 and 14 were unreachable before this
-    // engine existed; the dense DP's 4^H loop is 16x / 256x the H = 10
-    // work.
+    // the legacy fixed default width (adaptive growth disabled, so one
+    // pass at max(1024, 2^H/16) like the pre-A* engine — note the
+    // pass itself now also builds the suffix-bound table and ranks
+    // frontiers by f = g + h, so numbers are not directly comparable
+    // across the PR that introduced the bound). H = 12 and 14 were
+    // unreachable before this engine existed; the dense DP's 4^H loop
+    // is 16x / 256x the H = 10 work.
     const auto levels = static_cast<std::size_t>(state.range(0));
     dnn::Network net = deepNet(12);
     core::CommModel model(net, core::CommConfig{});
     core::OptimalPartitioner partitioner(model);
     core::SearchOptions opts;
     opts.engine = core::SearchEngine::kBeam;
+    opts.adaptiveBeam = false;
+    for (auto _ : state) {
+        auto result = partitioner.partition(levels, opts);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_OptimalPartitionAStar(benchmark::State &state)
+{
+    // The exact best-first engine under the admissible suffix bound:
+    // the depths the sparse engine crawls through and the dense DP
+    // cannot touch at all. Bit-identical results to both.
+    const auto levels = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(12);
+    core::CommModel model(net, core::CommConfig{});
+    core::OptimalPartitioner partitioner(model);
+    core::SearchOptions opts;
+    opts.engine = core::SearchEngine::kAStar;
+    for (auto _ : state) {
+        auto result = partitioner.partition(levels, opts);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_OptimalPartitionBeamAdaptive(benchmark::State &state)
+{
+    // The self-certifying beam: width grows geometrically until the
+    // dropped-state bound clears the result, so the returned plan
+    // carries certifiedExact == true.
+    const auto levels = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(12);
+    core::CommModel model(net, core::CommConfig{});
+    core::OptimalPartitioner partitioner(model);
+    core::SearchOptions opts;
+    opts.engine = core::SearchEngine::kBeam; // width 0 -> adaptive
     for (auto _ : state) {
         auto result = partitioner.partition(levels, opts);
         benchmark::DoNotOptimize(result.commBytes);
@@ -318,6 +361,12 @@ BENCHMARK(BM_OptimalPartitionReference)->DenseRange(4, 6, 2);
 BENCHMARK(BM_OptimalPartitionSparse)->DenseRange(6, 10, 2);
 // Depths the dense DP cannot reach at all.
 BENCHMARK(BM_OptimalPartitionBeam)->DenseRange(10, 14, 2);
+// The exact engines past the ceiling: A* to the full H = 14 micro
+// range, the adaptive (self-certifying) beam to H = 12 — its
+// certificate can force near-exhaustive widths beyond that, which
+// belongs in fig11, not a micro bench.
+BENCHMARK(BM_OptimalPartitionAStar)->DenseRange(10, 14, 2);
+BENCHMARK(BM_OptimalPartitionBeamAdaptive)->DenseRange(10, 12, 2);
 BENCHMARK(BM_BruteForceHierarchical);
 BENCHMARK(BM_BruteForceHierarchicalReference);
 BENCHMARK(BM_SweepLevelBytes);

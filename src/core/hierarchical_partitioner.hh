@@ -21,6 +21,48 @@
 
 namespace hypar::core {
 
+/**
+ * Per-search diagnostics of a joint-DP engine (OptimalPartitioner).
+ *
+ * `expanded`/`pruned` count (layer, state) DP nodes: a node is
+ * *expanded* when the engine computed its cost and kept it as a live
+ * predecessor for the next layer, and *pruned* when the engine
+ * eliminated it — dropped from a beam frontier, or proven useless by
+ * the A* bound `g + h > incumbent` — without (or despite) relaxing it.
+ * For the exhaustive engines (dense, sparse, reference) every node is
+ * expanded and none pruned. `widthUsed` is the per-layer frontier the
+ * engine actually worked with: the final beam width for the beam
+ * engine (after adaptive growth), the largest per-layer live set for
+ * A*, and the full 2^H for the exhaustive engines.
+ *
+ * `certifiedExact` is a machine-checked optimality certificate: true
+ * only when the engine *proved* its plan is the exact joint optimum —
+ * bit-identical, cost and plan, to the dense DP. The exhaustive and A*
+ * engines always certify; a pruned beam certifies when every state it
+ * ever dropped had `g + h` strictly above the returned cost (see
+ * optimal_partitioner.hh for the admissibility argument). False means
+ * "no certificate", not "wrong": searches that don't certify (greedy
+ * Algorithm 2, an uncertified beam) leave the default-constructed
+ * value in place.
+ *
+ * Scope under adaptive beam growth: `expanded`, `pruned`,
+ * `certifiedExact`, and `widthUsed` describe the final (certifying)
+ * pass only, while `HierarchicalResult::transitionsEvaluated`
+ * accumulates over every growth pass — it is the total work bill, not
+ * a per-pass figure, so expanded + pruned relates to it only for the
+ * single-pass engines.
+ *
+ * All four fields are deterministic for a given model, engine, and
+ * options — independent of thread count — so tests can assert on them.
+ */
+struct SearchStats
+{
+    std::uint64_t expanded = 0; //!< DP nodes computed and kept
+    std::uint64_t pruned = 0;   //!< DP nodes eliminated by bound/beam
+    bool certifiedExact = false; //!< proven equal to the dense DP
+    std::size_t widthUsed = 0;   //!< per-layer frontier actually used
+};
+
 /** Result of the hierarchical search. */
 struct HierarchicalResult
 {
@@ -35,6 +77,8 @@ struct HierarchicalResult
      * how much work the sparse/beam engines actually skipped.
      */
     std::uint64_t transitionsEvaluated = 0;
+    /** Node-level search diagnostics + optimality certificate. */
+    SearchStats stats;
 };
 
 /**

@@ -105,6 +105,438 @@ class InterTermTable
 };
 
 /**
+ * Relative slack used whenever a floating-point `g + h` is compared
+ * against an incumbent cost C: a node is pruned (and a beam pass
+ * certified) only when the value exceeds C * (1 + kBoundSlack). The
+ * suffix bound is admissible addend-by-addend, but its multi-layer
+ * sum is associated differently from the DP's own left-to-right
+ * accumulation; the slack absorbs that re-association drift (at most
+ * ~2L * 2^-53 relative — five orders of magnitude below 1e-9) so no
+ * state whose true float-semantics completion is <= C — including
+ * exact ties, which the shared tie-break rule must still see — is
+ * ever cut. See the admissibility argument in optimal_partitioner.hh.
+ */
+constexpr double kBoundSlack = 1e-9;
+
+/**
+ * Deflation for A*'s fast transition screen: a re-associated
+ * (4-accumulator) sum of the same non-negative addends is within
+ * H * 2^-53 < 4e-15 relative of the canonical ascending-order sum, so
+ * multiplying it by (1 - 1e-12) yields a certified lower bound on the
+ * exact value — candidates rejected against it can never win (or tie)
+ * the argmin.
+ */
+constexpr double kScreenSlack = 1.0 - 1e-12;
+
+double
+inflate(double cost)
+{
+    return cost * (1.0 + kBoundSlack);
+}
+
+/**
+ * Per-target row minima of one factored table: the cheapest admissible
+ * p-side entry (p_h in {0,1}, dpAbove(p,h) <= h) of each (h, sb,
+ * b <= h) row. This is the sparse engine's per-target lower-bound
+ * ingredient (lbIn), shared with the suffix bound's M term and the A*
+ * per-target screen. Slots with b > h are unreachable and stay +inf.
+ */
+std::vector<double>
+targetRowMins(const InterTermTable &iterm, std::size_t levels)
+{
+    std::vector<double> rowmin(levels * 2 * (levels + 1),
+                               std::numeric_limits<double>::infinity());
+    for (std::size_t h = 0; h < levels; ++h) {
+        for (unsigned sb = 0; sb < 2; ++sb) {
+            for (unsigned b = 0; b <= h; ++b) {
+                const double *row = iterm.rowAt(h, sb, b);
+                double m = std::numeric_limits<double>::infinity();
+                for (unsigned pb = 0; pb < 2; ++pb)
+                    for (unsigned a = 0; a <= h; ++a)
+                        m = std::min(m, row[pb * (levels + 1) + a]);
+                rowmin[(h * 2 + sb) * (levels + 1) + b] = m;
+            }
+        }
+    }
+    return rowmin;
+}
+
+/**
+ * pcol[p * levels + h]: column of state p in the level-h row of a
+ * factored table — (p_h, dpAbove(p,h)) flattened. Shared by every
+ * layer transition of the sparse and A* engines.
+ */
+std::vector<std::uint16_t>
+buildPcol(std::size_t levels)
+{
+    const std::uint32_t states = 1u << levels;
+    std::vector<std::uint16_t> pcol(std::size_t{states} * levels);
+    for (std::uint32_t p = 0; p < states; ++p)
+        for (std::size_t h = 0; h < levels; ++h)
+            pcol[std::size_t{p} * levels + h] =
+                static_cast<std::uint16_t>(((p >> h) & 1u) *
+                                               (levels + 1) +
+                                           dpAbove(p, h));
+    return pcol;
+}
+
+/** One InterTermTable per l -> l+1 transition, shared by the wide
+ *  engines (several passes reuse them: bound, incumbent, search). */
+std::vector<InterTermTable>
+buildInterTables(const CommModel &model, std::size_t levels)
+{
+    const std::size_t num_layers = model.numLayers();
+    std::vector<InterTermTable> tables;
+    if (num_layers > 1) {
+        tables.reserve(num_layers - 1);
+        for (std::size_t l = 0; l + 1 < num_layers; ++l)
+            tables.emplace_back(model, l, levels);
+    }
+    return tables;
+}
+
+/**
+ * The admissible suffix bound h[l * 2^levels + s] of
+ * optimal_partitioner.hh: a real-arithmetic lower bound on everything
+ * the DP adds after layer l's intra term when layer l sits in state s
+ * (the l -> l+1 transition plus every deeper intra and transition).
+ * One backward min-over-transitions pass per layer over the factored
+ * tables:
+ *
+ *   h[l][s] = max( lbOut(l, s) + m[l+1],  M[l],  C(l, s) )
+ *
+ * with lbOut/m/M and the per-level chain term C as documented in the
+ * header. Monotone (consistent)
+ * by construction: both arguments of the max bound the one-step
+ * expansion trans + intra' + h' from below. O(L * (2^H * H + H^3))
+ * on the pool; the per-state sums run level-ascending like every
+ * real transition sum, so addend-wise domination survives the float
+ * arithmetic (the cross-layer re-association is what kBoundSlack
+ * absorbs at comparison time).
+ */
+std::vector<double>
+suffixBound(const CommModel &model, std::size_t levels,
+            std::size_t num_layers, const std::vector<double> &intra,
+            const std::vector<InterTermTable> &inter)
+{
+    const std::size_t states = std::size_t{1} << levels;
+    std::vector<double> bound(num_layers * states, 0.0);
+    auto &pool = util::ThreadPool::global();
+    const std::size_t grain = pool.grainFor(states);
+    const std::size_t cols = 2 * (levels + 1);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    // Per-level chain term: the joint cost decomposes as a sum over
+    // hierarchy levels, and for a fixed level h the per-layer choices
+    // form a plain 2-state chain. Relax each level-h addend over the
+    // upper-level count arguments (min over dp_above + mp_above = h)
+    // and solve that tiny chain *exactly* backward:
+    //
+    //   chain[l][h][bit] = min over next bit nb of
+    //       transMin_h(l, bit, nb) + intraMin_h(l+1, nb)
+    //     + chain[l+1][h][nb]
+    //
+    // Then sum_h chain[l][h][s_h] lower-bounds the full remaining
+    // cost from (l, s) — per level it is a minimum over all bit
+    // sequences that start at s's own bit, so unlike the scalar m/M
+    // terms it charges every mp bit its unavoidable downstream cost.
+    // imin[(l * levels + h) * 2 + bit] is the relaxed per-level intra
+    // term (2^h pair weighting included; exact power-of-two
+    // multiplication keeps it float-exact).
+    std::vector<double> imin(num_layers * levels * 2, kInf);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        double pairs = 1.0;
+        for (std::size_t h = 0; h < levels; ++h) {
+            for (unsigned bit = 0; bit < 2; ++bit) {
+                double m = kInf;
+                for (unsigned a = 0; a <= h; ++a)
+                    m = std::min(
+                        m, pairs * model.intraBytesAt(
+                                       l,
+                                       bit ? Parallelism::kModel
+                                           : Parallelism::kData,
+                                       a, static_cast<unsigned>(h) - a));
+                imin[(l * levels + h) * 2 + bit] = m;
+            }
+            pairs *= 2.0;
+        }
+    }
+    std::vector<double> chain(num_layers * levels * 2, 0.0);
+    for (std::size_t l = num_layers - 1; l-- > 0;) {
+        const InterTermTable &iterm = inter[l];
+        for (std::size_t h = 0; h < levels; ++h) {
+            for (unsigned pb = 0; pb < 2; ++pb) {
+                double best = kInf;
+                for (unsigned sb = 0; sb < 2; ++sb) {
+                    double tmin = kInf;
+                    for (unsigned b = 0; b <= h; ++b) {
+                        const double *row = iterm.rowAt(h, sb, b);
+                        for (unsigned a = 0; a <= h; ++a)
+                            tmin = std::min(
+                                tmin, row[pb * (levels + 1) + a]);
+                    }
+                    best = std::min(
+                        best,
+                        tmin + imin[((l + 1) * levels + h) * 2 + sb] +
+                            chain[((l + 1) * levels + h) * 2 + sb]);
+                }
+                chain[(l * levels + h) * 2 + pb] = best;
+            }
+        }
+    }
+
+    // outmin[h * cols + col]: cheapest admissible target-side entry
+    // (s'_h in {0,1}, dpAbove(s',h) <= h) of level h at the source's
+    // fixed column `col` — the per-level ingredient of lbOut.
+    std::vector<double> outmin(levels * cols);
+
+    for (std::size_t l = num_layers - 1; l-- > 0;) {
+        const InterTermTable &iterm = inter[l];
+        for (std::size_t h = 0; h < levels; ++h) {
+            for (std::size_t col = 0; col < cols; ++col) {
+                double m = kInf;
+                for (unsigned sb = 0; sb < 2; ++sb)
+                    for (unsigned b = 0; b <= h; ++b)
+                        m = std::min(m, iterm.rowAt(h, sb, b)[col]);
+                outmin[h * cols + col] = m;
+            }
+        }
+        // The sparse engine's per-target row minima: the lbIn
+        // ingredient of the M term.
+        const std::vector<double> inmin = targetRowMins(iterm, levels);
+
+        const double *intra_next = &intra[(l + 1) * states];
+        const double *bound_next = &bound[(l + 1) * states];
+        // m = min_s'(intra' + h'); M = min_s'(lbIn(s') + intra' + h').
+        // Scalar float mins are order-independent, so the chunked
+        // reduction is deterministic for every thread count.
+        const auto mins = pool.parallelReduce(
+            0, states, grain, std::pair<double, double>{kInf, kInf},
+            [&](std::size_t begin, std::size_t end) {
+                std::pair<double, double> acc{kInf, kInf};
+                for (std::size_t s = begin; s < end; ++s) {
+                    const auto sv = static_cast<std::uint32_t>(s);
+                    const double rest = intra_next[s] + bound_next[s];
+                    acc.first = std::min(acc.first, rest);
+                    double lbin = 0.0;
+                    for (std::size_t h = 0; h < levels; ++h)
+                        lbin += inmin[(h * 2 + ((sv >> h) & 1u)) *
+                                          (levels + 1) +
+                                      dpAbove(sv, h)];
+                    acc.second = std::min(acc.second, lbin + rest);
+                }
+                return acc;
+            },
+            [](std::pair<double, double> a, std::pair<double, double> b) {
+                return std::pair<double, double>{
+                    std::min(a.first, b.first),
+                    std::min(a.second, b.second)};
+            });
+
+        double *bound_l = &bound[l * states];
+        const double *chain_l = &chain[l * levels * 2];
+        pool.parallelFor(
+            0, states, grain, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t s = begin; s < end; ++s) {
+                    const auto sv = static_cast<std::uint32_t>(s);
+                    double lbout = 0.0;
+                    double per_level = 0.0;
+                    for (std::size_t h = 0; h < levels; ++h) {
+                        const unsigned bit = (sv >> h) & 1u;
+                        lbout += outmin[h * cols + bit * (levels + 1) +
+                                        dpAbove(sv, h)];
+                        per_level += chain_l[h * 2 + bit];
+                    }
+                    bound_l[s] = std::max(
+                        std::max(lbout + mins.first, mins.second),
+                        per_level);
+                }
+            });
+    }
+    return bound;
+}
+
+HierarchicalResult assemblePlan(std::size_t levels,
+                                std::size_t num_layers,
+                                std::uint32_t states,
+                                const std::vector<double> &cost,
+                                const std::vector<std::uint32_t> &parent);
+
+/** Tables shared by the wide engines (beam passes and A*). */
+struct WideTables
+{
+    std::vector<double> intra;         //!< [l * 2^H + s]
+    std::vector<InterTermTable> inter; //!< one per l -> l+1
+    std::vector<double> suffix;        //!< admissible bound h[l][s]
+};
+
+/**
+ * Result of one fixed-width beam pass. `minDroppedF` is the smallest
+ * f = g + h over every state dropped from any frontier (+inf when
+ * nothing was dropped, i.e. width >= 2^H); the caller checks it
+ * against the returned cost to certify exactness.
+ */
+struct BeamOutcome
+{
+    HierarchicalResult result;
+    double minDroppedF = std::numeric_limits<double>::infinity();
+    std::uint64_t expanded = 0; //!< kept predecessor nodes, all layers
+    std::uint64_t dropped = 0;  //!< frontier states pruned, all layers
+};
+
+BeamOutcome
+beamPass(std::size_t levels, std::size_t num_layers,
+         std::size_t beam_width, const WideTables &tables)
+{
+    const std::uint32_t states = 1u << levels;
+    auto &pool = util::ThreadPool::global();
+
+    const std::vector<double> &intra = tables.intra;
+    std::vector<double> cost(intra.begin(), intra.begin() + states);
+    std::vector<std::uint32_t> parent(num_layers * states, 0);
+    std::vector<double> next(states);
+    std::vector<std::uint32_t> frontier;
+    std::vector<double> fscore(states);
+    std::uint64_t total_evaluated = 0;
+    BeamOutcome out;
+
+    // The beam: the `beam_width` best states under (f, index) with
+    // f = cost-so-far + suffix bound — ranked by provable completable
+    // cost, not by prefix cost alone — listed in ascending state
+    // index. The best set under a strict total order is unique, so
+    // the frontier — and everything downstream — is deterministic.
+    auto pruneFrontier = [&](std::size_t l) {
+        frontier.resize(states);
+        std::iota(frontier.begin(), frontier.end(), 0u);
+        if (beam_width < states) {
+            const double *suffix_l = &tables.suffix[l * states];
+            for (std::uint32_t s = 0; s < states; ++s)
+                fscore[s] = cost[s] + suffix_l[s];
+            std::nth_element(frontier.begin(),
+                             frontier.begin() +
+                                 static_cast<std::ptrdiff_t>(beam_width),
+                             frontier.end(),
+                             [&](std::uint32_t x, std::uint32_t y) {
+                                 return better(fscore[x], x, fscore[y],
+                                               y);
+                             });
+            for (std::size_t k = beam_width; k < states; ++k)
+                out.minDroppedF =
+                    std::min(out.minDroppedF, fscore[frontier[k]]);
+            out.dropped += states - beam_width;
+            frontier.resize(beam_width);
+            std::sort(frontier.begin(), frontier.end());
+        }
+    };
+
+    for (std::size_t l = 1; l < num_layers; ++l) {
+        const InterTermTable &iterm = tables.inter[l - 1];
+        const double *intra_l = &intra[l * states];
+        std::uint32_t *parent_l = &parent[l * states];
+
+        pruneFrontier(l - 1);
+        const std::size_t fsize = frontier.size();
+        out.expanded += fsize;
+        total_evaluated += static_cast<std::uint64_t>(fsize) * states;
+
+        // Parallelize over frontier chunks: each chunk relaxes every
+        // target state into its own (best, prev) arrays, merged below.
+        // An argmin under the strict total order of better() is
+        // independent of how candidates are grouped, so the merge is
+        // bit-identical for every chunk grid and thread count.
+        const std::size_t fgrain = std::max<std::size_t>(
+            1, fsize / (2 * pool.parallelism()));
+        const std::size_t chunks = (fsize + fgrain - 1) / fgrain;
+        std::vector<std::vector<double>> chunk_best(
+            chunks,
+            std::vector<double>(
+                states, std::numeric_limits<double>::infinity()));
+        std::vector<std::vector<std::uint32_t>> chunk_prev(
+            chunks, std::vector<std::uint32_t>(states, 0));
+
+        pool.parallelFor(0, fsize, fgrain, [&](std::size_t f_begin,
+                                               std::size_t f_end) {
+            const std::size_t ci = f_begin / fgrain;
+            std::vector<double> &best = chunk_best[ci];
+            std::vector<std::uint32_t> &prev = chunk_prev[ci];
+            // trans[s] = interCost(l-1, p, s) for the chunk's current
+            // predecessor p, built for all 2^H target states at once by
+            // expanding one level bit at a time — the mirror image of
+            // the dense engine's p-side expansion, with the additions
+            // in the same level-ascending order, so every transition
+            // sum is bit-identical to the dense DP's.
+            std::vector<double> trans(states);
+            // tp[(h * 2 + sb) * (levels + 1) + b]: the (h, sb, b) table
+            // entry at p's fixed column, gathered up front so the
+            // expansion reads contiguously.
+            std::vector<double> tp(levels * 2 * (levels + 1));
+
+            for (std::size_t k = f_begin; k < f_end; ++k) {
+                const std::uint32_t p = frontier[k];
+                for (std::size_t h = 0; h < levels; ++h) {
+                    const std::size_t col =
+                        ((p >> h) & 1u) * (levels + 1) + dpAbove(p, h);
+                    for (unsigned sb = 0; sb < 2; ++sb) {
+                        for (unsigned b = 0; b <= h; ++b)
+                            tp[(h * 2 + sb) * (levels + 1) + b] =
+                                iterm.rowAt(h, sb, b)[col];
+                    }
+                }
+
+                trans[0] = 0.0;
+                for (std::size_t h = 0; h < levels; ++h) {
+                    const std::size_t half = std::size_t{1} << h;
+                    const double *t0 = &tp[(h * 2 + 0) * (levels + 1)];
+                    const double *t1 = &tp[(h * 2 + 1) * (levels + 1)];
+                    for (std::size_t s_low = 0; s_low < half; ++s_low) {
+                        const auto mp_below = static_cast<unsigned>(
+                            std::popcount(static_cast<std::uint32_t>(
+                                s_low)));
+                        const unsigned b =
+                            static_cast<unsigned>(h) - mp_below;
+                        const double acc = trans[s_low];
+                        trans[s_low] = acc + t0[b];
+                        trans[s_low + half] = acc + t1[b];
+                    }
+                }
+
+                const double cost_p = cost[p];
+                for (std::uint32_t s = 0; s < states; ++s) {
+                    const double c = cost_p + trans[s];
+                    if (better(c, p, best[s], prev[s])) {
+                        best[s] = c;
+                        prev[s] = p;
+                    }
+                }
+            }
+        });
+
+        const std::size_t sgrain = pool.grainFor(states);
+        pool.parallelFor(0, states, sgrain, [&](std::size_t s_begin,
+                                                std::size_t s_end) {
+            for (std::size_t s = s_begin; s < s_end; ++s) {
+                double best = chunk_best[0][s];
+                std::uint32_t best_prev = chunk_prev[0][s];
+                for (std::size_t ci = 1; ci < chunks; ++ci) {
+                    if (better(chunk_best[ci][s], chunk_prev[ci][s],
+                               best, best_prev)) {
+                        best = chunk_best[ci][s];
+                        best_prev = chunk_prev[ci][s];
+                    }
+                }
+                next[s] = best + intra_l[s];
+                parent_l[s] = best_prev;
+            }
+        });
+        cost.swap(next);
+    }
+
+    out.result = assemblePlan(levels, num_layers, states, cost, parent);
+    out.result.transitionsEvaluated = total_evaluated;
+    return out;
+}
+
+/**
  * Final argmin over the last layer's costs (ascending s with strict <
  * == the dp-heavier tie-break) plus parent-chain plan reconstruction,
  * shared by every table engine. `parent` is the flat
@@ -150,8 +582,10 @@ searchEngineFromName(const std::string &name)
         return SearchEngine::kSparse;
     if (name == "beam")
         return SearchEngine::kBeam;
+    if (name == "astar")
+        return SearchEngine::kAStar;
     util::fatal("unknown search engine '" + name +
-                "' (auto|dense|sparse|beam)");
+                "' (auto|dense|sparse|beam|astar)");
 }
 
 OptimalPartitioner::OptimalPartitioner(const CommModel &model)
@@ -223,14 +657,16 @@ OptimalPartitioner::partition(std::size_t levels,
     SearchEngine engine = options.engine;
     if (engine == SearchEngine::kAuto)
         engine = levels <= kDenseMax ? SearchEngine::kDense
-                                     : SearchEngine::kBeam;
+                                     : SearchEngine::kAStar;
     switch (engine) {
     case SearchEngine::kDense:
         return partitionDense(levels);
     case SearchEngine::kSparse:
         return partitionSparse(levels);
     case SearchEngine::kBeam:
-        return partitionBeam(levels, options.beamWidth);
+        return partitionBeam(levels, options);
+    case SearchEngine::kAStar:
+        return partitionAStar(levels);
     case SearchEngine::kAuto:
         break;
     }
@@ -328,6 +764,10 @@ OptimalPartitioner::partitionDense(std::size_t levels) const
         assemblePlan(levels, num_layers, states, cost, parent);
     result.transitionsEvaluated = static_cast<std::uint64_t>(states) *
                                   states * (num_layers - 1);
+    result.stats.expanded =
+        static_cast<std::uint64_t>(states) * num_layers;
+    result.stats.certifiedExact = true; // exhaustive
+    result.stats.widthUsed = states;
     return result;
 }
 
@@ -349,14 +789,7 @@ OptimalPartitioner::partitionSparse(std::size_t levels) const
 
     const std::vector<double> intra = intraTable(levels);
 
-    // pcol[p * levels + h]: column of predecessor p in the level-h row
-    // of the factored table — (p_h, dpAbove(p,h)) flattened. Shared by
-    // every layer transition.
-    std::vector<std::uint16_t> pcol(states * levels);
-    for (std::uint32_t p = 0; p < states; ++p)
-        for (std::size_t h = 0; h < levels; ++h)
-            pcol[p * levels + h] = static_cast<std::uint16_t>(
-                ((p >> h) & 1u) * (levels + 1) + dpAbove(p, h));
+    const std::vector<std::uint16_t> pcol = buildPcol(levels);
 
     std::vector<double> cost(intra.begin(), intra.begin() + states);
     std::vector<std::uint32_t> parent(num_layers * states, 0);
@@ -370,24 +803,8 @@ OptimalPartitioner::partitionSparse(std::size_t levels) const
         const double *intra_l = &intra[l * states];
         std::uint32_t *parent_l = &parent[l * states];
 
-        // rowmin[(h * 2 + sb) * (levels + 1) + b]: the cheapest
-        // admissible p-side entry (p_h in {0,1}, dpAbove(p,h) <= h) of
-        // the (h, sb, b) row — the per-level ingredient of the lower
-        // bound below.
-        std::vector<double> rowmin(levels * 2 * (levels + 1),
-                                   std::numeric_limits<double>::infinity());
-        for (std::size_t h = 0; h < levels; ++h) {
-            for (unsigned sb = 0; sb < 2; ++sb) {
-                for (unsigned b = 0; b <= h; ++b) {
-                    const double *row = iterm.rowAt(h, sb, b);
-                    double m = std::numeric_limits<double>::infinity();
-                    for (unsigned pb = 0; pb < 2; ++pb)
-                        for (unsigned a = 0; a <= h; ++a)
-                            m = std::min(m, row[pb * (levels + 1) + a]);
-                    rowmin[(h * 2 + sb) * (levels + 1) + b] = m;
-                }
-            }
-        }
+        // Per-level ingredients of the lower bound below.
+        const std::vector<double> rowmin = targetRowMins(iterm, levels);
 
         // Predecessors in ascending (cost, index): the scan below then
         // visits candidates best-first under the shared tie-break
@@ -453,12 +870,16 @@ OptimalPartitioner::partitionSparse(std::size_t levels) const
     HierarchicalResult result =
         assemblePlan(levels, num_layers, states, cost, parent);
     result.transitionsEvaluated = total_evaluated;
+    result.stats.expanded =
+        static_cast<std::uint64_t>(states) * num_layers;
+    result.stats.certifiedExact = true; // exact: dominance-only pruning
+    result.stats.widthUsed = states;
     return result;
 }
 
 HierarchicalResult
 OptimalPartitioner::partitionBeam(std::size_t levels,
-                                  std::size_t beam_width) const
+                                  const SearchOptions &options) const
 {
     if (levels > kWideMax)
         util::fatal("OptimalPartitioner: beam engine capped at H = 16");
@@ -467,144 +888,343 @@ OptimalPartitioner::partitionBeam(std::size_t levels,
 
     const std::size_t num_layers = model_->numLayers();
     HYPAR_ASSERT(num_layers > 0, "partitioning an empty network");
+    const std::size_t states = std::size_t{1} << levels;
+
+    WideTables tables;
+    tables.intra = intraTable(levels);
+    tables.inter = buildInterTables(*model_, levels);
+    tables.suffix =
+        suffixBound(*model_, levels, num_layers, tables.intra,
+                    tables.inter);
+
+    // Width policy: an explicit width runs one fixed pass; width 0 is
+    // adaptive growth by default (legacy fixed default with
+    // adaptiveBeam off). See SearchOptions.
+    const bool adaptive = options.beamWidth == 0 && options.adaptiveBeam;
+    std::size_t width;
+    if (options.beamWidth > 0)
+        width = std::min(options.beamWidth, states);
+    else if (adaptive)
+        width = std::min(options.beamWidthStart > 0
+                             ? options.beamWidthStart
+                             : kAdaptiveBeamStart,
+                         states);
+    else
+        width =
+            std::min(std::max(kDefaultBeamWidth, states / 16), states);
+
+    std::uint64_t total_evaluated = 0;
+    for (;;) {
+        BeamOutcome pass = beamPass(levels, num_layers, width, tables);
+        total_evaluated += pass.result.transitionsEvaluated;
+        // The certificate: every state any frontier dropped had
+        // f = g + h strictly above the achieved cost (with the slack
+        // absorbing float re-association), so no pruned path can beat
+        // or tie the returned plan — which therefore equals the dense
+        // DP's, cost and plan. Vacuously true when nothing was
+        // dropped (width >= 2^H: the beam is exhaustive).
+        const bool certified =
+            pass.minDroppedF > inflate(pass.result.commBytes);
+        if (!adaptive || certified || width >= states) {
+            HierarchicalResult result = std::move(pass.result);
+            result.transitionsEvaluated = total_evaluated;
+            result.stats.expanded = pass.expanded;
+            result.stats.pruned = pass.dropped;
+            result.stats.certifiedExact = certified;
+            result.stats.widthUsed = width;
+            return result;
+        }
+        width = std::min(width * kAdaptiveBeamGrowth, states);
+    }
+}
+
+HierarchicalResult
+OptimalPartitioner::partitionAStar(std::size_t levels) const
+{
+    if (levels > kWideMax)
+        util::fatal("OptimalPartitioner: A* engine capped at H = 16");
+    if (levels <= 2)
+        return partitionReference(levels);
+
+    const std::size_t num_layers = model_->numLayers();
+    HYPAR_ASSERT(num_layers > 0, "partitioning an empty network");
 
     const std::uint32_t states = 1u << levels;
-    if (beam_width == 0)
-        beam_width = std::max<std::size_t>(kDefaultBeamWidth, states / 16);
-    beam_width = std::min<std::size_t>(beam_width, states);
-
     auto &pool = util::ThreadPool::global();
-    const std::vector<double> intra = intraTable(levels);
+    const std::size_t grain = pool.grainFor(states);
+    const std::size_t chunks = (states + grain - 1) / grain;
 
+    WideTables tables;
+    tables.intra = intraTable(levels);
+    tables.inter = buildInterTables(*model_, levels);
+    tables.suffix =
+        suffixBound(*model_, levels, num_layers, tables.intra,
+                    tables.inter);
+
+    // Incumbent: one narrow beam pass over the same tables. Its cost
+    // is an *achieved* plan cost in the DP's own float semantics, so
+    // it upper-bounds the optimum; after the (1 + slack) inflation,
+    // `g + h > ub` proves no completion through the node can beat —
+    // or exactly tie — the optimum, which is what keeps the surviving
+    // search bit-identical to the dense DP (header, "admissible
+    // suffix bound").
+    const BeamOutcome incumbent = beamPass(
+        levels, num_layers,
+        std::min<std::size_t>(kIncumbentBeamWidth, states), tables);
+    const double ub = inflate(incumbent.result.commBytes);
+
+    const std::vector<std::uint16_t> pcol = buildPcol(levels);
+
+    const std::vector<double> &intra = tables.intra;
     std::vector<double> cost(intra.begin(), intra.begin() + states);
     std::vector<std::uint32_t> parent(num_layers * states, 0);
     std::vector<double> next(states);
-    std::vector<std::uint32_t> frontier;
-    std::uint64_t total_evaluated = 0;
+    std::vector<std::uint8_t> dead(states, 0);
+    std::vector<std::uint32_t> alive;
+    // Class-conditioned predecessor keys: keyC[pc * states + p] =
+    // cost[p] + (a lower bound on trans(p, s) valid for every target s
+    // with popcount(s) == pc), plus one predecessor ordering per class.
+    std::vector<double> keyC((levels + 1) * states);
+    std::vector<std::vector<std::uint32_t>> orderC(levels + 1);
+    std::vector<double> min_keyC(levels + 1);
+    std::vector<std::uint64_t> evaluated(chunks);
+    std::uint64_t total_evaluated = incumbent.result.transitionsEvaluated;
+    std::uint64_t expanded = 0;
+    std::uint64_t pruned = 0;
+    std::size_t width_used = 0;
 
-    // The beam: the `beam_width` cheapest states under the shared
-    // (cost, index) tie-break order, listed in ascending state index.
-    // The best set under a strict total order is unique, so the
-    // frontier — and everything downstream — is deterministic.
-    auto pruneFrontier = [&] {
-        frontier.resize(states);
-        std::iota(frontier.begin(), frontier.end(), 0u);
-        if (beam_width < states) {
-            std::nth_element(frontier.begin(),
-                             frontier.begin() +
-                                 static_cast<std::ptrdiff_t>(beam_width),
-                             frontier.end(),
-                             [&](std::uint32_t x, std::uint32_t y) {
-                                 return better(cost[x], x, cost[y], y);
-                             });
-            frontier.resize(beam_width);
-            std::sort(frontier.begin(), frontier.end());
-        }
-    };
+    // Layer-0 frontier: a state whose certified completable cost
+    // g + h already exceeds the incumbent can never be on an optimal
+    // path; everything else stays live.
+    alive.reserve(states);
+    for (std::uint32_t s = 0; s < states; ++s)
+        if (!(cost[s] + tables.suffix[s] > ub))
+            alive.push_back(s);
+    expanded += alive.size();
+    pruned += states - alive.size();
+    width_used = std::max(width_used, alive.size());
 
     for (std::size_t l = 1; l < num_layers; ++l) {
-        const InterTermTable iterm(*model_, l - 1, levels);
+        const InterTermTable &iterm = tables.inter[l - 1];
         const double *intra_l = &intra[l * states];
+        const double *suffix_l = &tables.suffix[l * states];
         std::uint32_t *parent_l = &parent[l * states];
 
-        pruneFrontier();
-        const std::size_t fsize = frontier.size();
-        total_evaluated += static_cast<std::uint64_t>(fsize) * states;
+        // The sparse engine's per-target row minima (lbIn).
+        const std::vector<double> rowmin = targetRowMins(iterm, levels);
 
-        // Parallelize over frontier chunks: each chunk relaxes every
-        // target state into its own (best, prev) arrays, merged below.
-        // An argmin under the strict total order of better() is
-        // independent of how candidates are grouped, so the merge is
-        // bit-identical for every chunk grid and thread count.
-        const std::size_t fgrain = std::max<std::size_t>(
-            1, fsize / (2 * pool.parallelism()));
-        const std::size_t chunks = (fsize + fgrain - 1) / fgrain;
-        std::vector<std::vector<double>> chunk_best(
-            chunks, std::vector<double>(
-                        states, std::numeric_limits<double>::infinity()));
-        std::vector<std::vector<std::uint32_t>> chunk_prev(
-            chunks, std::vector<std::uint32_t>(states, 0));
-
-        pool.parallelFor(0, fsize, fgrain, [&](std::size_t f_begin,
-                                               std::size_t f_end) {
-            const std::size_t ci = f_begin / fgrain;
-            std::vector<double> &best = chunk_best[ci];
-            std::vector<std::uint32_t> &prev = chunk_prev[ci];
-            // trans[s] = interCost(l-1, p, s) for the chunk's current
-            // predecessor p, built for all 2^H target states at once by
-            // expanding one level bit at a time — the mirror image of
-            // the dense engine's p-side expansion, with the additions
-            // in the same level-ascending order, so every transition
-            // sum is bit-identical to the dense DP's.
-            std::vector<double> trans(states);
-            // tp[(h * 2 + sb) * (levels + 1) + b]: the (h, sb, b) table
-            // entry at p's fixed column, gathered up front so the
-            // expansion reads contiguously.
-            std::vector<double> tp(levels * 2 * (levels + 1));
-
-            for (std::size_t k = f_begin; k < f_end; ++k) {
-                const std::uint32_t p = frontier[k];
-                for (std::size_t h = 0; h < levels; ++h) {
-                    const std::size_t col =
-                        ((p >> h) & 1u) * (levels + 1) + dpAbove(p, h);
-                    for (unsigned sb = 0; sb < 2; ++sb) {
-                        for (unsigned b = 0; b <= h; ++b)
-                            tp[(h * 2 + sb) * (levels + 1) + b] =
-                                iterm.rowAt(h, sb, b)[col];
+        // colmin[(h * cols + col) * 2 + sb]: cheapest level-h entry at
+        // source column `col` toward a dp (sb = 0) or mp (sb = 1)
+        // target, minimized over the target's dpAbove b <= h. Only
+        // 2 * (H+1) columns exist per level, so hoisting this out of
+        // the per-predecessor key DP below removes an O(alive * H^2)
+        // recompute per layer.
+        const std::size_t cols = 2 * (levels + 1);
+        std::vector<double> colmin(
+            levels * cols * 2, std::numeric_limits<double>::infinity());
+        for (std::size_t h = 0; h < levels; ++h)
+            for (unsigned sb = 0; sb < 2; ++sb)
+                for (unsigned b = 0; b <= h; ++b) {
+                    const double *row = iterm.rowAt(h, sb, b);
+                    for (std::size_t col = 0; col < cols; ++col) {
+                        double &m = colmin[(h * cols + col) * 2 + sb];
+                        m = std::min(m, row[col]);
                     }
                 }
 
-                trans[0] = 0.0;
+        // Assignment-aware predecessor keys, one per target class. A
+        // target with pc mp bits forces *some* pc levels onto the
+        // mp-side column of the factored table, so for each live
+        // predecessor p a tiny count DP over levels —
+        //
+        //   f[c] after level h = cheapest way to route c mp bits
+        //                        through levels 0..h at p's column
+        //
+        // — yields keyC[pc][p] = cost[p] + f[pc], a lower bound on
+        // cost[p] + trans(p, s) for every target s with popcount pc.
+        // Each realized f is a level-ascending float sum of addends
+        // dominated by the real ones, so the bound is exact in float.
+        // Scanning each target's class order makes `keyC > best` an
+        // early break that knows mp-heavy targets cannot be reached
+        // for free — the per-level row minima alone collapse to ~0
+        // because every level can pretend another one pays.
+        HYPAR_ASSERT(!alive.empty(),
+                     "A*: the bound pruned every live state");
+        const std::size_t na = alive.size();
+        const std::size_t agrain =
+            std::max<std::size_t>(1, na / (4 * pool.parallelism()));
+        pool.parallelFor(0, na, agrain, [&](std::size_t a_begin,
+                                            std::size_t a_end) {
+            std::array<double, kWideMax> dpmin;
+            std::array<double, kWideMax> mpmin;
+            std::array<double, kWideMax + 1> f;
+            for (std::size_t i = a_begin; i < a_end; ++i) {
+                const std::uint32_t p = alive[i];
+                const std::uint16_t *pc = &pcol[std::size_t{p} * levels];
                 for (std::size_t h = 0; h < levels; ++h) {
-                    const std::size_t half = std::size_t{1} << h;
-                    const double *t0 = &tp[(h * 2 + 0) * (levels + 1)];
-                    const double *t1 = &tp[(h * 2 + 1) * (levels + 1)];
-                    for (std::size_t s_low = 0; s_low < half; ++s_low) {
-                        const auto mp_below = static_cast<unsigned>(
-                            std::popcount(static_cast<std::uint32_t>(
-                                s_low)));
-                        const unsigned b =
-                            static_cast<unsigned>(h) - mp_below;
-                        const double acc = trans[s_low];
-                        trans[s_low] = acc + t0[b];
-                        trans[s_low + half] = acc + t1[b];
-                    }
+                    const double *cm = &colmin[(h * cols + pc[h]) * 2];
+                    dpmin[h] = cm[0];
+                    mpmin[h] = cm[1];
                 }
-
+                f[0] = 0.0;
+                for (std::size_t h = 0; h < levels; ++h) {
+                    f[h + 1] = f[h] + mpmin[h];
+                    for (std::size_t c = h; c > 0; --c)
+                        f[c] = std::min(f[c] + dpmin[h],
+                                        f[c - 1] + mpmin[h]);
+                    f[0] += dpmin[h];
+                }
                 const double cost_p = cost[p];
-                for (std::uint32_t s = 0; s < states; ++s) {
-                    const double c = cost_p + trans[s];
-                    if (better(c, p, best[s], prev[s])) {
-                        best[s] = c;
-                        prev[s] = p;
+                for (std::size_t c = 0; c <= levels; ++c)
+                    keyC[c * states + p] = cost_p + f[c];
+            }
+        });
+        pool.parallelFor(
+            0, levels + 1, 1, [&](std::size_t c_begin, std::size_t c_end) {
+                for (std::size_t c = c_begin; c < c_end; ++c) {
+                    std::vector<std::uint32_t> &ord = orderC[c];
+                    ord = alive;
+                    const double *keyc = &keyC[c * states];
+                    std::sort(ord.begin(), ord.end(),
+                              [&](std::uint32_t x, std::uint32_t y) {
+                                  return better(keyc[x], x, keyc[y], y);
+                              });
+                    min_keyC[c] = keyc[ord[0]];
+                }
+            });
+        double min_alive_cost = cost[alive[0]];
+        for (const std::uint32_t p : alive)
+            min_alive_cost = std::min(min_alive_cost, cost[p]);
+
+        std::fill(evaluated.begin(), evaluated.end(), 0);
+        pool.parallelFor(0, states, grain, [&](std::size_t s_begin,
+                                               std::size_t s_end) {
+            std::uint64_t &count = evaluated[s_begin / grain];
+            std::array<const double *, kWideMax> rows;
+            std::array<double, kWideMax> rmins;
+
+            for (std::size_t s = s_begin; s < s_end; ++s) {
+                const auto sv = static_cast<std::uint32_t>(s);
+                for (std::size_t h = 0; h < levels; ++h) {
+                    const unsigned sb = (sv >> h) & 1u;
+                    const unsigned b = dpAbove(sv, h);
+                    rows[h] = iterm.rowAt(h, sb, b);
+                    rmins[h] = rowmin[(h * 2 + sb) * (levels + 1) + b];
+                }
+                // Per-target lower bound on any transition into s,
+                // accumulated in the same level-ascending order as
+                // the real transition sums (monotone rounding makes
+                // lb <= trans(p, s) exact in float, as in the sparse
+                // engine).
+                double lb = 0.0;
+                for (std::size_t h = 0; h < levels; ++h)
+                    lb += rmins[h];
+
+                const auto pc_s = static_cast<std::size_t>(
+                    std::popcount(sv));
+                const std::vector<std::uint32_t> &ord = orderC[pc_s];
+                const double *keyc = &keyC[pc_s * states];
+
+                // Node precheck: if even the best conceivable
+                // relaxation — cheapest live class key (or cheapest
+                // live cost plus the per-target bound) plus this
+                // node's intra and suffix bound — cannot reach the
+                // incumbent, prune the node without scanning anything.
+                // Every chain is single additions dominated
+                // addend-wise by the real relaxation, so the
+                // comparisons are safe.
+                if ((min_keyC[pc_s] + intra_l[s]) + suffix_l[s] > ub ||
+                    (min_alive_cost + lb + intra_l[s]) + suffix_l[s] >
+                        ub) {
+                    next[s] = std::numeric_limits<double>::infinity();
+                    parent_l[s] = 0;
+                    dead[s] = 1;
+                    continue;
+                }
+
+                double best = std::numeric_limits<double>::infinity();
+                std::uint32_t best_prev = 0;
+                for (std::size_t k = 0; k < ord.size(); ++k) {
+                    const std::uint32_t p = ord[k];
+                    const double base = keyc[p];
+                    if (base > best)
+                        break; // every later p bounds at least as high
+                    // Incumbent break: the class key grows along the
+                    // scan, so once even the bound chain overshoots
+                    // ub, no remaining predecessor can sit on a path
+                    // that beats or ties the incumbent — cutting them
+                    // may leave this node's cost above its dense
+                    // value, but never for a node on an optimal path
+                    // (whose dense argmin predecessor chain stays
+                    // <= ub and is therefore reached before this
+                    // break fires).
+                    if ((base + intra_l[s]) + suffix_l[s] > ub)
+                        break;
+                    // Per-target screen: lbIn can reject p where the
+                    // class key (which relaxed the target's exact
+                    // dpAbove counts) cannot.
+                    if (cost[p] + lb > best)
+                        continue;
+                    // Fast screen: sum the same addends with four
+                    // independent accumulators (breaks the add
+                    // latency chain). The re-associated value tfast
+                    // differs from the canonical ascending-order sum
+                    // by < H * 2^-53 relative, so deflating it by
+                    // kScreenSlack makes `cost + tfast_deflated >
+                    // best` a proof the candidate loses; only the few
+                    // candidates near the incumbent re-run the exact
+                    // level-ascending sum that bit-identity requires.
+                    const std::uint16_t *pc =
+                        &pcol[std::size_t{p} * levels];
+                    double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+                    std::size_t h = 0;
+                    for (; h + 4 <= levels; h += 4) {
+                        t0 += rows[h][pc[h]];
+                        t1 += rows[h + 1][pc[h + 1]];
+                        t2 += rows[h + 2][pc[h + 2]];
+                        t3 += rows[h + 3][pc[h + 3]];
+                    }
+                    for (; h < levels; ++h)
+                        t0 += rows[h][pc[h]];
+                    ++count;
+                    const double tfast = (t0 + t1) + (t2 + t3);
+                    if (cost[p] + tfast * kScreenSlack > best)
+                        continue;
+                    double t = 0.0;
+                    for (std::size_t hh = 0; hh < levels; ++hh)
+                        t += rows[hh][pc[hh]];
+                    const double c = cost[p] + t;
+                    if (better(c, p, best, best_prev)) {
+                        best = c;
+                        best_prev = p;
                     }
                 }
+                const double g = best + intra_l[s];
+                next[s] = g;
+                parent_l[s] = best_prev;
+                dead[s] = g + suffix_l[s] > ub ? 1 : 0;
             }
         });
 
-        const std::size_t sgrain = pool.grainFor(states);
-        pool.parallelFor(0, states, sgrain, [&](std::size_t s_begin,
-                                                std::size_t s_end) {
-            for (std::size_t s = s_begin; s < s_end; ++s) {
-                double best = chunk_best[0][s];
-                std::uint32_t best_prev = chunk_prev[0][s];
-                for (std::size_t ci = 1; ci < chunks; ++ci) {
-                    if (better(chunk_best[ci][s], chunk_prev[ci][s],
-                               best, best_prev)) {
-                        best = chunk_best[ci][s];
-                        best_prev = chunk_prev[ci][s];
-                    }
-                }
-                next[s] = best + intra_l[s];
-                parent_l[s] = best_prev;
-            }
-        });
+        for (std::uint64_t e : evaluated)
+            total_evaluated += e;
+        alive.clear();
+        for (std::uint32_t s = 0; s < states; ++s)
+            if (!dead[s])
+                alive.push_back(s);
+        expanded += alive.size();
+        pruned += states - alive.size();
+        width_used = std::max(width_used, alive.size());
         cost.swap(next);
     }
 
     HierarchicalResult result =
         assemblePlan(levels, num_layers, states, cost, parent);
     result.transitionsEvaluated = total_evaluated;
+    result.stats.expanded = expanded;
+    result.stats.pruned = pruned;
+    result.stats.certifiedExact = true; // exact by construction
+    result.stats.widthUsed = width_used;
     return result;
 }
 
@@ -619,6 +1239,10 @@ OptimalPartitioner::partitionReference(std::size_t levels) const
     HierarchicalResult result;
     result.plan.levels.assign(levels,
                               LevelPlan(num_layers, Parallelism::kData));
+    result.stats.certifiedExact = true; // exhaustive
+    result.stats.widthUsed = std::size_t{1} << levels;
+    result.stats.expanded =
+        static_cast<std::uint64_t>(result.stats.widthUsed) * num_layers;
     if (levels == 0)
         return result;
 

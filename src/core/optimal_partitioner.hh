@@ -36,22 +36,92 @@
  *    the result — cost and plan — is bit-identical to the dense DP.
  *    Reaches H = 16.
  *
- *  - kBeam — keeps only the `beamWidth` cheapest states of each layer
- *    frontier (by the shared tie-break order) as transition
- *    predecessors. Heuristic in general; exhaustive (and bit-identical
- *    to the dense DP) when beamWidth >= 2^H. Empirically the optimality
- *    gap is zero on the model zoo at the default width. Reaches H = 16;
- *    H = 12-14 searches finish in seconds.
+ *  - kBeam — keeps only the `beamWidth` best states of each layer
+ *    frontier as transition predecessors, ranked by f = g + h where h
+ *    is the admissible suffix bound described below (falling back to
+ *    the shared tie-break order on exact ties). Exhaustive (and
+ *    bit-identical to the dense DP) when beamWidth >= 2^H. Every pass
+ *    also computes an optimality *certificate*: if every state the
+ *    beam ever dropped had f strictly above the returned cost, the
+ *    plan is provably the exact optimum (SearchStats::certifiedExact).
+ *    By default the width is adaptive — it grows geometrically until
+ *    the certificate holds — so the default beam is self-certifying
+ *    exact. Reaches H = 16.
  *
- *  - kAuto (default) — dense up to H = 10, beam beyond, preserving the
- *    historical bit-exact behaviour for every depth that was previously
- *    reachable while lifting the ceiling.
+ *  - kAStar — exact best-first search over the same chain. A backward
+ *    pass over the factored inter tables precomputes an admissible
+ *    suffix bound h[l][s] <= the cheapest completion of layers
+ *    l..L-1 from state s; a small beam pass supplies an incumbent
+ *    upper bound; then a layer-ordered expansion relaxes only states
+ *    whose g + h does not exceed the incumbent, scanning predecessors
+ *    best-first with the sparse engine's per-target early break.
+ *    Exact and bit-identical to the dense DP at every depth (the
+ *    bound never prunes a state on an optimal path — see "The
+ *    admissible suffix bound" below). H = 16 on VGG-E runs in ~22 s
+ *    on the 1-core reference container where the sparse engine's
+ *    per-target-only bound needs ~96 s, and the per-state loops
+ *    parallelize on multi-core hosts.
+ *
+ *  - kAuto (default) — dense up to H = 10 (bit-exact historical
+ *    behaviour for every depth that was previously reachable), A*
+ *    beyond: exact at every depth the library accepts.
  *
  * Every engine runs its per-state loops on util::ThreadPool with fixed
  * chunking (or order-independent total-order argmins), so results are
  * bit-identical for every thread count; the dense path is also
  * bit-identical to partitionReference(), the original naive DP kept as
  * a test oracle.
+ *
+ * ## The admissible suffix bound h[l][s]
+ *
+ * All wide engines share one heuristic table, built by suffixBound():
+ *
+ *   h[L-1][s] = 0
+ *   h[l][s]   = max( lbOut(l, s) + m[l+1],  M[l],  C(l, s) )
+ *
+ *   lbOut(l, s) = sum_h min over target-side keys (s'_h, dpAbove(s',h))
+ *                 of the factored inter term at s's own column — a
+ *                 lower bound on trans(s -> s') for *every* successor
+ *                 s', because each addend is the per-level row minimum
+ *                 of the exact factored table and the sum runs in the
+ *                 same level-ascending order as the real transition
+ *                 sums (floating-point rounding is monotone, so
+ *                 addend-wise domination survives the float sums).
+ *   m[l+1]      = min_s'( intra[l+1][s'] + h[l+1][s'] )  — the cheapest
+ *                 possible rest-of-chain from any successor.
+ *   M[l]        = min_s'( lbIn(l, s') + intra[l+1][s'] + h[l+1][s'] )
+ *                 where lbIn is the sparse engine's per-target row-min
+ *                 bound; a second valid lower bound (the max of any
+ *                 set of admissible bounds is admissible).
+ *   C(l, s)     = sum_h chain[l][h][s_h]: the joint cost decomposes
+ *                 as a sum over levels, and for one level h the
+ *                 per-layer dp/mp choices form a plain 2-state chain.
+ *                 chain[l][h][bit] solves that chain *exactly*
+ *                 backward over per-level costs relaxed over their
+ *                 upper-level count arguments, so it lower-bounds the
+ *                 level-h share of any completion whose layer-l bit
+ *                 is s_h; summing the per-level minima bounds the
+ *                 whole remaining cost (each level's true share >= its
+ *                 chain value for the bit sequence the completion
+ *                 actually takes).
+ *
+ * Admissibility (real arithmetic) is by construction: every addend
+ * bounds the corresponding exact DP addend from below, layer by layer
+ * (the bound is also *consistent*: h[l][s] <= trans(s,s') +
+ * intra[l+1][s'] + h[l+1][s'] for every successor — lbOut <= trans
+ * and m <= intra + h cover the first argument of the max, M[l] <=
+ * lbIn + intra + h <= the expansion directly, and each per-level
+ * chain obeys its own one-step recursion). Floating point
+ * re-associates the
+ * multi-layer sums, so comparisons against an incumbent C use the
+ * inflated threshold C * (1 + kBoundSlack) with kBoundSlack = 1e-9:
+ * the worst-case relative rounding drift of the <= 2L additions on any
+ * root-to-leaf chain is ~2L * 2^-53 < 1e-14, five orders of magnitude
+ * inside the slack, so a state is pruned (or a certificate granted)
+ * only when its true float-semantics completion provably exceeds C.
+ * Exact ties (g + h == C) are never pruned, which is what preserves
+ * the shared tie-break rule and makes A* plans — not just costs —
+ * bit-identical to the dense DP.
  *
  * Used by the ablation harness to measure how much the greedy
  * hierarchical search leaves on the table (empirically: nothing for
@@ -73,26 +143,54 @@ namespace hypar::core {
 
 /** Which transition engine OptimalPartitioner::partition runs. */
 enum class SearchEngine {
-    kAuto,   //!< dense up to H = 10, beam beyond
+    kAuto,   //!< dense up to H = 10, A* beyond (exact everywhere)
     kDense,  //!< exhaustive O(L * 4^H) table DP (exact, H <= 10)
     kSparse, //!< exact DP with dominance pruning (H <= 16)
-    kBeam,   //!< frontier-pruned DP (exact when beamWidth >= 2^H)
+    kBeam,   //!< frontier-pruned DP, self-certifying adaptive width
+    kAStar,  //!< exact best-first DP under the suffix bound (H <= 16)
 };
 
-/** Parse "auto" | "dense" | "sparse" | "beam" (fatal otherwise). */
+/** Parse "auto" | "dense" | "sparse" | "beam" | "astar" (fatal
+ *  otherwise). */
 SearchEngine searchEngineFromName(const std::string &name);
 
-/** Tunables of the joint search. */
+/**
+ * Tunables of the joint search. The defaults make every engine exact:
+ * kAuto routes to dense or A*, and kBeam grows its width until its
+ * optimality certificate holds (SearchStats::certifiedExact — see
+ * hierarchical_partitioner.hh for the stats every search returns).
+ */
 struct SearchOptions
 {
     SearchEngine engine = SearchEngine::kAuto;
 
     /**
-     * Beam frontier width (kBeam only). 0 picks the default
-     * max(1024, 2^H / 16). A width >= 2^H keeps every state and makes
-     * the beam exhaustive — exact and bit-identical to the dense DP.
+     * Beam frontier width (kBeam only). 0 (default) leaves the width
+     * to the engine: adaptive growth when `adaptiveBeam` is set, the
+     * fixed legacy default max(1024, 2^H / 16) otherwise. A width
+     * >= 2^H keeps every state and makes the beam exhaustive — exact
+     * and bit-identical to the dense DP. An explicit width disables
+     * adaptive growth (single fixed-width pass, certificate still
+     * computed and reported).
      */
     std::size_t beamWidth = 0;
+
+    /**
+     * kBeam with beamWidth == 0: grow the width geometrically
+     * (x kAdaptiveBeamGrowth per pass, capped at 2^H) until the pass
+     * certifies exactness — every dropped state's g + h cleared the
+     * returned cost. The final pass's width is reported in
+     * SearchStats::widthUsed; transitionsEvaluated accumulates over
+     * all passes. Termination is guaranteed: at width 2^H nothing is
+     * dropped and the certificate holds vacuously.
+     */
+    bool adaptiveBeam = true;
+
+    /**
+     * Initial width of the adaptive growth (kBeam, beamWidth == 0,
+     * adaptiveBeam). 0 picks kAdaptiveBeamStart.
+     */
+    std::size_t beamWidthStart = 0;
 };
 
 /** Exact minimum-communication partitioner over all level vectors. */
@@ -102,20 +200,29 @@ class OptimalPartitioner
     /** Depth ceiling of the dense engine (4^H transition blow-up). */
     static constexpr std::size_t kDenseMaxLevels = 10;
 
-    /** Depth ceiling of the sparse/beam engines (and of kAuto). */
+    /** Depth ceiling of the sparse/beam/A* engines (and of kAuto). */
     static constexpr std::size_t kMaxLevels = 16;
 
-    /** Default beam width floor; see SearchOptions::beamWidth. */
+    /** Legacy fixed beam width floor; see SearchOptions::beamWidth. */
     static constexpr std::size_t kDefaultBeamWidth = 1024;
+
+    /** First width the adaptive beam tries (SearchOptions). */
+    static constexpr std::size_t kAdaptiveBeamStart = 256;
+
+    /** Geometric growth factor between adaptive beam passes. */
+    static constexpr std::size_t kAdaptiveBeamGrowth = 4;
+
+    /** Width of the internal beam pass that seeds the A* incumbent. */
+    static constexpr std::size_t kIncumbentBeamWidth = 64;
 
     explicit OptimalPartitioner(const CommModel &model);
 
     /**
      * Optimal hierarchical plan for `levels` levels via the kAuto
      * engine policy: the exact dense DP up to H = 10 (bit-identical to
-     * the historical behaviour), the beam engine beyond. Ties break
-     * toward the dp-heavier state (core/tie_break.hh). Fatal for
-     * levels > 16.
+     * the historical behaviour), the A* engine beyond — exact at every
+     * accepted depth. Ties break toward the dp-heavier state
+     * (core/tie_break.hh). Fatal for levels > 16.
      */
     HierarchicalResult partition(std::size_t levels) const;
 
@@ -146,7 +253,8 @@ class OptimalPartitioner
     HierarchicalResult partitionDense(std::size_t levels) const;
     HierarchicalResult partitionSparse(std::size_t levels) const;
     HierarchicalResult partitionBeam(std::size_t levels,
-                                     std::size_t beam_width) const;
+                                     const SearchOptions &options) const;
+    HierarchicalResult partitionAStar(std::size_t levels) const;
 
     /** Flat intra[l * 2^levels + s] table, filled on the pool. */
     std::vector<double> intraTable(std::size_t levels) const;

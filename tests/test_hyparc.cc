@@ -72,8 +72,12 @@ TEST(HyparcCommands, OptimalStrategyHonorsEngines)
     const std::string beam = run({"plan", "--model", "Lenet-c",
                                   "--strategy", "optimal", "--engine",
                                   "beam"});
+    const std::string astar = run({"plan", "--model", "Lenet-c",
+                                   "--strategy", "optimal", "--engine",
+                                   "astar"});
     EXPECT_EQ(dense, sparse);
     EXPECT_EQ(dense, beam);
+    EXPECT_EQ(dense, astar);
     EXPECT_NE(dense.find("total communication"), std::string::npos);
 
     // Past the dense ceiling only through sparse/beam (or auto).
@@ -154,10 +158,29 @@ TEST(HyparcCommands, VerboseOptimalPrintsTransitions)
     EXPECT_NE(verbose.find("transitions evaluated: 768"),
               std::string::npos)
         << verbose;
+    // SearchStats ride along: node accounting and the certificate.
+    EXPECT_NE(verbose.find("nodes expanded: 64, pruned: 0"),
+              std::string::npos)
+        << verbose;
+    EXPECT_NE(verbose.find("optimality: certified exact"),
+              std::string::npos)
+        << verbose;
+
+    // The A* engine reports its own (pruned) accounting and always
+    // certifies.
+    const std::string astar = run({"plan", "--model", "Lenet-c",
+                                   "--strategy", "optimal", "--engine",
+                                   "astar", "--levels", "6",
+                                   "--verbose"});
+    EXPECT_NE(astar.find("optimality: certified exact"),
+              std::string::npos)
+        << astar;
+    EXPECT_NE(astar.find("(engine astar)"), std::string::npos) << astar;
 
     const std::string quiet = run({"plan", "--model", "Lenet-c",
                                    "--strategy", "optimal"});
     EXPECT_EQ(quiet.find("transitions evaluated"), std::string::npos);
+    EXPECT_EQ(quiet.find("optimality:"), std::string::npos);
     // Not an optimal search: nothing to report even when verbose.
     const std::string hypar =
         run({"plan", "--model", "Lenet-c", "--verbose"});

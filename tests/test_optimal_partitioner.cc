@@ -43,8 +43,8 @@ TEST(OptimalPartitioner, MatchesExhaustiveSearchOnTinyNets)
                 core::bruteForceHierarchical(model, levels);
             for (auto engine :
                  {core::SearchEngine::kAuto, core::SearchEngine::kDense,
-                  core::SearchEngine::kSparse,
-                  core::SearchEngine::kBeam}) {
+                  core::SearchEngine::kSparse, core::SearchEngine::kBeam,
+                  core::SearchEngine::kAStar}) {
                 core::SearchOptions opts;
                 opts.engine = engine;
                 const auto exact =
@@ -87,13 +87,30 @@ TEST(OptimalPartitioner, WideEnginesBitIdenticalToDenseAtTheOldCeiling)
     EXPECT_EQ(bm.commBytes, dense.commBytes);
     EXPECT_EQ(bm.plan, dense.plan);
     EXPECT_EQ(bm.transitionsEvaluated, dense.transitionsEvaluated);
+    // Nothing dropped at full width -> the certificate is vacuous.
+    EXPECT_TRUE(bm.stats.certifiedExact);
+    EXPECT_EQ(bm.stats.pruned, 0u);
+
+    core::SearchOptions astar;
+    astar.engine = core::SearchEngine::kAStar;
+    const auto as = opt.partition(10, astar);
+    EXPECT_EQ(as.commBytes, dense.commBytes);
+    EXPECT_EQ(as.plan, dense.plan);
+    EXPECT_TRUE(as.stats.certifiedExact);
+    // The suffix bound must actually prune: every node is either
+    // expanded or pruned, and a healthy bound kills most of them.
+    EXPECT_EQ(as.stats.expanded + as.stats.pruned,
+              std::uint64_t{1 << 10} * model.numLayers());
+    EXPECT_GT(as.stats.pruned, 0u);
+    EXPECT_LT(as.transitionsEvaluated, dense.transitionsEvaluated);
 }
 
-TEST(OptimalPartitioner, DefaultBeamGapIsZeroPastTheOldCeiling)
+TEST(OptimalPartitioner, WideEnginesStayExactPastTheOldCeiling)
 {
     // H = 12 exceeds the dense ceiling. The exhaustive beam (width =
-    // 2^12) is exact there; the default pruned beam must find the same
-    // optimum — the measured optimality gap the beam design banks on.
+    // 2^12) is exact there; kAuto (now the A* engine) and the sparse
+    // engine must reproduce it bit for bit, and kAuto must get there
+    // with fewer relaxations than exhaustion.
     dnn::NetworkBuilder b("deep8", {256, 1, 1});
     for (int l = 0; l < 8; ++l)
         b.fc("fc" + std::to_string(l), l % 2 ? 512 : 128);
@@ -106,9 +123,10 @@ TEST(OptimalPartitioner, DefaultBeamGapIsZeroPastTheOldCeiling)
     exhaustive.beamWidth = std::size_t{1} << 12;
     const auto exact = opt.partition(12, exhaustive);
 
-    const auto pruned = opt.partition(12); // kAuto -> default beam
+    const auto pruned = opt.partition(12); // kAuto -> A*
     EXPECT_EQ(pruned.commBytes, exact.commBytes);
     EXPECT_EQ(pruned.plan, exact.plan);
+    EXPECT_TRUE(pruned.stats.certifiedExact);
     EXPECT_LT(pruned.transitionsEvaluated, exact.transitionsEvaluated);
 
     core::SearchOptions sparse;
@@ -116,6 +134,65 @@ TEST(OptimalPartitioner, DefaultBeamGapIsZeroPastTheOldCeiling)
     const auto sp = opt.partition(12, sparse);
     EXPECT_EQ(sp.commBytes, exact.commBytes);
     EXPECT_EQ(sp.plan, exact.plan);
+}
+
+TEST(OptimalPartitioner, AdaptiveBeamSelfCertifiesAcrossTheZoo)
+{
+    // The adaptive beam grows from a deliberately tiny start width
+    // until its optimality certificate holds; the certified result
+    // must equal the A* optimum bit for bit on every zoo model.
+    for (const auto &net : dnn::allModels()) {
+        CommModel model(net, CommConfig{});
+        OptimalPartitioner opt(model);
+
+        core::SearchOptions astar;
+        astar.engine = core::SearchEngine::kAStar;
+        const auto exact = opt.partition(9, astar);
+
+        core::SearchOptions adaptive;
+        adaptive.engine = core::SearchEngine::kBeam;
+        adaptive.beamWidthStart = 16;
+        const auto bm = opt.partition(9, adaptive);
+        EXPECT_TRUE(bm.stats.certifiedExact) << net.name();
+        EXPECT_GE(bm.stats.widthUsed, 16u) << net.name();
+        EXPECT_LE(bm.stats.widthUsed, std::size_t{1} << 9)
+            << net.name();
+        EXPECT_EQ(bm.commBytes, exact.commBytes) << net.name();
+        EXPECT_EQ(bm.plan, exact.plan) << net.name();
+    }
+}
+
+TEST(OptimalPartitioner, FixedWidthBeamReportsItsCertificateHonestly)
+{
+    // A deliberately starved fixed-width beam must never *claim*
+    // exactness unless its plan really is the A* optimum; and with
+    // adaptive growth disabled, width 0 keeps the legacy default.
+    const dnn::Network net = dnn::makeVggA();
+    CommModel model(net, CommConfig{});
+    OptimalPartitioner opt(model);
+
+    core::SearchOptions astar;
+    astar.engine = core::SearchEngine::kAStar;
+    const auto exact = opt.partition(11, astar);
+
+    core::SearchOptions starved;
+    starved.engine = core::SearchEngine::kBeam;
+    starved.beamWidth = 2;
+    const auto bm = opt.partition(11, starved);
+    EXPECT_EQ(bm.stats.widthUsed, 2u);
+    EXPECT_GE(bm.commBytes, exact.commBytes);
+    if (bm.stats.certifiedExact) {
+        EXPECT_EQ(bm.commBytes, exact.commBytes);
+        EXPECT_EQ(bm.plan, exact.plan);
+    }
+
+    core::SearchOptions legacy;
+    legacy.engine = core::SearchEngine::kBeam;
+    legacy.adaptiveBeam = false;
+    const auto lg = opt.partition(11, legacy);
+    // Default legacy width: max(1024, 2^11 / 16) = 1024.
+    EXPECT_EQ(lg.stats.widthUsed, 1024u);
+    EXPECT_GE(lg.commBytes, exact.commBytes);
 }
 
 TEST(OptimalPartitioner, CostEqualsPlanReplay)
@@ -200,13 +277,54 @@ TEST(OptimalPartitioner, IntraCostMatchesManualExpansion)
     EXPECT_DOUBLE_EQ(opt.intraCost(0, 0b00, 2), 56000.0 * 3.0);
 }
 
+TEST(OptimalPartitioner, SearchStatsAreDeterministicAndConsistent)
+{
+    const dnn::Network net = dnn::makeAlexNet();
+    CommModel model(net, CommConfig{});
+    OptimalPartitioner opt(model);
+    const std::size_t levels = 6;
+    const std::uint64_t states = 1u << levels;
+    const std::uint64_t nodes = states * net.size();
+
+    core::SearchOptions o;
+    o.engine = core::SearchEngine::kDense;
+    const auto dense = opt.partition(levels, o);
+    EXPECT_TRUE(dense.stats.certifiedExact);
+    EXPECT_EQ(dense.stats.expanded, nodes);
+    EXPECT_EQ(dense.stats.pruned, 0u);
+    EXPECT_EQ(dense.stats.widthUsed, states);
+
+    o.engine = core::SearchEngine::kSparse;
+    const auto sparse = opt.partition(levels, o);
+    EXPECT_TRUE(sparse.stats.certifiedExact);
+    EXPECT_EQ(sparse.stats.expanded, nodes);
+    EXPECT_EQ(sparse.stats.widthUsed, states);
+
+    o.engine = core::SearchEngine::kAStar;
+    const auto astar = opt.partition(levels, o);
+    EXPECT_TRUE(astar.stats.certifiedExact);
+    EXPECT_EQ(astar.stats.expanded + astar.stats.pruned, nodes);
+    EXPECT_GE(astar.stats.widthUsed, 1u);
+    EXPECT_LE(astar.stats.widthUsed, states);
+    // Stats are deterministic: a second identical search agrees.
+    const auto again = opt.partition(levels, o);
+    EXPECT_EQ(again.stats.expanded, astar.stats.expanded);
+    EXPECT_EQ(again.stats.pruned, astar.stats.pruned);
+    EXPECT_EQ(again.stats.widthUsed, astar.stats.widthUsed);
+    EXPECT_EQ(again.transitionsEvaluated, astar.transitionsEvaluated);
+
+    // The greedy Algorithm 2 carries no certificate.
+    const auto greedy = HierarchicalPartitioner(model).partition(levels);
+    EXPECT_FALSE(greedy.stats.certifiedExact);
+}
+
 TEST(OptimalPartitioner, RejectsAbsurdDepth)
 {
     dnn::Network net = dnn::makeLenetC();
     CommModel model(net, CommConfig{});
     const OptimalPartitioner opt(model);
 
-    // H = 11 used to be fatal; kAuto now routes it to the beam engine.
+    // H = 11 used to be fatal; kAuto now routes it to the A* engine.
     EXPECT_NO_THROW((void)opt.partition(11));
 
     // The dense engine (and its reference) keep the 4^H ceiling...
@@ -217,9 +335,13 @@ TEST(OptimalPartitioner, RejectsAbsurdDepth)
 
     // ...and the wide engines stop at H = 16.
     EXPECT_THROW((void)opt.partition(17), util::FatalError);
-    core::SearchOptions sparse;
-    sparse.engine = core::SearchEngine::kSparse;
-    EXPECT_THROW((void)opt.partition(17, sparse), util::FatalError);
+    for (auto engine : {core::SearchEngine::kSparse,
+                        core::SearchEngine::kBeam,
+                        core::SearchEngine::kAStar}) {
+        core::SearchOptions wide;
+        wide.engine = engine;
+        EXPECT_THROW((void)opt.partition(17, wide), util::FatalError);
+    }
 }
 
 TEST(OptimalPartitioner, SearchEngineNames)
@@ -232,6 +354,8 @@ TEST(OptimalPartitioner, SearchEngineNames)
               core::SearchEngine::kSparse);
     EXPECT_EQ(core::searchEngineFromName("beam"),
               core::SearchEngine::kBeam);
+    EXPECT_EQ(core::searchEngineFromName("astar"),
+              core::SearchEngine::kAStar);
     EXPECT_THROW((void)core::searchEngineFromName("bogus"),
                  util::FatalError);
 }

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Docs-hygiene gate: fail when the front-door docs reference things
+that no longer exist in the tree.
+
+Checked documents: README.md, docs/ARCHITECTURE.md, tools/README.md.
+Checked reference kinds:
+
+  * CLI flags (``--engine``, ``--beam-width``, ...) must appear in
+    tools/hyparc_app.cc (its parser or usage string).
+  * Search-engine names (``--engine <name>``) must be accepted by
+    searchEngineFromName in src/core/optimal_partitioner.cc.
+  * Backticked targets that look like binaries/targets
+    (``bench_*``, ``test_*``, ``hyparc``, ``example_*``,
+    ``*_json``) must exist as sources or CMake custom targets.
+  * ``--model <name>`` examples must name a real zoo model
+    (src/dnn/model_zoo.cc).
+  * Relative ``*.md``/``*.py``/source links must exist on disk.
+
+Run from anywhere: paths resolve relative to the repo root (parent of
+this script's directory). Exit code 1 lists every stale reference.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS = ["README.md", "docs/ARCHITECTURE.md", "tools/README.md"]
+
+# Flags consumed by binaries other than hyparc (the google-benchmark
+# harness) that the docs legitimately mention.
+FOREIGN_FLAGS = {
+    "--benchmark_format",
+    "--benchmark_out",
+    "--benchmark_out_format",
+    "--benchmark_min_time",
+    "--benchmark_filter",
+    "--help",
+    # cmake / ctest flags in build instructions
+    "--build",
+    "--target",
+    "--output-on-failure",
+    "--test-dir",
+}
+
+
+def read(relpath):
+    return (ROOT / relpath).read_text(encoding="utf-8")
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    print(f"check_docs: {len(errors)} stale reference(s)", file=sys.stderr)
+    return 1
+
+
+def main():
+    errors = []
+    app = read("tools/hyparc_app.cc")
+    engines = read("src/core/optimal_partitioner.cc")
+    zoo = read("src/dnn/model_zoo.cc")
+    cmake = read("CMakeLists.txt")
+
+    known_engines = set(
+        re.findall(r'name == "(\w+)"', engines)
+    )
+    # Zoo names are only the ones NetworkBuilder registers (not every
+    # quoted string — layer names would silence the check).
+    known_models = set(
+        re.findall(r'NetworkBuilder(?:\s+\w+)?\("([^"]+)"', zoo)
+    )
+    # Exact flag tokens hyparc parses or advertises, for exact
+    # membership (substring matching would let a stale '--beam' ride
+    # on '--beam-width').
+    known_flags = set(re.findall(r"(?<![\w-])--[a-z][\w-]*", app))
+
+    source_stems = {
+        p.stem for p in ROOT.glob("bench/*.cc")
+    } | {p.stem for p in ROOT.glob("tests/test_*.cc")}
+    example_stems = {
+        "example_" + p.stem for p in ROOT.glob("examples/*.cpp")
+    }
+    custom_targets = set(
+        re.findall(r"add_custom_target\((\w+)", cmake)
+    )
+    known_targets = (
+        source_stems | example_stems | custom_targets | {"hyparc"}
+    )
+
+    for doc in DOCS:
+        text = read(doc)
+
+        # CLI flags: every --flag token must be parsed (or at least
+        # advertised) by hyparc, unless it belongs to a foreign tool.
+        for flag in sorted(set(re.findall(r"(?<![\w-])--[a-z][\w-]*", text))):
+            if flag in FOREIGN_FLAGS:
+                continue
+            if flag not in known_flags:
+                errors.append(f"{doc}: flag '{flag}' not in hyparc_app.cc")
+
+        # Engine names in `--engine X` examples.
+        for name in re.findall(r"--engine[ =](\w+)", text):
+            if name not in known_engines:
+                errors.append(
+                    f"{doc}: engine '{name}' not accepted by "
+                    "searchEngineFromName")
+
+        # Zoo models in `--model X` examples.
+        for name in re.findall(r"--model ([\w-]+)", text):
+            if name not in known_models:
+                errors.append(f"{doc}: zoo model '{name}' not in model_zoo.cc")
+
+        # Backticked binary/target names.
+        for token in re.findall(r"`([\w/.]+)`", text):
+            base = token.split("/")[-1]
+            if re.fullmatch(r"(bench_\w+|test_\w+|example_\w+|hyparc)", base):
+                if base not in known_targets:
+                    errors.append(f"{doc}: target '{base}' does not exist")
+
+        # Relative file links/mentions.
+        for token in re.findall(
+                r"[\(`]((?:[\w-]+/)*[\w.-]+\.(?:md|py|hh|cc|hp))[\)`]", text):
+            if token.startswith("/") or "*" in token:
+                continue
+            candidates = [ROOT / token, ROOT / pathlib.Path(doc).parent / token]
+            if any(c.exists() for c in candidates):
+                continue
+            # Bare filename mentioned in prose: accept it anywhere in
+            # the tree (build/ output names are generated, skip those).
+            if "/" not in token and (
+                    token.startswith("BENCH_") or
+                    list(ROOT.glob(f"*/{token}")) or
+                    list(ROOT.glob(token))):
+                continue
+            errors.append(f"{doc}: file '{token}' does not exist")
+
+    if errors:
+        return fail(errors)
+    print(f"check_docs: {len(DOCS)} documents clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,10 +54,8 @@ makeConfig(const Options &opts)
 
 core::HierarchicalPlan
 makeStrategyPlan(const Options &opts, const core::CommModel &model,
-                 std::uint64_t *transitions_evaluated = nullptr)
+                 core::HierarchicalResult *search_out = nullptr)
 {
-    if (transitions_evaluated != nullptr)
-        *transitions_evaluated = 0;
     if (opts.strategy == "hypar")
         return core::makeHyparPlan(model, opts.levels);
     if (opts.strategy == "dp")
@@ -72,8 +70,8 @@ makeStrategyPlan(const Options &opts, const core::CommModel &model,
         search.beamWidth = opts.beamWidth;
         auto result =
             core::OptimalPartitioner(model).partition(opts.levels, search);
-        if (transitions_evaluated != nullptr)
-            *transitions_evaluated = result.transitionsEvaluated;
+        if (search_out != nullptr)
+            *search_out = result;
         return result.plan;
     }
     util::fatal("unknown strategy '" + opts.strategy +
@@ -99,19 +97,27 @@ cmdPlan(const Options &opts, std::ostream &os)
     core::CommConfig comm;
     comm.batch = opts.batch;
     core::CommModel model(net, comm);
-    std::uint64_t transitions = 0;
-    const auto plan = makeStrategyPlan(opts, model, &transitions);
+    core::HierarchicalResult search;
+    const auto plan = makeStrategyPlan(opts, model, &search);
 
     os << net.describe() << "\n"
        << opts.strategy << " plan over " << plan.numAccelerators()
        << " accelerators:\n"
        << core::toString(plan) << "total communication: "
        << util::formatBytes(model.planBytes(plan)) << "\n";
-    // Search-effort diagnostics: only the joint-DP engines count their
-    // transition relaxations (0 elsewhere, see HierarchicalResult).
-    if (opts.verbose && opts.strategy == "optimal")
-        os << "transitions evaluated: " << transitions << " (engine "
-           << opts.engine << ")\n";
+    // Search-effort diagnostics: only the joint-DP engines count
+    // relaxations and carry SearchStats (see HierarchicalResult).
+    if (opts.verbose && opts.strategy == "optimal") {
+        os << "transitions evaluated: " << search.transitionsEvaluated
+           << " (engine " << opts.engine << ")\n"
+           << "nodes expanded: " << search.stats.expanded
+           << ", pruned: " << search.stats.pruned << ", frontier width: "
+           << search.stats.widthUsed << "\n"
+           << "optimality: "
+           << (search.stats.certifiedExact ? "certified exact"
+                                           : "no certificate")
+           << "\n";
+    }
     return 0;
 }
 
@@ -378,11 +384,13 @@ usage()
            "  --model <zoo name> | --spec <file>\n"
            "  [--levels N] [--batch B] [--topology htree|torus|mesh]\n"
            "  [--strategy hypar|dp|mp|owt|optimal] [-o <file>]\n"
-           "  [--engine auto|dense|sparse|beam] [--beam-width N]\n"
+           "  [--engine auto|dense|sparse|beam|astar] [--beam-width N]\n"
            "    (strategy=optimal: joint-DP engine; dense is exact to\n"
-           "     H=10, sparse/beam reach H=16, beam-width 0 = default)\n"
-           "  [--verbose]  (plan: print search diagnostics such as\n"
-           "     transitions evaluated for --strategy optimal)\n"
+           "     H=10, sparse/beam/astar reach H=16; beam-width 0 =\n"
+           "     adaptive, growing until the result certifies exact)\n"
+           "  [--verbose]  (plan: search diagnostics for --strategy\n"
+           "     optimal: transitions evaluated, nodes expanded/pruned,\n"
+           "     frontier width, optimality certificate)\n"
            "  sweep: --axes A,B [--format csv|json]\n"
            "    A,B = two hierarchy levels (H1,H4 -> Fig. 9 grid) or\n"
            "    two layer names (conv5_2,fc1 -> Fig. 10 grid), scored\n"

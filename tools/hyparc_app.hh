@@ -31,7 +31,7 @@ struct Options
     std::string output;       //!< -o target (trace, sweep)
     std::string topology = "htree"; //!< htree | torus | mesh
     std::string strategy = "hypar"; //!< hypar | dp | mp | owt | optimal
-    std::string engine = "auto";    //!< auto | dense | sparse | beam
+    std::string engine = "auto"; //!< auto | dense | sparse | beam | astar
     std::string axes;         //!< sweep axes: "H1,H4" or "conv5_2,fc1"
     std::string format = "csv";     //!< sweep output: csv | json
     std::size_t beamWidth = 0;      //!< 0 = engine default
