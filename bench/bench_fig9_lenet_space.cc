@@ -112,5 +112,51 @@ main()
                               peak.gain)
               << "% (HyPar optimizes communication as a performance "
                  "proxy).\n";
+
+    // Beyond the paper: the same 256-point grid with gradient
+    // reductions overlapped (the async all-reduce schedule), swept by
+    // the two-tape incremental replay — bit-identical to per-mask
+    // simulation, so this output never depends on which path ran.
+    auto ocfg = cfg;
+    ocfg.options.overlapGradComm = true;
+    sim::Evaluator oev(lenet, ocfg);
+    const double odp_time =
+        oev.evaluate(core::Strategy::kDataParallel).stepSeconds;
+    double opeak_seconds = 0.0;
+    std::uint64_t opeak_key = 0;
+    bool have_opeak = false;
+    double ohypar_seconds = 0.0;
+    scaffold = hypar_plan;
+    for (std::uint64_t h1 = 0; h1 < h1_masks; ++h1) {
+        scaffold.levels[0] = core::levelPlanFromMask(h1, num_layers);
+        oev.sweepNeighborhood(
+            scaffold, 3, [&](std::uint64_t h4, const auto &metrics) {
+                const std::uint64_t key = (h1 << num_layers) | h4;
+                if (!have_opeak ||
+                    core::better(metrics.stepSeconds, key,
+                                 opeak_seconds, opeak_key)) {
+                    opeak_seconds = metrics.stepSeconds;
+                    opeak_key = key;
+                    have_opeak = true;
+                }
+                if (scaffold.levels[0] == hypar_plan.levels[0] &&
+                    core::levelPlanFromMask(h4, num_layers) ==
+                        hypar_plan.levels[3])
+                    ohypar_seconds = metrics.stepSeconds;
+            });
+    }
+    std::cout << "\nWith overlapped gradient reductions "
+                 "(--overlap; two-tape incremental sweep):\n";
+    util::Table o({"point", "H1", "H4", "normalized perf"});
+    o.addRow({"peak",
+              core::toBitString(core::levelPlanFromMask(
+                  opeak_key >> num_layers, num_layers)),
+              core::toBitString(core::levelPlanFromMask(
+                  opeak_key & (h1_masks - 1), num_layers)),
+              bench::ratio(odp_time / opeak_seconds)});
+    o.addRow({"HyPar", core::toBitString(hypar_plan.levels[0]),
+              core::toBitString(hypar_plan.levels[3]),
+              bench::ratio(odp_time / ohypar_seconds)});
+    o.print(std::cout);
     return 0;
 }

@@ -107,6 +107,62 @@ BM_Fig9LenetSweep(benchmark::State &state)
 }
 BENCHMARK(BM_Fig9LenetSweep)->Unit(benchmark::kMillisecond);
 
+/** Overlap-mode Fig. 9 pair: the same 256-point H1 x H4 LeNet grid
+ *  under SimOptions::overlapGradComm. The reference is the per-mask
+ *  simulate() loop the overlap sweep used to fall back to; the
+ *  optimized side is the two-tape incremental replay, which should
+ *  land within ~2x of the non-overlap incremental path. */
+void
+BM_Fig9LenetSweepOverlapReference(benchmark::State &state)
+{
+    const dnn::Network lenet = dnn::makeLenetC();
+    sim::SimConfig cfg;
+    cfg.options.overlapGradComm = true;
+    const sim::Evaluator ev(lenet, cfg);
+    const std::size_t layers = lenet.size();
+    core::HierarchicalPlan scaffold = ev.plan(core::Strategy::kHypar);
+
+    for (auto _ : state) {
+        double checksum = 0.0;
+        for (std::uint64_t h1 = 0; h1 < (1u << layers); ++h1) {
+            scaffold.levels[0] = core::levelPlanFromMask(h1, layers);
+            for (std::uint64_t h4 = 0; h4 < (1u << layers); ++h4) {
+                scaffold.levels[3] =
+                    core::levelPlanFromMask(h4, layers);
+                checksum += ev.evaluate(scaffold).stepSeconds;
+            }
+        }
+        benchmark::DoNotOptimize(checksum);
+    }
+}
+BENCHMARK(BM_Fig9LenetSweepOverlapReference)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Fig9LenetSweepOverlap(benchmark::State &state)
+{
+    const dnn::Network lenet = dnn::makeLenetC();
+    sim::SimConfig cfg;
+    cfg.options.overlapGradComm = true;
+    const sim::Evaluator ev(lenet, cfg);
+    const std::size_t layers = lenet.size();
+    core::HierarchicalPlan scaffold = ev.plan(core::Strategy::kHypar);
+
+    for (auto _ : state) {
+        double checksum = 0.0;
+        for (std::uint64_t h1 = 0; h1 < (1u << layers); ++h1) {
+            scaffold.levels[0] = core::levelPlanFromMask(h1, layers);
+            ev.sweepNeighborhood(
+                scaffold, 3,
+                [&](std::uint64_t, const sim::StepMetrics &m) {
+                    checksum += m.stepSeconds;
+                });
+        }
+        benchmark::DoNotOptimize(checksum);
+    }
+}
+BENCHMARK(BM_Fig9LenetSweepOverlap)->Unit(benchmark::kMillisecond);
+
 /** Strategy-sweep path: the four named strategies on one Evaluator. */
 void
 BM_StrategyBatchAlexNetReference(benchmark::State &state)

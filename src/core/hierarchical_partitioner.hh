@@ -24,13 +24,16 @@ namespace hypar::core {
 /**
  * Per-search diagnostics of a joint-DP engine (OptimalPartitioner).
  *
- * `expanded`/`pruned` count (layer, state) DP nodes: a node is
- * *expanded* when the engine computed its cost and kept it as a live
- * predecessor for the next layer, and *pruned* when the engine
- * eliminated it — dropped from a beam frontier, or proven useless by
- * the A* bound `g + h > incumbent` — without (or despite) relaxing it.
- * For the exhaustive engines (dense, sparse, reference) every node is
- * expanded and none pruned. `widthUsed` is the per-layer frontier the
+ * `expanded` counts (layer, state) DP nodes the engine computed and
+ * kept as live predecessors for the next layer. `pruned` counts the
+ * work the engine eliminated, in the engine's own work unit: for the
+ * beam and A* engines it is nodes — dropped from a frontier, or
+ * proven useless by the A* bound `g + h > incumbent`; for the sparse
+ * engine (whose nodes are all expanded) it is the dominance-skipped
+ * *transitions* its early break never evaluated, i.e. the dense
+ * engine's 4^H * (L-1) transition bill minus transitionsEvaluated.
+ * The dense and reference engines skip nothing, so their pruned count
+ * is genuinely zero. `widthUsed` is the per-layer frontier the
  * engine actually worked with: the final beam width for the beam
  * engine (after adaptive growth), the largest per-layer live set for
  * A*, and the full 2^H for the exhaustive engines.

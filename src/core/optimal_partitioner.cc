@@ -768,6 +768,8 @@ OptimalPartitioner::partitionDense(std::size_t levels) const
         static_cast<std::uint64_t>(states) * num_layers;
     result.stats.certifiedExact = true; // exhaustive
     result.stats.widthUsed = states;
+    // pruned stays 0: the dense engine skips no transitions, so its
+    // dominance-skipped count is genuinely zero.
     return result;
 }
 
@@ -874,6 +876,13 @@ OptimalPartitioner::partitionSparse(std::size_t levels) const
         static_cast<std::uint64_t>(states) * num_layers;
     result.stats.certifiedExact = true; // exact: dominance-only pruning
     result.stats.widthUsed = states;
+    // Every node stays expanded (the engine is exact), so `pruned`
+    // reports the work it skipped instead: the dominance-skipped
+    // transitions the early break never evaluated, complementing
+    // transitionsEvaluated to the dense engine's 4^H * (L-1) bill.
+    result.stats.pruned = static_cast<std::uint64_t>(states) * states *
+                              (num_layers - 1) -
+                          total_evaluated;
     return result;
 }
 

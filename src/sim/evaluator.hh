@@ -87,9 +87,13 @@ class Evaluator
      * deterministic chunking (util::ThreadPool::grainFor). The CommModel
      * tables and topology are shared read-only across threads; each
      * chunk clones the lightweight per-thread TrainingSimulator state.
-     * results[i] is bit-identical to evaluate(plans[i]). SimOptions::
-     * recordTrace is not supported here (per-thread traces would be
-     * discarded); lastTrace() is unaffected by batch calls.
+     * Plans in a batch share the simulator's per-column prefix-count
+     * table, so scoring a plan never rebuilds the per-plan History
+     * chain — grids whose plans differ in a few layers pay only for
+     * the task list itself. results[i] is bit-identical to
+     * evaluate(plans[i]). SimOptions::recordTrace is not supported
+     * here (per-thread traces would be discarded); lastTrace() is
+     * unaffected by batch calls.
      */
     std::vector<StepMetrics>
     evaluateBatch(std::span<const core::HierarchicalPlan> plans) const;
@@ -112,7 +116,11 @@ class Evaluator
      * substituted plan — without rebuilding per-plan simulator state
      * (see TrainingSimulator::sweepNeighborhood). This is the Fig. 9
      * fast path and composes with an outer sweepLevelMasks-style
-     * substitution for two-level studies.
+     * substitution for two-level studies. It also covers
+     * SimOptions::overlapGradComm: the async schedule replays as two
+     * tapes (serial compute chain + overlapped network chain) over the
+     * same variant tables; only recordTrace still falls back to
+     * per-mask simulation.
      */
     void sweepNeighborhood(
         const core::HierarchicalPlan &base, std::size_t level,

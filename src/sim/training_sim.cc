@@ -1,6 +1,7 @@
 #include "sim/training_sim.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "sim/event_queue.hh"
@@ -40,7 +41,33 @@ TrainingSimulator::TrainingSimulator(const core::CommModel &model,
                                      const SimOptions &options)
     : model_(&model), acc_(acc), energy_(energy), topo_(&topo),
       options_(options), mapper_(acc)
-{}
+{
+    const std::size_t levels = topo_->levels();
+    if (levels <= kPrefixTableMaxLevels) {
+        const std::size_t states = std::size_t{1} << levels;
+        prefixDp_.resize(states * (levels + 1));
+        for (std::size_t s = 0; s < states; ++s) {
+            unsigned dp = 0;
+            for (std::size_t h = 0; h <= levels; ++h) {
+                prefixDp_[s * (levels + 1) + h] =
+                    static_cast<std::uint8_t>(dp);
+                if (h < levels && ((s >> h) & 1u) == 0)
+                    ++dp;
+            }
+        }
+    }
+}
+
+unsigned
+TrainingSimulator::dpAbove(std::uint32_t state, std::size_t h) const
+{
+    if (!prefixDp_.empty())
+        return prefixDp_[std::size_t{state} * (topo_->levels() + 1) + h];
+    const auto mask =
+        static_cast<std::uint32_t>((std::uint64_t{1} << h) - 1u);
+    return static_cast<unsigned>(h) -
+           static_cast<unsigned>(std::popcount(state & mask));
+}
 
 void
 TrainingSimulator::addExchange(std::vector<Task> &tasks, std::size_t level,
@@ -93,25 +120,26 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
         util::fatal("TrainingSimulator: plan depth does not match the "
                     "topology");
 
-    // Upper-level history for every level: hists[h] records levels
-    // 0..h-1 and drives the communication-model scaling at level h.
-    std::vector<core::History> hists;
-    hists.reserve(levels + 1);
-    hists.emplace_back(num_layers);
-    for (std::size_t h = 0; h < levels; ++h) {
-        core::History next = hists.back();
-        next.push(plan.levels[h]);
-        hists.push_back(std::move(next));
-    }
-    const core::History &full = hists.back();
+    // Per-layer level-vector columns: bit h of col[l] set = layer l
+    // runs model-parallel at level h. All the dp/mp counts the scaling
+    // needs are functions of a layer's own column, served by dpAbove()
+    // from the shared prefix-count table — no per-plan History chain
+    // is rebuilt, so batched/swept plans that differ in a few layers
+    // share all of this for free.
+    HYPAR_ASSERT(levels < 32, "plan depth exceeds the 32-bit column");
+    std::vector<std::uint32_t> col(num_layers, 0);
+    for (std::size_t h = 0; h < levels; ++h)
+        for (std::size_t l = 0; l < num_layers; ++l)
+            if (plan.levels[h][l] == core::Parallelism::kModel)
+                col[l] |= std::uint32_t{1} << h;
 
     // Per-layer shard geometry after all H splits.
     std::vector<double> batch_shard(num_layers);
     std::vector<double> weight_shard(num_layers);
     std::vector<double> in_shard(num_layers);
     for (std::size_t l = 0; l < num_layers; ++l) {
-        const auto d = static_cast<int>(full.dpCount(l));
-        const auto m = static_cast<int>(full.mpCount(l));
+        const auto d = static_cast<int>(dpAbove(col[l], levels));
+        const auto m = static_cast<int>(levels) - d;
         batch_shard[l] = batch * std::ldexp(1.0, -d);
         weight_shard[l] = static_cast<double>(
                               net.layer(l).weightElems()) *
@@ -169,16 +197,19 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
 
         for (std::size_t h = 0; h < levels; ++h) {
             if (plan.levels[h][l] == core::Parallelism::kModel) {
+                const unsigned dp = dpAbove(col[l], h);
                 addExchange(tasks, h,
-                            model_->intraBytes(
-                                l, core::Parallelism::kModel, hists[h]),
+                            model_->intraBytesAt(
+                                l, core::Parallelism::kModel, dp,
+                                static_cast<unsigned>(h) - dp),
                             false, kFwd, "psum", layer.name, metrics);
             }
             if (l + 1 < num_layers) {
                 addExchange(tasks, h,
-                            model_->interBytesF(
+                            model_->interBytesFAt(
                                 l, plan.levels[h][l],
-                                plan.levels[h][l + 1], hists[h]),
+                                plan.levels[h][l + 1],
+                                dpAbove(col[l], h)),
                             false, kFwd, "featx", layer.name, metrics);
             }
         }
@@ -195,12 +226,13 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
             comm.wordBytes;
         add_compute(l, kBwd, shard_macs(l), dram_bytes, "bwd");
 
-        // The transition l-1 -> l moves E_l during backward.
+        // The transition l-1 -> l moves E_l during backward (its batch
+        // dimension follows layer l's upper dp splits).
         for (std::size_t h = 0; h < levels; ++h) {
             addExchange(tasks, h,
-                        model_->interBytesE(
+                        model_->interBytesEAt(
                             l - 1, plan.levels[h][l - 1],
-                            plan.levels[h][l], hists[h]),
+                            plan.levels[h][l], dpAbove(col[l], h)),
                         false, kBwd, "errx", layer.name, metrics);
         }
     }
@@ -220,9 +252,11 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
 
         for (std::size_t h = 0; h < levels; ++h) {
             if (plan.levels[h][l] == core::Parallelism::kData) {
+                const unsigned dp = dpAbove(col[l], h);
                 addExchange(tasks, h,
-                            model_->intraBytes(
-                                l, core::Parallelism::kData, hists[h]),
+                            model_->intraBytesAt(
+                                l, core::Parallelism::kData, dp,
+                                static_cast<unsigned>(h) - dp),
                             options_.overlapGradComm, kGrad, "gradx",
                             layer.name, metrics);
             }
@@ -340,6 +374,53 @@ TrainingSimulator::simulateSteadyState(const core::HierarchicalPlan &plan,
     return metrics;
 }
 
+TapeSchedule
+TrainingSimulator::overlapSchedule(const core::HierarchicalPlan &plan) const
+{
+    StepMetrics scratch;
+    const std::vector<Task> tasks = buildTasks(plan, scratch);
+
+    // Replay the exact resource algebra of simulateSteadyState's
+    // dispatch: compute advances the serial tape, an async exchange
+    // advances the network tape from max(network, serial), and a
+    // synchronous exchange advances the serial tape from the later of
+    // the two and joins the network tape to it.
+    TapeSchedule sched;
+    sched.tasks.reserve(tasks.size());
+    double serial = 0.0;
+    double network = 0.0;
+    double sim_end = 0.0;
+    for (const Task &t : tasks) {
+        TapeTask e;
+        e.exchange = t.kind == Task::Kind::kExchange;
+        e.async = t.async;
+        e.phase = t.phase;
+        e.seconds = t.seconds;
+        e.label = t.label;
+        if (!e.exchange) {
+            e.tape = TapeTask::Tape::kSerial;
+            e.start = serial;
+            serial += t.seconds;
+        } else if (t.async) {
+            e.tape = TapeTask::Tape::kNetwork;
+            e.start = std::max(network, serial);
+            network = e.start + t.seconds;
+        } else {
+            e.tape = TapeTask::Tape::kSerial;
+            e.start = std::max(serial, network);
+            serial = e.start + t.seconds;
+            network = serial;
+        }
+        e.end = e.start + t.seconds;
+        sim_end = std::max(sim_end, e.end);
+        sched.tasks.push_back(std::move(e));
+    }
+    sched.serialEnd = serial;
+    sched.networkEnd = network;
+    sched.stepSeconds = sim_end;
+    return sched;
+}
+
 namespace {
 
 /** Precomputed contributions of one compute task under one flip bit. */
@@ -386,10 +467,12 @@ TrainingSimulator::sweepNeighborhood(
 
     const std::uint64_t num_masks = std::uint64_t{1} << num_layers;
 
-    // Async gradient overlap reorders the replay and tracing needs the
-    // real task list; both are off on the paper path. Fall back to one
-    // full simulate() per mask — same results, just slower.
-    if (options_.overlapGradComm || options_.recordTrace) {
+    // Tracing needs the real task list, so it falls back to one full
+    // simulate() per mask — same results, just slower. Async gradient
+    // overlap no longer forces the fallback: the replay below carries
+    // the two tapes (serial + network) through the same variant
+    // tables.
+    if (options_.recordTrace) {
         core::HierarchicalPlan plan = base;
         for (std::uint64_t mask = 0; mask < num_masks; ++mask) {
             plan.levels[level] =
@@ -567,12 +650,22 @@ TrainingSimulator::sweepNeighborhood(
     //
     // One walk over the task slots in buildTasks' emission order (which
     // is also the event-queue dispatch order), updating every StepMetrics
-    // accumulator with the same additions the real path performs. With
-    // no async tasks the serial chain is a plain left-to-right sum, so
-    // stepSeconds folds identically too.
+    // accumulator with the same additions the real path performs. The
+    // chain algebra rides two tapes: compute and synchronous exchanges
+    // advance `serial` (a plain left-to-right sum — on the paper path
+    // that alone is stepSeconds), while under overlapGradComm the
+    // gradient reductions advance `network` from max(network, serial),
+    // exactly the event queue's async rule; a synchronous exchange
+    // joins the network tape back to the serial one. Flipping one
+    // layer's bit re-selects only that layer's few variant slots — the
+    // tape segments the flip actually touches — and the replay's
+    // accumulation order never changes, so every mask's StepMetrics is
+    // bit-identical to a full simulate() in both modes.
+    const bool overlap = options_.overlapGradComm;
     for (std::uint64_t mask = 0; mask < num_masks; ++mask) {
         StepMetrics m;
         double serial = 0.0;
+        double network = 0.0;
         const auto bit = [&](std::size_t l) {
             return static_cast<int>((mask >> l) & 1);
         };
@@ -595,7 +688,25 @@ TrainingSimulator::sweepNeighborhood(
             m.commBytes += c.globalBytes;
             m.energy.commJ += c.commJ;
             m.energy.computeJ += c.addJ;
-            serial += c.seconds;
+            // The event queue's synchronous rule verbatim. In the
+            // emitted task order network never leads serial here (all
+            // async tasks sit in the final phase), so the max is the
+            // identity and the sum stays bit-identical to the
+            // non-overlap serial chain.
+            serial = std::max(serial, network) + c.seconds;
+            network = serial;
+            m.networkBusySeconds += c.seconds;
+            phase_acc += c.seconds;
+        };
+        // Overlapped gradient reduction: network-tape task.
+        auto tally_async_exchange = [&](const ExchangeContrib &c,
+                                        double &phase_acc) {
+            if (!c.present)
+                return;
+            m.commBytes += c.globalBytes;
+            m.energy.commJ += c.commJ;
+            m.energy.computeJ += c.addJ;
+            network = std::max(network, serial) + c.seconds;
             m.networkBusySeconds += c.seconds;
             phase_acc += c.seconds;
         };
@@ -629,13 +740,21 @@ TrainingSimulator::sweepNeighborhood(
         for (std::size_t l = 0; l < num_layers; ++l) {
             tally_compute(l, kGrad, m.phases.gradient);
             for (std::size_t h = 0; h < levels; ++h) {
-                if (choice(h, l, bit(l)) == core::Parallelism::kData)
-                    tally_exchange(gradx[(l * levels + h) * 2 + bit(l)],
-                                   m.phases.gradient);
+                if (choice(h, l, bit(l)) == core::Parallelism::kData) {
+                    const ExchangeContrib &c =
+                        gradx[(l * levels + h) * 2 + bit(l)];
+                    if (overlap)
+                        tally_async_exchange(c, m.phases.gradient);
+                    else
+                        tally_exchange(c, m.phases.gradient);
+                }
             }
         }
 
-        m.stepSeconds = serial;
+        // Both tapes are monotone, so the step ends when the later one
+        // drains (without overlap network never exceeds serial and
+        // this is the plain serial sum).
+        m.stepSeconds = std::max(serial, network);
         visit(mask, m);
     }
 }

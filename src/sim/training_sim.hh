@@ -60,6 +60,44 @@ struct TraceEntry
     std::string label;
 };
 
+/**
+ * One resolved task of the two-tape schedule decomposition
+ * (TrainingSimulator::overlapSchedule): which tape it advanced, by how
+ * much, and the start/end the event queue's resource algebra assigns
+ * it. Compute tasks and synchronous exchanges ride the *serial* tape
+ * (the lockstep chain); asynchronous gradient reductions ride the
+ * *network* tape. A synchronous exchange additionally joins the two
+ * tapes (it occupies the interconnect, so the network tape is busy
+ * until it completes).
+ */
+struct TapeTask
+{
+    enum class Tape { kSerial, kNetwork };
+    Tape tape = Tape::kSerial;
+    bool exchange = false; //!< occupies the interconnect
+    bool async = false;    //!< network-tape task (overlapped reduction)
+    int phase = 0;         //!< 0 fwd, 1 bwd, 2 grad
+    double seconds = 0.0;
+    double start = 0.0;
+    double end = 0.0;
+    std::string label; //!< built only under SimOptions::recordTrace
+};
+
+/**
+ * The two-tape decomposition of one training step: the serial compute
+ * chain and the overlapped network chain, with every task's resolved
+ * start/end. `stepSeconds` is the maximum task end and equals
+ * simulate()'s stepSeconds exactly (tests/test_overlap_schedule.cc
+ * pins the decomposition against the event queue).
+ */
+struct TapeSchedule
+{
+    std::vector<TapeTask> tasks; //!< in dispatch (emission) order
+    double serialEnd = 0.0;      //!< when the serial tape drains
+    double networkEnd = 0.0;     //!< when the network tape drains
+    double stepSeconds = 0.0;    //!< max task end == simulate()'s
+};
+
 /** Simulates training steps for one (network, array, topology) triple. */
 class TrainingSimulator
 {
@@ -108,15 +146,33 @@ class TrainingSimulator
      * bit-identical to a full simulate() of the substituted plan
      * (enforced by tests/test_evaluator_batch.cc).
      *
-     * With SimOptions::overlapGradComm or recordTrace set the fast
-     * replay does not apply and each mask falls back to a full
-     * simulate(). Fatal when `level` is out of range or the network has
-     * more than 24 weighted layers (2^L enumeration).
+     * Under SimOptions::overlapGradComm the same variant tables feed a
+     * *two-tape* replay: the serial compute chain and the overlapped
+     * network chain are accumulated side by side with the event
+     * queue's exact resource algebra (async reductions start at
+     * max(network, serial), synchronous exchanges join the tapes), so
+     * the async schedule is swept incrementally too — still
+     * bit-identical to per-mask simulate(). Only recordTrace forces
+     * the per-mask fallback (the trace needs the real task list).
+     * Fatal when `level` is out of range or the network has more than
+     * 24 weighted layers (2^L enumeration).
      */
     void sweepNeighborhood(
         const core::HierarchicalPlan &base, std::size_t level,
         const std::function<void(std::uint64_t, const StepMetrics &)>
             &visit) const;
+
+    /**
+     * The two-tape chain decomposition of one step of `plan` under the
+     * current SimOptions: every task with its tape and resolved
+     * start/end, replayed through the exact resource algebra the event
+     * queue applies (without overlapGradComm the network tape carries
+     * no tasks of its own and the schedule degenerates to the serial
+     * chain). This is the structure the incremental overlap sweep
+     * replays; exposed so tests can pin it against the event-driven
+     * simulator. Labels are filled only under recordTrace.
+     */
+    TapeSchedule overlapSchedule(const core::HierarchicalPlan &plan) const;
 
     /** Trace of the most recent simulate() (needs recordTrace). */
     const std::vector<TraceEntry> &lastTrace() const { return trace_; }
@@ -136,6 +192,16 @@ class TrainingSimulator
     std::vector<Task> buildTasks(const core::HierarchicalPlan &plan,
                                  StepMetrics &metrics) const;
 
+    /**
+     * dp count among the levels above `h` for a layer whose level
+     * vector is `state` (bit h set = mp): served from prefixDp_ — the
+     * per-column prefix-count table shared across every plan this
+     * simulator scores — so buildTasks never materializes a per-plan
+     * core::History chain. Falls back to a popcount for depths beyond
+     * the table cap.
+     */
+    unsigned dpAbove(std::uint32_t state, std::size_t h) const;
+
     void addExchange(std::vector<Task> &tasks, std::size_t level,
                      double pair_bytes, bool async, int phase,
                      const char *tag, const std::string &layer_name,
@@ -147,6 +213,20 @@ class TrainingSimulator
     const noc::Topology *topo_;
     SimOptions options_;
     arch::RowStationaryMapper mapper_;
+
+    /**
+     * Shared prefix-count table: prefixDp_[s * (levels + 1) + h] is
+     * the number of dp choices among levels 0..h-1 of a layer whose
+     * level-vector state is s. The counts at level h depend only on
+     * that layer's own column bits, so one table per topology depth
+     * replaces the per-plan History chain buildTasks used to rebuild —
+     * every plan of an evaluateBatch call (and every mask of a sweep)
+     * reads the same table. Built in the constructor for depths up to
+     * kPrefixTableMaxLevels; deeper arrays use the popcount fallback.
+     */
+    static constexpr std::size_t kPrefixTableMaxLevels = 12;
+    std::vector<std::uint8_t> prefixDp_;
+
     mutable std::vector<TraceEntry> trace_;
 };
 

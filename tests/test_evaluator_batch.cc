@@ -5,11 +5,13 @@
  *
  *  - evaluateBatch must be *bit-identical* (EXPECT_EQ on every
  *    StepMetrics field, no ULP tolerance) to back-to-back evaluate()
- *    calls, across 1/2/8-thread pools and all three TopologyKinds;
+ *    calls, across 1/2/8-thread pools, all three TopologyKinds, and
+ *    overlapGradComm on/off;
  *  - sweepNeighborhood's incremental replay must equal a full
  *    evaluate() rescoring of every substituted mask — which covers
  *    every single-bit flip of the swept level (the oracle pattern of
- *    test_equivalence_random.cc, lifted to the simulator);
+ *    test_equivalence_random.cc, lifted to the simulator) — in both
+ *    the serial-chain mode and the two-tape overlap mode;
  *  - the strategy-sweep overload must match evaluate(Strategy).
  */
 
@@ -84,32 +86,36 @@ TEST(EvaluatorBatch, MatchesSequentialAcrossThreadsAndTopologies)
         for (const TopologyKind kind :
              {TopologyKind::kHTree, TopologyKind::kTorus,
               TopologyKind::kMesh}) {
-            SimConfig cfg;
-            cfg.topology = kind;
-            const Evaluator ev(net, cfg);
+            for (const bool overlap : {false, true}) {
+                SimConfig cfg;
+                cfg.topology = kind;
+                cfg.options.overlapGradComm = overlap;
+                const Evaluator ev(net, cfg);
 
-            std::vector<HierarchicalPlan> plans;
-            for (int i = 0; i < 12; ++i)
-                plans.push_back(
-                    randomPlan(net.size(), cfg.levels, rng));
-            plans.push_back(ev.plan(core::Strategy::kHypar));
-            plans.push_back(ev.plan(core::Strategy::kDataParallel));
+                std::vector<HierarchicalPlan> plans;
+                for (int i = 0; i < 12; ++i)
+                    plans.push_back(
+                        randomPlan(net.size(), cfg.levels, rng));
+                plans.push_back(ev.plan(core::Strategy::kHypar));
+                plans.push_back(ev.plan(core::Strategy::kDataParallel));
 
-            std::vector<StepMetrics> expected;
-            for (const auto &plan : plans)
-                expected.push_back(ev.evaluate(plan));
+                std::vector<StepMetrics> expected;
+                for (const auto &plan : plans)
+                    expected.push_back(ev.evaluate(plan));
 
-            for (util::ThreadPool *pool : pools) {
-                const auto got = ev.evaluateBatch(plans, *pool);
-                ASSERT_EQ(got.size(), expected.size());
-                for (std::size_t i = 0; i < got.size(); ++i) {
-                    expectIdentical(
-                        got[i], expected[i],
-                        std::string(name) + " topology " +
-                            std::to_string(static_cast<int>(kind)) +
-                            " threads " +
-                            std::to_string(pool->parallelism()) +
-                            " plan " + std::to_string(i));
+                for (util::ThreadPool *pool : pools) {
+                    const auto got = ev.evaluateBatch(plans, *pool);
+                    ASSERT_EQ(got.size(), expected.size());
+                    for (std::size_t i = 0; i < got.size(); ++i) {
+                        expectIdentical(
+                            got[i], expected[i],
+                            std::string(name) + " topology " +
+                                std::to_string(static_cast<int>(kind)) +
+                                " overlap " +
+                                std::to_string(overlap) + " threads " +
+                                std::to_string(pool->parallelism()) +
+                                " plan " + std::to_string(i));
+                    }
                 }
             }
         }
@@ -211,13 +217,127 @@ TEST(EvaluatorBatch, SweepNeighborhoodMatchesFullRescoreRandomized)
     }
 }
 
-// The gradient-overlap fallback (async exchanges disable the fast
-// replay) must still agree with per-mask simulation.
-TEST(EvaluatorBatch, SweepNeighborhoodOverlapFallback)
+// The gradient-overlap fast path: the two-tape incremental replay must
+// be bit-identical to per-mask TrainingSimulator::simulate on the full
+// Fig. 9 LeNet mask grid — every level, every mask, every topology
+// (the PR 5 acceptance criterion; the fallback is gone for overlap).
+TEST(EvaluatorBatch, SweepNeighborhoodOverlapMatchesFullRescoreOnLenet)
+{
+    const dnn::Network lenet = dnn::makeLenetC();
+    for (const TopologyKind kind :
+         {TopologyKind::kHTree, TopologyKind::kTorus,
+          TopologyKind::kMesh}) {
+        SimConfig cfg;
+        cfg.topology = kind;
+        cfg.options.overlapGradComm = true;
+        const Evaluator ev(lenet, cfg);
+        const auto base = ev.plan(core::Strategy::kHypar);
+
+        for (std::size_t level = 0; level < cfg.levels; ++level) {
+            std::vector<StepMetrics> expected(
+                std::size_t{1} << lenet.size());
+            core::sweepLevelMasks(
+                base, level,
+                [&](std::uint64_t mask, const HierarchicalPlan &plan) {
+                    expected[mask] = ev.evaluate(plan);
+                });
+
+            std::uint64_t next_mask = 0;
+            ev.sweepNeighborhood(
+                base, level,
+                [&](std::uint64_t mask, const StepMetrics &m) {
+                    EXPECT_EQ(mask, next_mask++) << "visit order";
+                    expectIdentical(
+                        m, expected[mask],
+                        "overlap topology " +
+                            std::to_string(static_cast<int>(kind)) +
+                            " level " + std::to_string(level) +
+                            " mask " + std::to_string(mask));
+                });
+            EXPECT_EQ(next_mask, expected.size());
+        }
+    }
+}
+
+// The full Fig. 9 grid shape under overlap: the outer H1 axis
+// substituted into a scaffold, the inner H4 axis swept incrementally —
+// exactly what bench_fig9_lenet_space and `hyparc sweep --overlap`
+// run — must match per-mask evaluate() at every (H1, H4) point.
+TEST(EvaluatorBatch, SweepNeighborhoodOverlapMatchesFig9Grid)
 {
     const dnn::Network lenet = dnn::makeLenetC();
     SimConfig cfg;
     cfg.options.overlapGradComm = true;
+    const Evaluator ev(lenet, cfg);
+    HierarchicalPlan scaffold = ev.plan(core::Strategy::kHypar);
+
+    const std::uint64_t masks = std::uint64_t{1} << lenet.size();
+    for (std::uint64_t h1 = 0; h1 < masks; ++h1) {
+        scaffold.levels[0] =
+            core::levelPlanFromMask(h1, lenet.size());
+        std::vector<StepMetrics> expected(masks);
+        core::sweepLevelMasks(
+            scaffold, 3,
+            [&](std::uint64_t mask, const HierarchicalPlan &plan) {
+                expected[mask] = ev.evaluate(plan);
+            });
+        ev.sweepNeighborhood(
+            scaffold, 3, [&](std::uint64_t mask, const StepMetrics &m) {
+                expectIdentical(m, expected[mask],
+                                "fig9 H1=" + std::to_string(h1) +
+                                    " H4=" + std::to_string(mask));
+            });
+    }
+}
+
+// Randomized bases and swept levels with overlap on: the two-tape
+// replay must hold from any starting plan, like the serial-mode
+// property above.
+TEST(EvaluatorBatch, SweepNeighborhoodOverlapMatchesRandomized)
+{
+    std::mt19937 rng(4242);
+    for (const char *name : {"SFC", "Lenet-c"}) {
+        const dnn::Network net = dnn::modelByName(name);
+        SimConfig cfg;
+        cfg.levels = 3;
+        cfg.options.overlapGradComm = true;
+        const Evaluator ev(net, cfg);
+
+        for (int trial = 0; trial < 6; ++trial) {
+            const auto base = randomPlan(net.size(), cfg.levels, rng);
+            const std::size_t level = std::uniform_int_distribution<
+                std::size_t>(0, cfg.levels - 1)(rng);
+
+            std::vector<StepMetrics> expected(std::size_t{1}
+                                              << net.size());
+            core::sweepLevelMasks(
+                base, level,
+                [&](std::uint64_t mask, const HierarchicalPlan &plan) {
+                    expected[mask] = ev.evaluate(plan);
+                });
+            ev.sweepNeighborhood(
+                base, level,
+                [&](std::uint64_t mask, const StepMetrics &m) {
+                    expectIdentical(m, expected[mask],
+                                    std::string(name) + " trial " +
+                                        std::to_string(trial) +
+                                        " mask " +
+                                        std::to_string(mask));
+                });
+        }
+    }
+}
+
+// recordTrace is the one remaining fallback: the sweep must still
+// agree with per-mask evaluation even when tracing (and overlapping)
+// at the same time. The trace/sweep interaction itself is pinned in
+// tests/test_overlap_schedule.cc.
+TEST(EvaluatorBatch, SweepNeighborhoodRecordTraceFallsBack)
+{
+    const dnn::Network lenet = dnn::makeLenetC();
+    SimConfig cfg;
+    cfg.options.overlapGradComm = true;
+    cfg.options.recordTrace = true;
     const Evaluator ev(lenet, cfg);
     const auto base = ev.plan(core::Strategy::kHypar);
 
@@ -230,7 +350,7 @@ TEST(EvaluatorBatch, SweepNeighborhoodOverlapFallback)
     ev.sweepNeighborhood(base, 3,
                          [&](std::uint64_t mask, const StepMetrics &m) {
                              expectIdentical(m, expected[mask],
-                                             "overlap mask " +
+                                             "trace mask " +
                                                  std::to_string(mask));
                              ++visited;
                          });

@@ -228,6 +228,105 @@ TEST(HyparcCommands, SweepLayersGrid)
     std::remove(path.c_str());
 }
 
+TEST(HyparcArgs, ParsesSweepSamplingFlags)
+{
+    const auto opts = parseArgs({"sweep", "--model", "VGG-A", "--axes",
+                                 "H1,H4", "--limit", "32", "--seed",
+                                 "7", "--overlap"});
+    EXPECT_EQ(opts.limit, 32u);
+    EXPECT_EQ(opts.seed, 7u);
+    EXPECT_TRUE(opts.overlap);
+    // Defaults: full grid, seed 0, synchronous gradients.
+    const auto defaults =
+        parseArgs({"sweep", "--model", "VGG-A", "--axes", "H1,H4"});
+    EXPECT_EQ(defaults.limit, 0u);
+    EXPECT_EQ(defaults.seed, 0u);
+    EXPECT_FALSE(defaults.overlap);
+}
+
+TEST(HyparcCommands, SweepOverlapMode)
+{
+    // --overlap runs the async gradient schedule through the two-tape
+    // incremental sweep; the header records the mode and the grid
+    // shape is unchanged.
+    const std::string csv = run({"sweep", "--model", "Lenet-c",
+                                 "--axes", "H1,H4", "--overlap"});
+    EXPECT_NE(csv.find(" overlap=true"), std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2 + 256);
+
+    const std::string json = run({"sweep", "--model", "Lenet-c",
+                                  "--axes", "H1,H4", "--overlap",
+                                  "--format", "json"});
+    EXPECT_NE(json.find("\"overlap\":true"), std::string::npos);
+
+    // Deterministic, and different from the synchronous schedule.
+    EXPECT_EQ(csv, run({"sweep", "--model", "Lenet-c", "--axes",
+                        "H1,H4", "--overlap"}));
+    const std::string sync =
+        run({"sweep", "--model", "Lenet-c", "--axes", "H1,H4"});
+    EXPECT_NE(csv, sync);
+    EXPECT_EQ(sync.find("overlap=true"), std::string::npos);
+}
+
+TEST(HyparcCommands, SweepLimitSamplesBigGrids)
+{
+    // VGG-A has 11 weighted layers: the full 4^11 level-mask grid is
+    // refused, but --limit opens it with a deterministic sample.
+    std::ostringstream os;
+    EXPECT_THROW(runCommand(parseArgs({"sweep", "--model", "VGG-A",
+                                       "--axes", "H1,H4"}),
+                            os),
+                 util::FatalError);
+
+    const std::vector<std::string> args = {
+        "sweep", "--model", "VGG-A", "--axes", "H1,H4",
+        "--limit", "12",    "--seed", "3"};
+    const std::string csv = run(args);
+    EXPECT_NE(csv.find(" limit=12 seed=3"), std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2 + 12);
+    // Same seed -> byte-identical sample; another seed -> another one.
+    EXPECT_EQ(csv, run(args));
+    const std::string other = run({"sweep", "--model", "VGG-A",
+                                   "--axes", "H1,H4", "--limit", "12",
+                                   "--seed", "4"});
+    EXPECT_NE(csv, other);
+
+    // Layer-vector grids past H = 8 open the same way, in json too.
+    const std::string json = run({"sweep", "--model", "Lenet-c",
+                                  "--levels", "9", "--axes",
+                                  "conv1,fc1", "--limit", "6",
+                                  "--format", "json"});
+    EXPECT_NE(json.find("\"limit\":6,\"seed\":0"), std::string::npos);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(json.begin(), json.end(), '{')),
+              1u + 6u);
+    EXPECT_THROW(runCommand(parseArgs({"sweep", "--model", "Lenet-c",
+                                       "--levels", "9", "--axes",
+                                       "conv1,fc1"}),
+                            os),
+                 util::FatalError);
+
+    // A limit covering the whole grid degrades to the full
+    // enumeration: identical to not passing --limit at all.
+    EXPECT_EQ(run({"sweep", "--model", "Lenet-c", "--axes", "H1,H4",
+                   "--limit", "256"}),
+              run({"sweep", "--model", "Lenet-c", "--axes", "H1,H4"}));
+
+    // ... unless the full grid is too big to enumerate: then a limit
+    // that covers it is rejected with its own message (not the
+    // confusing 'use --limit' one).
+    try {
+        runCommand(parseArgs({"sweep", "--model", "VGG-A", "--axes",
+                              "H1,H4", "--limit", "5000000"}),
+                   os);
+        FAIL() << "oversized --limit should be fatal";
+    } catch (const util::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("covers the whole grid"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(HyparcCommands, SweepRejections)
 {
     std::ostringstream os;

@@ -299,6 +299,19 @@ TEST(OptimalPartitioner, SearchStatsAreDeterministicAndConsistent)
     EXPECT_TRUE(sparse.stats.certifiedExact);
     EXPECT_EQ(sparse.stats.expanded, nodes);
     EXPECT_EQ(sparse.stats.widthUsed, states);
+    // The sparse engine's pruned count is its dominance-skipped
+    // transitions: it complements transitionsEvaluated to the dense
+    // engine's full 4^H * (L-1) bill (ROADMAP PR 4 follow-up).
+    EXPECT_EQ(sparse.stats.pruned + sparse.transitionsEvaluated,
+              states * states * (net.size() - 1));
+    EXPECT_GT(sparse.stats.pruned, 0u);
+    // Determinism: a second identical sparse search reports the same
+    // accounting, bit for bit.
+    const auto sparse_again = opt.partition(levels, o);
+    EXPECT_EQ(sparse_again.stats.pruned, sparse.stats.pruned);
+    EXPECT_EQ(sparse_again.stats.expanded, sparse.stats.expanded);
+    EXPECT_EQ(sparse_again.transitionsEvaluated,
+              sparse.transitionsEvaluated);
 
     o.engine = core::SearchEngine::kAStar;
     const auto astar = opt.partition(levels, o);

@@ -7,6 +7,11 @@ Checked reference kinds:
 
   * CLI flags (``--engine``, ``--beam-width``, ...) must appear in
     tools/hyparc_app.cc (its parser or usage string).
+  * The reverse direction too: every flag hyparc's parser accepts
+    (``arg == "--x"`` in parseArgs) must be advertised in the usage()
+    string and mentioned by at least one checked document, so a new
+    flag (``--overlap``, ``--limit``, ``--seed``, ...) cannot land
+    undocumented.
   * Search-engine names (``--engine <name>``) must be accepted by
     searchEngineFromName in src/core/optimal_partitioner.cc.
   * Backticked targets that look like binaries/targets
@@ -74,6 +79,31 @@ def main():
     # membership (substring matching would let a stale '--beam' ride
     # on '--beam-width').
     known_flags = set(re.findall(r"(?<![\w-])--[a-z][\w-]*", app))
+
+    # The flags the parser actually accepts, and the usage() string, for
+    # the reverse (undocumented-flag) check below.
+    parsed_flags = set(re.findall(r'arg == "(--[a-z][\w-]*)"', app))
+    usage_match = re.search(
+        r"^usage\(\)\n\{\n(.*?)^\}$", app, re.S | re.M)
+    usage_body = usage_match.group(1) if usage_match else ""
+    doc_flags = set()
+    for doc in DOCS:
+        doc_flags |= set(
+            re.findall(r"(?<![\w-])--[a-z][\w-]*", read(doc)))
+
+    if not usage_match:
+        errors.append("tools/hyparc_app.cc: could not locate the "
+                      "usage() body (update check_docs.py)")
+    for flag in sorted(parsed_flags):
+        if usage_body and flag not in set(
+                re.findall(r"(?<![\w-])--[a-z][\w-]*", usage_body)):
+            errors.append(
+                f"tools/hyparc_app.cc: parsed flag '{flag}' missing "
+                "from the usage() string")
+        if flag not in doc_flags:
+            errors.append(
+                f"tools/hyparc_app.cc: parsed flag '{flag}' not "
+                "documented in any of " + ", ".join(DOCS))
 
     source_stems = {
         p.stem for p in ROOT.glob("bench/*.cc")

@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <random>
+#include <set>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/comm_report.hh"
@@ -49,6 +52,7 @@ makeConfig(const Options &opts)
     else
         util::fatal("unknown topology '" + opts.topology +
                     "' (htree|torus|mesh)");
+    cfg.options.overlapGradComm = opts.overlap;
     return cfg;
 }
 
@@ -234,7 +238,7 @@ jsonEscape(const std::string &s)
 
 void
 writeSweepRows(const Options &opts, const std::string &mode,
-               const SweepAxis &a, const SweepAxis &b,
+               const SweepAxis &a, const SweepAxis &b, bool sampled,
                const std::vector<SweepRow> &rows, std::ostream &os)
 {
     char buf[128];
@@ -242,7 +246,12 @@ writeSweepRows(const Options &opts, const std::string &mode,
         os << "# model=" << opts.model << opts.spec << " mode=" << mode
            << " axes=" << a.name << "," << b.name << " levels="
            << opts.levels << " batch=" << opts.batch << " topology="
-           << opts.topology << " strategy=" << opts.strategy << "\n"
+           << opts.topology << " strategy=" << opts.strategy;
+        if (opts.overlap)
+            os << " overlap=true";
+        if (sampled)
+            os << " limit=" << opts.limit << " seed=" << opts.seed;
+        os << "\n"
            << a.name << "," << b.name
            << ",step_seconds,speedup_vs_dp\n";
         for (const auto &row : rows) {
@@ -257,8 +266,12 @@ writeSweepRows(const Options &opts, const std::string &mode,
        << jsonEscape(a.name) << "\",\"" << jsonEscape(b.name)
        << "\"],\"levels\":" << opts.levels << ",\"batch\":"
        << opts.batch << ",\"topology\":\"" << jsonEscape(opts.topology)
-       << "\",\"strategy\":\"" << jsonEscape(opts.strategy)
-       << "\",\"points\":[";
+       << "\",\"strategy\":\"" << jsonEscape(opts.strategy) << "\"";
+    if (opts.overlap)
+        os << ",\"overlap\":true";
+    if (sampled)
+        os << ",\"limit\":" << opts.limit << ",\"seed\":" << opts.seed;
+    os << ",\"points\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         std::snprintf(buf, sizeof(buf),
                       "\"step_seconds\":%.17g,\"speedup_vs_dp\":%.6g",
@@ -303,14 +316,67 @@ cmdSweep(const Options &opts, std::ostream &os)
     const core::HierarchicalPlan base = makeStrategyPlan(opts, ev.model());
     std::vector<SweepRow> rows;
 
-    if (a.isLevel) {
+    // --limit N: deterministically sample N distinct grid points
+    // (std::mt19937_64 seeded by --seed, emitted in ascending mask
+    // order) instead of enumerating the full 4^L / 4^H grid — the only
+    // way to sweep level-mask grids past 8 layers or layer-vector
+    // grids past H = 8. Sampled points are scored in one
+    // evaluateBatch call.
+    const std::size_t bits = a.isLevel ? net.size() : opts.levels;
+    const std::uint64_t axis_masks =
+        bits < 63 ? std::uint64_t{1} << bits : 0;
+    const bool sampled =
+        opts.limit > 0 &&
+        (bits > 31 || opts.limit < axis_masks * axis_masks);
+    if (!sampled && opts.limit > 0 && bits > 8)
+        util::fatal("--limit " + std::to_string(opts.limit) +
+                    " covers the whole grid; sampling a grid too big "
+                    "to enumerate needs a limit below its " +
+                    std::to_string(axis_masks * axis_masks) +
+                    " points");
+    if (sampled) {
+        if (bits > 31)
+            util::fatal("sweep axis exceeds 2^31 masks; nothing that "
+                        "size is sampleable");
+        std::mt19937_64 rng(opts.seed);
+        std::set<std::pair<std::uint64_t, std::uint64_t>> points;
+        while (points.size() < opts.limit)
+            points.insert({rng() % axis_masks, rng() % axis_masks});
+
+        std::vector<core::HierarchicalPlan> grid;
+        grid.reserve(points.size());
+        core::HierarchicalPlan scaffold = base;
+        for (const auto &[ma, mb] : points) {
+            if (a.isLevel) {
+                scaffold.levels[a.index] =
+                    core::levelPlanFromMask(ma, bits);
+                scaffold.levels[b.index] =
+                    core::levelPlanFromMask(mb, bits);
+            } else {
+                core::assignLayerFromState(scaffold, a.index, ma);
+                core::assignLayerFromState(scaffold, b.index, mb);
+            }
+            grid.push_back(scaffold);
+        }
+        const auto metrics = ev.evaluateBatch(grid);
+        rows.reserve(points.size());
+        std::size_t i = 0;
+        for (const auto &[ma, mb] : points) {
+            const auto &m = metrics[i++];
+            rows.push_back(
+                {core::toBitString(core::levelPlanFromMask(ma, bits)),
+                 core::toBitString(core::levelPlanFromMask(mb, bits)),
+                 m.stepSeconds, dp_time / m.stepSeconds});
+        }
+    } else if (a.isLevel) {
         // Fig. 9 shape: the full 2^L x 2^L grid of layer masks at two
         // hierarchy levels; outer axis substituted into a scaffold,
         // inner axis scored by the incremental sweep.
         const std::size_t num_layers = net.size();
         if (num_layers > 8)
             util::fatal("level-mask sweep is 4^L points; refusing "
-                        "networks with more than 8 weighted layers");
+                        "networks with more than 8 weighted layers "
+                        "(use --limit N to sample)");
         const std::uint64_t masks = std::uint64_t{1} << num_layers;
         rows.reserve(masks * masks);
         core::HierarchicalPlan scaffold = base;
@@ -334,7 +400,8 @@ cmdSweep(const Options &opts, std::ostream &os)
         // vectors, scored in one evaluateBatch call.
         if (opts.levels > 8)
             util::fatal("layer-vector sweep is 4^H points; refusing "
-                        "more than 8 hierarchy levels");
+                        "more than 8 hierarchy levels "
+                        "(use --limit N to sample)");
         const std::uint64_t masks = std::uint64_t{1} << opts.levels;
         std::vector<core::HierarchicalPlan> grid;
         grid.reserve(masks * masks);
@@ -363,12 +430,12 @@ cmdSweep(const Options &opts, std::ostream &os)
 
     const std::string mode = a.isLevel ? "levels" : "layers";
     if (opts.output.empty()) {
-        writeSweepRows(opts, mode, a, b, rows, os);
+        writeSweepRows(opts, mode, a, b, sampled, rows, os);
     } else {
         std::ofstream out(opts.output);
         if (!out)
             util::fatal("cannot write '" + opts.output + "'");
-        writeSweepRows(opts, mode, a, b, rows, out);
+        writeSweepRows(opts, mode, a, b, sampled, rows, out);
         os << "wrote " << rows.size() << " grid points to "
            << opts.output << "\n";
     }
@@ -383,19 +450,29 @@ usage()
     return "usage: hyparc <plan|simulate|report|trace|sweep|models>\n"
            "  --model <zoo name> | --spec <file>\n"
            "  [--levels N] [--batch B] [--topology htree|torus|mesh]\n"
-           "  [--strategy hypar|dp|mp|owt|optimal] [-o <file>]\n"
+           "  [--strategy hypar|dp|mp|owt|optimal] [-o|--output <file>]\n"
            "  [--engine auto|dense|sparse|beam|astar] [--beam-width N]\n"
            "    (strategy=optimal: joint-DP engine; dense is exact to\n"
            "     H=10, sparse/beam/astar reach H=16; beam-width 0 =\n"
            "     adaptive, growing until the result certifies exact)\n"
            "  [--verbose]  (plan: search diagnostics for --strategy\n"
-           "     optimal: transitions evaluated, nodes expanded/pruned,\n"
-           "     frontier width, optimality certificate)\n"
-           "  sweep: --axes A,B [--format csv|json]\n"
+           "     optimal: transitions evaluated, expanded/pruned\n"
+           "     counts (nodes; dominance-skipped transitions for the\n"
+           "     sparse engine), frontier width, optimality\n"
+           "     certificate)\n"
+           "  [--overlap]  (simulate/sweep/trace: overlap gradient\n"
+           "     reductions with remaining compute — the async\n"
+           "     all-reduce schedule; swept incrementally via the\n"
+           "     two-tape replay)\n"
+           "  sweep: --axes A,B [--format csv|json] [--limit N]\n"
+           "         [--seed S]\n"
            "    A,B = two hierarchy levels (H1,H4 -> Fig. 9 grid) or\n"
            "    two layer names (conv5_2,fc1 -> Fig. 10 grid), scored\n"
            "    around the --strategy base plan via the batched\n"
-           "    evaluator";
+           "    evaluator; --limit N samples N grid points\n"
+           "    deterministically (--seed, default 0), opening\n"
+           "    level-mask grids past 8 layers and layer-vector grids\n"
+           "    past H = 8";
 }
 
 Options
@@ -435,6 +512,12 @@ parseArgs(const std::vector<std::string> &args)
             opts.axes = value(i);
         } else if (arg == "--format") {
             opts.format = value(i);
+        } else if (arg == "--limit") {
+            opts.limit = std::stoul(value(i));
+        } else if (arg == "--seed") {
+            opts.seed = std::stoul(value(i));
+        } else if (arg == "--overlap") {
+            opts.overlap = true;
         } else if (arg == "--verbose") {
             opts.verbose = true;
         } else if (arg == "-o" || arg == "--output") {

@@ -37,6 +37,9 @@ struct Options
     std::size_t beamWidth = 0;      //!< 0 = engine default
     std::size_t levels = 4;
     std::size_t batch = 256;
+    std::size_t limit = 0;    //!< sweep: sample at most N grid points
+    std::size_t seed = 0;     //!< sweep: deterministic sampling seed
+    bool overlap = false;     //!< overlap gradient reductions (async)
     bool verbose = false;     //!< extra search diagnostics (plan)
 };
 
