@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Fault-tolerance curves: mean step time of Lenet-c on degraded
+ * H-tree and torus arrays as the component failure rate grows from 0
+ * to 30%, comparing the pristine-optimal plan executed as-is
+ * ("static") against a per-fault-map re-planned layout ("replanned").
+ *
+ * Not a paper figure — HyPar assumes a healthy array — but the
+ * natural robustness companion to Figure 12: the same slowest-member
+ * semantics that price the hierarchy also price its failures.
+ *
+ * With an output path argument, also writes the table as
+ * BENCH_faults.json for the CI artifact trail.
+ */
+
+#include "bench_common.hh"
+
+#include <fstream>
+
+#include "arch/fault_map.hh"
+#include "core/optimal_partitioner.hh"
+#include "dnn/model_zoo.hh"
+#include "util/table.hh"
+
+using namespace hypar;
+
+namespace {
+
+core::HierarchicalPlan
+optimalPlan(const sim::Evaluator &ev)
+{
+    return core::OptimalPartitioner(ev.model())
+        .partition(ev.config().levels)
+        .plan;
+}
+
+constexpr std::size_t kRatePoints = 7;
+constexpr double kMaxRate = 0.3;
+constexpr std::size_t kSamples = 4;
+constexpr std::uint64_t kSeed = 0;
+
+struct Curve
+{
+    std::string topology;
+    std::vector<double> rates;
+    std::vector<double> staticSeconds;
+    std::vector<double> replannedSeconds;
+};
+
+Curve
+sweepTopology(const dnn::Network &net, sim::TopologyKind kind,
+              const std::string &name)
+{
+    sim::SimConfig cfg = bench::paperConfig();
+    cfg.topology = kind;
+
+    sim::Evaluator pristine(net, cfg);
+    const std::size_t nodes = pristine.topology().numNodes();
+    const std::size_t links = pristine.topology().numLinks();
+    const auto base_plan = optimalPlan(pristine);
+
+    Curve curve;
+    curve.topology = name;
+    for (std::size_t ri = 0; ri < kRatePoints; ++ri) {
+        const double rate = kMaxRate * static_cast<double>(ri) /
+                            static_cast<double>(kRatePoints - 1);
+        double static_sum = 0.0;
+        double replanned_sum = 0.0;
+        for (std::size_t k = 0; k < kSamples; ++k) {
+            sim::SimConfig sample = cfg;
+            sample.faults = arch::sampleFaultMap(
+                rate, nodes, links,
+                arch::mixSeed(kSeed, ri * kSamples + k));
+            sim::Evaluator ev(net, sample);
+            static_sum += ev.evaluate(base_plan).stepSeconds;
+            replanned_sum += ev.evaluate(optimalPlan(ev)).stepSeconds;
+        }
+        curve.rates.push_back(rate);
+        curve.staticSeconds.push_back(
+            static_sum / static_cast<double>(kSamples));
+        curve.replannedSeconds.push_back(
+            replanned_sum / static_cast<double>(kSamples));
+    }
+    return curve;
+}
+
+void
+writeJson(const std::vector<Curve> &curves, std::ostream &os)
+{
+    char buf[160];
+    os << "{\"bench\":\"faults\",\"model\":\"Lenet-c\",\"samples\":"
+       << kSamples << ",\"seed\":" << kSeed << ",\"curves\":[";
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+        os << (c == 0 ? "" : ",") << "{\"topology\":\""
+           << curves[c].topology << "\",\"points\":[";
+        for (std::size_t i = 0; i < curves[c].rates.size(); ++i) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"rate\":%.6g,\"static_step_seconds\":%.17g,"
+                "\"replanned_step_seconds\":%.17g}",
+                curves[c].rates[i], curves[c].staticSeconds[i],
+                curves[c].replannedSeconds[i]);
+            os << (i == 0 ? "" : ",") << buf;
+        }
+        os << "]}";
+    }
+    os << "]}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Fault-tolerant planning, Lenet-c",
+                  "robustness companion to Figure 12");
+
+    const dnn::Network net = dnn::makeLenetC();
+    const std::vector<Curve> curves = {
+        sweepTopology(net, sim::TopologyKind::kHTree, "htree"),
+        sweepTopology(net, sim::TopologyKind::kTorus, "torus"),
+    };
+
+    for (const auto &curve : curves) {
+        util::Table t({"rate", "static (ms)", "replanned (ms)",
+                       "recovery"});
+        for (std::size_t i = 0; i < curve.rates.size(); ++i)
+            t.addRow({bench::ratio(curve.rates[i]),
+                      bench::sig3(1e3 * curve.staticSeconds[i]),
+                      bench::sig3(1e3 * curve.replannedSeconds[i]),
+                      bench::ratio(curve.staticSeconds[i] /
+                                   curve.replannedSeconds[i])});
+        std::cout << curve.topology << " x16:\n";
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "recovery = static / replanned mean step time over "
+              << kSamples << " fault maps per rate point.\n";
+
+    if (argc > 1) {
+        std::ofstream out(argv[1]);
+        if (!out) {
+            std::cerr << "cannot write '" << argv[1] << "'\n";
+            return 1;
+        }
+        writeJson(curves, out);
+        std::cout << "Wrote " << argv[1] << "\n";
+    }
+    return 0;
+}

@@ -1,4 +1,32 @@
 #include "arch/accelerator.hh"
 
-// AcceleratorConfig is a header-only aggregate; this translation unit
-// anchors the library target.
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hypar::arch {
+
+void
+validateAcceleratorConfig(const AcceleratorConfig &config)
+{
+    if (config.peRows == 0 || config.peCols == 0)
+        util::fatal("AcceleratorConfig: PE grid must be non-empty "
+                    "(peRows and peCols must be positive)");
+    // Negated comparisons so NaN fails the check too.
+    if (!(config.clockHz > 0.0) || !std::isfinite(config.clockHz))
+        util::fatal("AcceleratorConfig: clockHz must be positive and "
+                    "finite");
+    if (!(config.bufferBytes > 0.0) || !std::isfinite(config.bufferBytes))
+        util::fatal("AcceleratorConfig: bufferBytes must be positive "
+                    "and finite");
+    if (!(config.dramBandwidth > 0.0) ||
+        !std::isfinite(config.dramBandwidth))
+        util::fatal("AcceleratorConfig: dramBandwidth must be positive "
+                    "and finite");
+    if (!(config.dramCapacity > 0.0) ||
+        !std::isfinite(config.dramCapacity))
+        util::fatal("AcceleratorConfig: dramCapacity must be positive "
+                    "and finite");
+}
+
+} // namespace hypar::arch

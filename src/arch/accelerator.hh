@@ -45,6 +45,14 @@ struct AcceleratorConfig
     double peakOpsPerSec() const { return 2.0 * peakMacsPerSec(); }
 };
 
+/**
+ * Reject configurations the cost model silently mispredicts on:
+ * zero/negative PE grids, and non-positive or non-finite clock, buffer,
+ * or DRAM parameters (a NaN clock used to flow straight into task
+ * seconds). Fatal with a message naming the offending field.
+ */
+void validateAcceleratorConfig(const AcceleratorConfig &config);
+
 } // namespace hypar::arch
 
 #endif // HYPAR_ARCH_ACCELERATOR_HH

@@ -1,0 +1,206 @@
+#include "arch/fault_map.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace hypar::arch {
+
+namespace {
+
+/** splitmix64 step: the standard 64-bit mixer, chosen over the std
+ *  distributions because its stream is identical on every platform. */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Uniform double in [0, 1) from one splitmix64 draw. */
+double
+u01(std::uint64_t &state)
+{
+    return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+void
+checkScale(double scale, const std::string &what, std::size_t line)
+{
+    // The negated comparison also rejects NaN.
+    if (!(scale >= 0.0 && scale <= 1.0))
+        util::fatal("fault map line " + std::to_string(line) + ": " +
+                    what + " scale must be in [0, 1]");
+}
+
+} // namespace
+
+FaultMap
+parseFaultMap(std::istream &in)
+{
+    FaultMap map;
+    std::set<std::size_t> seen_nodes, seen_links;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string kind;
+        if (!(ls >> kind))
+            continue; // blank / comment-only line
+        if (kind != "node" && kind != "link")
+            util::fatal("fault map line " + std::to_string(lineno) +
+                        ": expected 'node' or 'link', got '" + kind + "'");
+        long long id = -1;
+        double scale = -1.0;
+        if (!(ls >> id >> scale) || id < 0)
+            util::fatal("fault map line " + std::to_string(lineno) +
+                        ": expected '" + kind + " <id> <scale>'");
+        std::string extra;
+        if (ls >> extra)
+            util::fatal("fault map line " + std::to_string(lineno) +
+                        ": trailing junk '" + extra + "'");
+        checkScale(scale, kind, lineno);
+        const auto uid = static_cast<std::size_t>(id);
+        auto &seen = kind == "node" ? seen_nodes : seen_links;
+        if (!seen.insert(uid).second)
+            util::fatal("fault map line " + std::to_string(lineno) +
+                        ": duplicate " + kind + " id " +
+                        std::to_string(uid));
+        (kind == "node" ? map.nodes : map.links).push_back({uid, scale});
+    }
+    return map;
+}
+
+FaultMap
+parseFaultMapFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot read fault map '" + path + "'");
+    return parseFaultMap(in);
+}
+
+namespace {
+
+std::vector<double>
+denseScales(const std::vector<FaultEntry> &entries, std::size_t count,
+            const std::string &what)
+{
+    std::vector<double> scales(count, 1.0);
+    std::vector<bool> seen(count, false);
+    for (const auto &e : entries) {
+        if (e.id >= count)
+            util::fatal("fault map: " + what + " id " +
+                        std::to_string(e.id) + " out of range (array has " +
+                        std::to_string(count) + " " + what + "s)");
+        if (seen[e.id])
+            util::fatal("fault map: duplicate " + what + " id " +
+                        std::to_string(e.id));
+        seen[e.id] = true;
+        if (!(e.scale >= 0.0 && e.scale <= 1.0))
+            util::fatal("fault map: " + what + " " +
+                        std::to_string(e.id) + " scale must be in [0, 1]");
+        scales[e.id] = e.scale;
+    }
+    return scales;
+}
+
+} // namespace
+
+std::vector<double>
+nodeScales(const FaultMap &map, std::size_t numNodes)
+{
+    return denseScales(map.nodes, numNodes, "node");
+}
+
+std::vector<double>
+linkScales(const FaultMap &map, std::size_t numLinks)
+{
+    return denseScales(map.links, numLinks, "link");
+}
+
+void
+validateFaultMap(const FaultMap &map, std::size_t numNodes,
+                 std::size_t numLinks)
+{
+    (void)nodeScales(map, numNodes);
+    (void)linkScales(map, numLinks);
+    (void)computeScaleFactor(map, numNodes);
+}
+
+double
+computeScaleFactor(const FaultMap &map, std::size_t numNodes)
+{
+    if (numNodes == 0)
+        util::fatal("computeScaleFactor: empty array");
+    const std::vector<double> scales = nodeScales(map, numNodes);
+    std::size_t survivors = 0;
+    double min_scale = 1.0;
+    for (const double s : scales) {
+        if (s > 0.0) {
+            ++survivors;
+            min_scale = std::min(min_scale, s);
+        }
+    }
+    if (survivors == 0)
+        util::fatal("fault map kills every node in the array; nothing "
+                    "to plan for");
+    // Redistribute the dead nodes' shards over the survivors, then wait
+    // for the slowest survivor (lockstep). Exactly 1.0 for a pristine
+    // map: numNodes/numNodes == 1.0 and min_scale == 1.0.
+    return (static_cast<double>(numNodes) /
+            static_cast<double>(survivors)) /
+           min_scale;
+}
+
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t index)
+{
+    std::uint64_t state = seed ^ (0xd1342543de82ef95ULL * (index + 1));
+    return splitmix64(state);
+}
+
+FaultMap
+sampleFaultMap(double rate, std::size_t numNodes, std::size_t numLinks,
+               std::uint64_t seed)
+{
+    if (!(rate >= 0.0 && rate <= 1.0))
+        util::fatal("sampleFaultMap: rate must be in [0, 1]");
+
+    FaultMap map;
+    std::uint64_t state = seed;
+    std::size_t survivors = numNodes;
+    for (std::size_t n = 0; n < numNodes; ++n) {
+        if (u01(state) < rate) {
+            map.nodes.push_back({n, 0.0});
+            --survivors;
+        }
+    }
+    // Revive guard: a sample must leave something to plan for.
+    if (survivors == 0 && !map.nodes.empty()) {
+        map.nodes.erase(map.nodes.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            splitmix64(state) % map.nodes.size()));
+    }
+    for (std::size_t l = 0; l < numLinks; ++l) {
+        if (u01(state) < rate) {
+            // Throttled, never dead: sampled sweeps stay finite.
+            map.links.push_back({l, 0.25 + 0.5 * u01(state)});
+        }
+    }
+    return map;
+}
+
+} // namespace hypar::arch

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fault/heterogeneity maps for a degraded accelerator array (HyCA-style:
+ * dead or derated nodes, broken or throttled links).
+ *
+ * A FaultMap is a sparse list of per-node compute scales and per-link
+ * bandwidth scales, each in [0, 1]:
+ *
+ *   - node scale s: the node computes at fraction s of a healthy node
+ *     (derated clock / disabled PE rows); s = 0 means the node is dead
+ *     and its shard is redistributed over the survivors.
+ *   - link scale s: the link carries fraction s of its nominal
+ *     bandwidth; s = 0 means the link is down.
+ *
+ * Unlisted nodes/links are healthy (scale 1). Link ids follow each
+ * topology's numbering (see noc::HTreeTopology / noc::TorusTopology).
+ *
+ * The array executes in lockstep, so degradation has slowest-member
+ * semantics: compute is priced on the slowest surviving node
+ * (computeScaleFactor), and a level exchange on the worst link its
+ * group pairs cross (noc::Topology::levelPenalty).
+ *
+ * Text format (parseFaultMap), one entry per line, '#' comments:
+ *
+ *   node <id> <scale>
+ *   link <id> <scale>
+ */
+
+#ifndef HYPAR_ARCH_FAULT_MAP_HH
+#define HYPAR_ARCH_FAULT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hypar::arch {
+
+/** One degraded component: a node or link id with its scale. */
+struct FaultEntry
+{
+    std::size_t id = 0;
+    double scale = 1.0; //!< in [0, 1]; 0 = dead
+
+    bool operator==(const FaultEntry &) const = default;
+};
+
+/** Sparse fault map over an accelerator array. */
+struct FaultMap
+{
+    std::vector<FaultEntry> nodes;
+    std::vector<FaultEntry> links;
+
+    bool empty() const { return nodes.empty() && links.empty(); }
+
+    bool operator==(const FaultMap &) const = default;
+};
+
+/**
+ * Parse the text format above. Fatal on malformed lines, scales outside
+ * [0, 1], or duplicate ids (per kind). Id range is checked later by
+ * validateFaultMap, which knows the array.
+ */
+FaultMap parseFaultMap(std::istream &in);
+
+/** parseFaultMap over a file; fatal when the file cannot be read. */
+FaultMap parseFaultMapFile(const std::string &path);
+
+/**
+ * Check a map against a concrete array: every node id < numNodes,
+ * every link id < numLinks, and at least one node survives (scale > 0).
+ * Fatal with a precise message otherwise.
+ */
+void validateFaultMap(const FaultMap &map, std::size_t numNodes,
+                      std::size_t numLinks);
+
+/** Dense per-node scale vector (1.0 for unlisted nodes). Fatal on
+ *  out-of-range or duplicate ids. */
+std::vector<double> nodeScales(const FaultMap &map, std::size_t numNodes);
+
+/** Dense per-link scale vector (1.0 for unlisted links). Fatal on
+ *  out-of-range or duplicate ids. */
+std::vector<double> linkScales(const FaultMap &map, std::size_t numLinks);
+
+/**
+ * Lockstep compute slowdown of the degraded array, >= 1:
+ *
+ *   (numNodes / survivors) / min surviving scale
+ *
+ * Dead nodes' shards are redistributed evenly over the survivors, and
+ * the step then waits for the slowest survivor. Exactly 1.0 for an
+ * empty map. Fatal when every node is dead (there is nothing to plan
+ * for — callers must not silently return a degenerate plan).
+ */
+double computeScaleFactor(const FaultMap &map, std::size_t numNodes);
+
+/**
+ * Mix a base seed with a sample index into an independent stream seed
+ * (splitmix64 finalizer); sampleFaultMap(rate, n, l, mixSeed(seed, k))
+ * gives the k-th sample of a deterministic fault distribution.
+ */
+std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t index);
+
+/**
+ * Draw one fault map from the (rate, seed) distribution,
+ * deterministically: each node dies with probability `rate` (with a
+ * revive guard so at least one node survives), and each link is
+ * independently throttled with probability `rate` to a scale in
+ * [0.25, 0.75) — never killed, so sampled sweeps stay finite. Fatal
+ * when rate is outside [0, 1].
+ */
+FaultMap sampleFaultMap(double rate, std::size_t numNodes,
+                        std::size_t numLinks, std::uint64_t seed);
+
+} // namespace hypar::arch
+
+#endif // HYPAR_ARCH_FAULT_MAP_HH

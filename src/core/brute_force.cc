@@ -141,10 +141,12 @@ bruteForcePairwiseReference(const CommModel &model, const History &hist)
 
 namespace {
 
-/** Recursively enumerate level plans, tracking the scaled history. */
+/** Recursively enumerate level plans, tracking the scaled history. The
+ *  current level index is hist.depth(); its contribution is weighted
+ *  by CommModel::levelWeight (2^h pristine, 2^h * penalty degraded). */
 void
 enumerateLevels(const CommModel &model, std::size_t levels_left,
-                double pair_weight, double bytes_so_far, History &hist,
+                double bytes_so_far, History &hist,
                 std::vector<LevelPlan> &stack, BruteForceResult &best,
                 bool &first)
 {
@@ -158,6 +160,7 @@ enumerateLevels(const CommModel &model, std::size_t levels_left,
     }
 
     const std::size_t num_layers = model.numLayers();
+    const double weight = model.levelWeight(hist.depth());
     const std::uint64_t count = std::uint64_t{1} << num_layers;
     for (std::uint64_t mask = 0; mask < count; ++mask) {
         LevelPlan plan = levelPlanFromMask(mask, num_layers);
@@ -166,8 +169,8 @@ enumerateLevels(const CommModel &model, std::size_t levels_left,
         History next = hist;
         next.push(plan);
         stack.push_back(std::move(plan));
-        enumerateLevels(model, levels_left - 1, pair_weight * 2.0,
-                        bytes_so_far + pair_weight * bytes, next, stack,
+        enumerateLevels(model, levels_left - 1,
+                        bytes_so_far + weight * bytes, next, stack,
                         best, first);
         stack.pop_back();
     }
@@ -223,15 +226,12 @@ bruteForceHierarchical(const CommModel &model, std::size_t levels)
     }
 
     // Replays the naive recursion's accumulation exactly: level-
-    // ascending adds of 2^h * per-pair bytes, each per-pair total
-    // itself tape-exact.
+    // ascending adds of levelWeight(h) * per-pair bytes, each per-pair
+    // total itself tape-exact.
     auto totalBytes = [&] {
         double total = 0.0;
-        double pairs = 1.0;
-        for (std::size_t h = 0; h < levels; ++h) {
-            total += pairs * tapes[h].total();
-            pairs *= 2.0;
-        }
+        for (std::size_t h = 0; h < levels; ++h)
+            total += model.levelWeight(h) * tapes[h].total();
         return total;
     };
 
@@ -315,7 +315,7 @@ bruteForceHierarchicalReference(const CommModel &model, std::size_t levels)
     bool first = true;
     History hist(model.numLayers());
     std::vector<LevelPlan> stack;
-    enumerateLevels(model, levels, 1.0, 0.0, hist, stack, best, first);
+    enumerateLevels(model, levels, 0.0, hist, stack, best, first);
     return best;
 }
 
@@ -412,14 +412,12 @@ sweepLevelBytes(const CommModel &model, const HierarchicalPlan &base,
     }
 
     // Replays planBytes' accumulation exactly: level-ascending adds of
-    // 2^h * per-pair bytes, each per-pair total itself tape-exact.
+    // levelWeight(h) * per-pair bytes, each per-pair total itself
+    // tape-exact.
     auto totalBytes = [&] {
         double total = 0.0;
-        double pairs = 1.0;
-        for (std::size_t h = 0; h < num_levels; ++h) {
-            total += pairs * tapes[h].total();
-            pairs *= 2.0;
-        }
+        for (std::size_t h = 0; h < num_levels; ++h)
+            total += model.levelWeight(h) * tapes[h].total();
         return total;
     };
 

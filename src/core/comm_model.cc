@@ -13,6 +13,11 @@ namespace {
  *  get near this deep (HierarchicalPartitioner caps H at 20). */
 constexpr unsigned kMaxTableHalvings = 64;
 
+/** Depth of the precomputed level-weight table; deeper hierarchies than
+ *  any cap in the library (Topology fatals above 20, the brute-force
+ *  oracles above L*H = 26). */
+constexpr std::size_t kMaxWeightLevels = 33;
+
 constexpr std::array<double, kMaxTableHalvings>
 makeHalvingsTable()
 {
@@ -44,6 +49,24 @@ CommModel::CommModel(const dnn::Network &network, const CommConfig &config)
         util::fatal("CommModel: word size must be positive");
     if (config_.exchangeFactor <= 0.0)
         util::fatal("CommModel: exchange factor must be positive");
+    for (std::size_t h = 0; h < config_.levelPenalties.size(); ++h) {
+        const double p = config_.levelPenalties[h];
+        if (!(p > 0.0) || !std::isfinite(p))
+            util::fatal("CommModel: level " + std::to_string(h) +
+                        " penalty must be positive and finite (an "
+                        "infinite penalty means a dead link makes the "
+                        "level unusable; reject the fault map instead)");
+    }
+    levelWeights_.reserve(kMaxWeightLevels);
+    for (std::size_t h = 0; h < kMaxWeightLevels; ++h) {
+        const double p = h < config_.levelPenalties.size()
+                             ? config_.levelPenalties[h]
+                             : 1.0;
+        // ldexp scales by an exact power of two: with p == 1.0 this is
+        // the exact 2^h the engines' pairs *= 2.0 accumulators used to
+        // produce, so pristine results stay bit-identical.
+        levelWeights_.push_back(std::ldexp(p, static_cast<int>(h)));
+    }
 
     const auto batch = static_cast<double>(config_.batch);
     const double ef = config_.exchangeFactor;
@@ -90,6 +113,20 @@ CommModel::boundaryBytes(std::size_t l) const
 {
     HYPAR_ASSERT(l < boundaryBytes_.size(), "layer index");
     return boundaryBytes_[l];
+}
+
+double
+CommModel::levelPenalty(std::size_t h) const
+{
+    return h < config_.levelPenalties.size() ? config_.levelPenalties[h]
+                                             : 1.0;
+}
+
+double
+CommModel::levelWeight(std::size_t h) const
+{
+    HYPAR_ASSERT(h < levelWeights_.size(), "hierarchy level");
+    return levelWeights_[h];
 }
 
 double
@@ -333,11 +370,11 @@ CommModel::planBytes(const HierarchicalPlan &plan) const
 {
     History hist(numLayers());
     double total = 0.0;
-    double pairs = 1.0; // 2^h group pairs at level h
+    std::size_t h = 0; // 2^h group pairs at level h, times the penalty
     for (const auto &level : plan.levels) {
-        total += pairs * pairBytes(level, hist);
+        total += levelWeight(h) * pairBytes(level, hist);
         hist.push(level);
-        pairs *= 2.0;
+        ++h;
     }
     return total;
 }

@@ -67,6 +67,22 @@ struct CommConfig
     double exchangeFactor = 2.0;
 
     Scaling scaling = Scaling::kPartitioned;
+
+    /**
+     * Per-hierarchy-level cost penalties for a degraded interconnect
+     * (noc::Topology::levelPenalties after applyLinkScales): level h's
+     * communication is weighted 2^h * levelPenalties[h] instead of the
+     * pristine 2^h, steering every search away from levels whose group
+     * pairs cross slow links. Empty (the default) or all-1.0 means
+     * pristine and is bit-identical to the unweighted model: the
+     * weights are built with ldexp, so 2^h * 1.0 is the exact same
+     * double the engines' old pairs *= 2.0 accumulation produced.
+     * Levels beyond the vector are charged penalty 1.0. Entries must
+     * be positive and finite — an infinite penalty means a dead link
+     * makes the level unusable, which callers must reject *before*
+     * building a model (see sim::Evaluator).
+     */
+    std::vector<double> levelPenalties;
 };
 
 /**
@@ -95,6 +111,24 @@ class CommModel
     const dnn::Network &network() const { return *network_; }
     const CommConfig &config() const { return config_; }
     std::size_t numLayers() const { return weightBytes_.size(); }
+
+    // --- per-level weighting (fault model) ------------------------------
+
+    /** Fault penalty of hierarchy level h (1.0 pristine / off the end
+     *  of CommConfig::levelPenalties). */
+    double levelPenalty(std::size_t h) const;
+
+    /**
+     * Weight of one unit of level-h per-pair communication in a plan's
+     * total: 2^h * levelPenalty(h), precomputed with ldexp so the
+     * power-of-two factor is exact. With pristine penalties this is
+     * the exact double 2^h, so every consumer that replaced a
+     * pairs *= 2.0 accumulator with levelWeight(h) stays bit-identical
+     * on healthy arrays; with penalties, w (x) c == 2^h * (p (x) c)
+     * (power-of-two scaling commutes with rounding), so the engines'
+     * exactness proofs carry over unchanged.
+     */
+    double levelWeight(std::size_t h) const;
 
     // --- unscaled amounts (bytes) -------------------------------------
 
@@ -209,6 +243,8 @@ class CommModel
 
     const dnn::Network *network_;
     CommConfig config_;
+    /** levelWeight(h) for h < kMaxWeightLevels, built in the ctor. */
+    std::vector<double> levelWeights_;
     std::vector<double> weightBytes_;
     std::vector<double> outRawBytes_;
     std::vector<double> boundaryBytes_;

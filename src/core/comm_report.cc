@@ -22,15 +22,15 @@ buildCommReport(const CommModel &model, const HierarchicalPlan &plan)
     report.levels.resize(plan.numLevels());
 
     History hist(net.size());
-    double pairs = 1.0;
     for (std::size_t h = 0; h < plan.numLevels(); ++h) {
         auto &level = report.levels[h];
         level.level = h;
         const LevelPlan &lp = plan.levels[h];
+        const double weight = model.levelWeight(h);
 
         for (std::size_t l = 0; l < net.size(); ++l) {
             const double intra =
-                pairs * model.intraBytes(l, lp[l], hist);
+                weight * model.intraBytes(l, lp[l], hist);
             if (lp[l] == Parallelism::kData)
                 report.layers[l].gradBytes += intra;
             else
@@ -39,10 +39,10 @@ buildCommReport(const CommModel &model, const HierarchicalPlan &plan)
 
             if (l + 1 < net.size()) {
                 const double f =
-                    pairs *
+                    weight *
                     model.interBytesF(l, lp[l], lp[l + 1], hist);
                 const double e =
-                    pairs *
+                    weight *
                     model.interBytesE(l, lp[l], lp[l + 1], hist);
                 // Attribute the boundary to its producing layer l.
                 report.layers[l].featBytes += f;
@@ -51,7 +51,6 @@ buildCommReport(const CommModel &model, const HierarchicalPlan &plan)
             }
         }
         hist.push(lp);
-        pairs *= 2.0;
     }
 
     for (const auto &layer : report.layers)

@@ -31,13 +31,22 @@ HierarchicalPartitioner::partitionRecursive(
     // Line 4: partition between the two subarrays of this level.
     PairwiseResult here = pairwise_.partition(hist);
 
+    // Hierarchy level of this split: how many choices are already on
+    // the stack above us.
+    const std::size_t h = out.size();
+
     // Line 5-6: recurse into the subarrays with the choice recorded.
     out.push_back(here.plan);
     hist.push(here.plan);
     const double below = partitionRecursive(levels - 1, hist, out);
 
-    // Line 7: com = com_h + 2 * com_n (two subarrays below).
-    return here.commBytes + 2.0 * below;
+    // Line 7: com = com_h + 2 * com_n (two subarrays below). The fault
+    // penalty weights this level's own term; the Horner doubling of the
+    // suffix stays exact because the recursive total already carries
+    // the deeper levels' penalties (2^h * penalty factors out of every
+    // addend, and scaling by 2 commutes with rounding), so the greedy
+    // total equals planBytes of the emitted plan bit for bit.
+    return here.commBytes * model_->levelPenalty(h) + 2.0 * below;
 }
 
 } // namespace hypar::core

@@ -43,9 +43,14 @@ choiceAt(std::uint32_t v, std::size_t h)
 /**
  * Factored inter-layer cost table of one l -> l+1 transition.
  *
- * interCost(l, p, s) = sum_h 2^h * interBytesAt(l, p_h, s_h,
+ * interCost(l, p, s) = sum_h w_h * interBytesAt(l, p_h, s_h,
  *                                               dpAbove(p,h),
  *                                               dpAbove(s,h))
+ *
+ * with w_h = CommModel::levelWeight(h): the exact 2^h on a pristine
+ * array, 2^h * penalty_h on a degraded one — the weighting is uniform
+ * per level, so every per-level min/dominance argument below carries
+ * over unchanged.
  *
  * Each addend depends on the level h, the two choices at h, and the two
  * producer dp counts below h — at most H * 2 * 2 * (H+1) * (H+1)
@@ -62,15 +67,15 @@ class InterTermTable
         : levels_(levels), terms_(levels * 2 * (levels + 1) * 2 *
                                   (levels + 1))
     {
-        double pairs = 1.0;
         for (std::size_t h = 0; h < levels; ++h) {
+            const double weight = model.levelWeight(h);
             for (unsigned sb = 0; sb < 2; ++sb) {
                 for (unsigned b = 0; b <= levels; ++b) {
                     double *row = rowAt(h, sb, b);
                     for (unsigned pb = 0; pb < 2; ++pb) {
                         for (unsigned a = 0; a <= levels; ++a) {
                             row[pb * (levels_ + 1) + a] =
-                                pairs *
+                                weight *
                                 model.interBytesAt(
                                     layer,
                                     pb ? Parallelism::kModel
@@ -82,7 +87,6 @@ class InterTermTable
                     }
                 }
             }
-            pairs *= 2.0;
         }
     }
 
@@ -241,24 +245,24 @@ suffixBound(const CommModel &model, std::size_t levels,
     // sequences that start at s's own bit, so unlike the scalar m/M
     // terms it charges every mp bit its unavoidable downstream cost.
     // imin[(l * levels + h) * 2 + bit] is the relaxed per-level intra
-    // term (2^h pair weighting included; exact power-of-two
-    // multiplication keeps it float-exact).
+    // term (levelWeight(h) = 2^h * penalty_h included; the weight is
+    // the same for every candidate of a level, so the relaxation stays
+    // an addend-wise lower bound under degraded links too).
     std::vector<double> imin(num_layers * levels * 2, kInf);
     for (std::size_t l = 0; l < num_layers; ++l) {
-        double pairs = 1.0;
         for (std::size_t h = 0; h < levels; ++h) {
+            const double weight = model.levelWeight(h);
             for (unsigned bit = 0; bit < 2; ++bit) {
                 double m = kInf;
                 for (unsigned a = 0; a <= h; ++a)
                     m = std::min(
-                        m, pairs * model.intraBytesAt(
-                                       l,
-                                       bit ? Parallelism::kModel
-                                           : Parallelism::kData,
-                                       a, static_cast<unsigned>(h) - a));
+                        m, weight * model.intraBytesAt(
+                                        l,
+                                        bit ? Parallelism::kModel
+                                            : Parallelism::kData,
+                                        a, static_cast<unsigned>(h) - a));
                 imin[(l * levels + h) * 2 + bit] = m;
             }
-            pairs *= 2.0;
         }
     }
     std::vector<double> chain(num_layers * levels * 2, 0.0);
@@ -597,12 +601,10 @@ OptimalPartitioner::intraCost(std::size_t layer, std::uint32_t v,
                               std::size_t levels) const
 {
     double total = 0.0;
-    double pairs = 1.0;
     for (std::size_t h = 0; h < levels; ++h) {
-        total += pairs * model_->intraBytesAt(layer, choiceAt(v, h),
-                                              dpAbove(v, h),
-                                              mpAbove(v, h));
-        pairs *= 2.0;
+        total += model_->levelWeight(h) *
+                 model_->intraBytesAt(layer, choiceAt(v, h),
+                                      dpAbove(v, h), mpAbove(v, h));
     }
     return total;
 }
@@ -613,13 +615,12 @@ OptimalPartitioner::interCost(std::size_t layer, std::uint32_t v_l,
                               std::size_t levels) const
 {
     double total = 0.0;
-    double pairs = 1.0;
     for (std::size_t h = 0; h < levels; ++h) {
-        total += pairs * model_->interBytesAt(layer, choiceAt(v_l, h),
-                                              choiceAt(v_next, h),
-                                              dpAbove(v_l, h),
-                                              dpAbove(v_next, h));
-        pairs *= 2.0;
+        total += model_->levelWeight(h) *
+                 model_->interBytesAt(layer, choiceAt(v_l, h),
+                                      choiceAt(v_next, h),
+                                      dpAbove(v_l, h),
+                                      dpAbove(v_next, h));
     }
     return total;
 }

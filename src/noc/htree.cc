@@ -1,6 +1,8 @@
 #include "noc/htree.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace hypar::noc {
 
@@ -8,6 +10,29 @@ HTreeTopology::HTreeTopology(std::size_t levels,
                              const TopologyConfig &config)
     : Topology(levels, config)
 {}
+
+std::size_t
+HTreeTopology::numLinks() const
+{
+    return (std::size_t{1} << levels_) - 1;
+}
+
+void
+HTreeTopology::rebuildFaultState()
+{
+    // Level h's trunks are ids 2^h - 1 .. 2^(h+1) - 2; the exchange
+    // waits for its slowest pair, i.e. the smallest trunk scale.
+    for (std::size_t h = 0; h < levels_; ++h) {
+        const std::size_t first = (std::size_t{1} << h) - 1;
+        const std::size_t count = std::size_t{1} << h;
+        double min_scale = 1.0;
+        for (std::size_t i = 0; i < count; ++i)
+            min_scale = std::min(min_scale, linkScale(first + i));
+        penalties_[h] =
+            min_scale > 0.0 ? 1.0 / min_scale
+                            : std::numeric_limits<double>::infinity();
+    }
+}
 
 double
 HTreeTopology::pairBandwidth(std::size_t level) const
@@ -24,7 +49,12 @@ HTreeTopology::exchangeSeconds(std::size_t level,
     checkLevel(level);
     if (bytes_per_pair <= 0.0)
         return 0.0;
-    const double serialization = bytes_per_pair / pairBandwidth(level);
+    // The fault penalty multiplies the serialization term only: a
+    // derated trunk stretches the transfer, not the hop latency.
+    // Pristine penalty is exactly 1.0, keeping this bit-identical to
+    // the un-faulted formula.
+    const double serialization =
+        bytes_per_pair / pairBandwidth(level) * penalties_[level];
     return serialization + exchangeHops(level) * config_.perHopLatency;
 }
 

@@ -30,8 +30,23 @@ class HTreeTopology : public Topology
 
     double exchangeHops(std::size_t level) const override;
 
-    /** Trunk bandwidth between the halves of a level-h group pair. */
+    /**
+     * The faultable links are the trunks, numbered level-major: level h
+     * contributes the 2^h trunks with ids 2^h - 1 .. 2^(h+1) - 2 (one
+     * per group pair, in pair order), 2^H - 1 links in total. A level-h
+     * exchange runs all its pairs concurrently, so its penalty is the
+     * reciprocal of the *worst* surviving level-h trunk scale
+     * (slowest-member semantics); a dead trunk makes the level
+     * unusable (penalty +inf).
+     */
+    std::size_t numLinks() const override;
+
+    /** Trunk bandwidth between the halves of a level-h group pair
+     *  (pristine; exchangeSeconds applies the fault penalty on top). */
     double pairBandwidth(std::size_t level) const;
+
+  protected:
+    void rebuildFaultState() override;
 };
 
 } // namespace hypar::noc

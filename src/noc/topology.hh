@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/units.hh"
 
@@ -64,6 +65,35 @@ class Topology
     /** Average hops travelled by a word in that exchange (energy). */
     virtual double exchangeHops(std::size_t level) const = 0;
 
+    /** Number of individually faultable links (topology-specific ids;
+     *  see the concrete classes for the numbering). */
+    virtual std::size_t numLinks() const = 0;
+
+    /**
+     * Derate/disable links: scales[id] in [0, 1] is link id's surviving
+     * bandwidth fraction (0 = dead). Must cover every link
+     * (scales.size() == numLinks()); fatal otherwise. Recomputes the
+     * per-level penalties below. An all-1.0 vector restores pristine
+     * behavior bit-identically.
+     */
+    void applyLinkScales(const std::vector<double> &scales);
+
+    /**
+     * Slowdown of a level-`level` exchange relative to the pristine
+     * topology, >= 1 (slowest-member semantics: all 2^level group pairs
+     * run concurrently, so the exchange finishes with the pair crossing
+     * the worst surviving links). Exactly 1.0 when no faults are
+     * applied; +inf when a dead link makes the level unusable.
+     * exchangeSeconds() already includes this factor.
+     */
+    double levelPenalty(std::size_t level) const;
+
+    /** All levels' penalties (levelPenalty for h = 0..H-1). */
+    std::vector<double> levelPenalties() const;
+
+    /** True once applyLinkScales has installed a non-empty scale set. */
+    bool degraded() const { return !linkScales_.empty(); }
+
     std::size_t levels() const { return levels_; }
     std::size_t numNodes() const { return std::size_t{1} << levels_; }
     const TopologyConfig &config() const { return config_; }
@@ -71,8 +101,20 @@ class Topology
   protected:
     void checkLevel(std::size_t level) const;
 
+    /** Recompute penalties_ from linkScales_ (topology-specific). */
+    virtual void rebuildFaultState() = 0;
+
+    /** Scale of one link: 1.0 while pristine. */
+    double
+    linkScale(std::size_t id) const
+    {
+        return linkScales_.empty() ? 1.0 : linkScales_[id];
+    }
+
     std::size_t levels_;
     TopologyConfig config_;
+    std::vector<double> linkScales_; //!< empty = pristine
+    std::vector<double> penalties_;  //!< per level, 1.0 pristine
 };
 
 } // namespace hypar::noc

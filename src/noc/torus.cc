@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -49,6 +50,24 @@ TorusTopology::placeNodes()
         }
         xOf_[node] = x;
         yOf_[node] = y;
+    }
+}
+
+std::size_t
+TorusTopology::numLinks() const
+{
+    return 2 * width_ * height_;
+}
+
+void
+TorusTopology::rebuildFaultState()
+{
+    // Re-route every level so the bottleneck accounts for the per-link
+    // scales; the stored profiles keep the pristine maxLinkLoadPerByte,
+    // the penalty carries the degradation.
+    for (std::size_t h = 0; h < levels_; ++h) {
+        profiles_[h] = profileLevel(h);
+        penalties_[h] = profiles_[h].penalty;
     }
 }
 
@@ -145,6 +164,33 @@ TorusTopology::profileLevel(std::size_t level) const
         *std::max_element(v_load.begin(), v_load.end()));
     p.avgHops = flows ? total_hops / static_cast<double>(flows) : 0.0;
     p.maxHops = max_flow_hops;
+
+    if (!linkScales_.empty() && p.maxLinkLoadPerByte > 0.0) {
+        // Degraded bottleneck: each loaded link serializes its load at
+        // scale * bandwidth, so the slowest link is max(load / scale)
+        // over *used* links (unused dead links cost nothing). With all
+        // scales 1.0 this reproduces the pristine max exactly, making
+        // the penalty an exact 1.0.
+        const std::size_t v_base = width_ * height_;
+        double scaled_max = 0.0;
+        for (std::size_t i = 0; i < h_load.size(); ++i) {
+            if (h_load[i] <= 0.0)
+                continue;
+            const double s = linkScale(i);
+            scaled_max =
+                s > 0.0 ? std::max(scaled_max, h_load[i] / s)
+                        : std::numeric_limits<double>::infinity();
+        }
+        for (std::size_t i = 0; i < v_load.size(); ++i) {
+            if (v_load[i] <= 0.0)
+                continue;
+            const double s = linkScale(v_base + i);
+            scaled_max =
+                s > 0.0 ? std::max(scaled_max, v_load[i] / s)
+                        : std::numeric_limits<double>::infinity();
+        }
+        p.penalty = scaled_max / p.maxLinkLoadPerByte;
+    }
     return p;
 }
 
@@ -163,8 +209,11 @@ TorusTopology::exchangeSeconds(std::size_t level,
     if (bytes_per_pair <= 0.0)
         return 0.0;
     const LevelProfile &p = profiles_[level];
-    const double bottleneck =
-        bytes_per_pair * p.maxLinkLoadPerByte / config_.linkBandwidth;
+    // The fault penalty multiplies the serialization term only
+    // (pristine penalty is exactly 1.0, so the un-faulted result is
+    // bit-identical to the original formula).
+    const double bottleneck = bytes_per_pair * p.maxLinkLoadPerByte /
+                              config_.linkBandwidth * penalties_[level];
     return bottleneck + p.maxHops * config_.perHopLatency;
 }
 

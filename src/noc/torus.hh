@@ -51,6 +51,19 @@ class TorusTopology : public Topology
 
     double exchangeHops(std::size_t level) const override;
 
+    /**
+     * The faultable links are the torus links, horizontal first:
+     * id y * W + x is the link from (x, y) to (x+1 mod W, y), and
+     * id W * H + y * W + x the link from (x, y) to (x, y+1 mod H) —
+     * 2 * W * H ids in total. On the mesh the wrap links (x = W-1 /
+     * y = H-1) exist in the id space but carry no traffic, so scaling
+     * them is a no-op. A level's penalty is the degraded bottleneck
+     * (max over used links of load / scale) relative to the pristine
+     * bottleneck; a dead link on a loaded route makes the level
+     * unusable (penalty +inf).
+     */
+    std::size_t numLinks() const override;
+
     // --- introspection (tests, reports) --------------------------------
 
     std::size_t gridWidth() const { return width_; }
@@ -65,12 +78,16 @@ class TorusTopology : public Topology
      */
     double maxLinkLoadPerPairByte(std::size_t level) const;
 
+  protected:
+    void rebuildFaultState() override;
+
   private:
     struct LevelProfile
     {
         double maxLinkLoadPerByte = 0.0; //!< per byte of group-pair load
         double avgHops = 0.0;
         double maxHops = 0.0;
+        double penalty = 1.0; //!< degraded / pristine bottleneck ratio
     };
 
     void placeNodes();

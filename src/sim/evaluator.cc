@@ -1,5 +1,7 @@
 #include "sim/evaluator.hh"
 
+#include <cmath>
+
 #include "noc/htree.hh"
 #include "noc/torus.hh"
 #include "util/logging.hh"
@@ -21,14 +23,67 @@ makeTopology(TopologyKind kind, std::size_t levels,
     util::panic("unknown TopologyKind");
 }
 
+namespace {
+
+/** Build the topology and, for a non-empty fault map, validate the map
+ *  against it and apply the link derating. */
+std::unique_ptr<noc::Topology>
+makeFaultedTopology(const SimConfig &config)
+{
+    auto topo = makeTopology(config.topology, config.levels, config.noc);
+    if (!config.faults.empty()) {
+        arch::validateFaultMap(config.faults, topo->numNodes(),
+                               topo->numLinks());
+        if (!config.faults.links.empty())
+            topo->applyLinkScales(
+                arch::linkScales(config.faults, topo->numLinks()));
+    }
+    return topo;
+}
+
+/** Comm config with the degraded topology's level penalties attached.
+ *  Rejects maps that leave a traffic-carrying level with no surviving
+ *  bandwidth (infinite penalty) — the CommModel has no finite cost to
+ *  offer the search in that case. */
+core::CommConfig
+faultedCommConfig(const SimConfig &config, const noc::Topology &topo)
+{
+    core::CommConfig comm = config.comm;
+    if (topo.degraded()) {
+        std::vector<double> penalties = topo.levelPenalties();
+        for (std::size_t h = 0; h < penalties.size(); ++h) {
+            if (!std::isfinite(penalties[h]))
+                util::fatal("Evaluator: fault map kills every route of "
+                            "hierarchy level " + std::to_string(h) +
+                            " on " + std::string(topo.name()) +
+                            "; the level is unusable — reject the "
+                            "fault map instead of planning around it");
+        }
+        comm.levelPenalties = std::move(penalties);
+    }
+    return comm;
+}
+
+/** Sim options with the compute derating of the fault map folded in. */
+SimOptions
+faultedOptions(const SimConfig &config, const noc::Topology &topo)
+{
+    SimOptions options = config.options;
+    if (!config.faults.nodes.empty())
+        options.computeScale *=
+            arch::computeScaleFactor(config.faults, topo.numNodes());
+    return options;
+}
+
+} // namespace
+
 Evaluator::Evaluator(const dnn::Network &network, const SimConfig &config)
     : network_(network), config_(config),
-      model_(network_, config_.comm),
-      topology_(makeTopology(config_.topology, config_.levels,
-                             config_.noc)),
+      topology_(makeFaultedTopology(config_)),
+      model_(network_, faultedCommConfig(config_, *topology_)),
       simulator_(std::make_unique<TrainingSimulator>(
           model_, config_.acc, config_.energy, *topology_,
-          config_.options))
+          faultedOptions(config_, *topology_)))
 {}
 
 StepMetrics
@@ -54,8 +109,9 @@ Evaluator::evaluateBatch(std::span<const core::HierarchicalPlan> plans,
     // Each chunk clones the (cheap) simulator so the mutable trace
     // buffer is never shared; model/topology are read-only. Results are
     // written by index, so any chunk grid is bit-identical to the
-    // sequential loop.
-    SimOptions options = config_.options;
+    // sequential loop. The clones carry the fault map's compute
+    // derating, exactly like the ctor-built simulator.
+    SimOptions options = faultedOptions(config_, *topology_);
     options.recordTrace = false;
     pool.parallelFor(
         0, plans.size(), pool.grainFor(plans.size()),

@@ -18,6 +18,7 @@
 
 #include "arch/accelerator.hh"
 #include "arch/energy_model.hh"
+#include "arch/fault_map.hh"
 #include "core/comm_model.hh"
 #include "core/strategies.hh"
 #include "dnn/network.hh"
@@ -44,6 +45,22 @@ struct SimConfig
     std::size_t levels = 4;
 
     SimOptions options;
+
+    /**
+     * Fault/heterogeneity map applied to the array before anything is
+     * built (empty = pristine, bit-identical to a config without the
+     * field). Node entries derate compute: the lockstep array runs at
+     * the slowest surviving node's pace with dead nodes' shards
+     * redistributed (arch::computeScaleFactor multiplies
+     * SimOptions::computeScale). Link entries derate the interconnect:
+     * the topology recomputes its per-level penalties and the CommModel
+     * inherits them (CommConfig::levelPenalties), so every search
+     * engine re-plans around the degradation. A map that kills every
+     * node, or kills a link that carries traffic at some level, is
+     * rejected with a fatal error — there is no finite cost to plan
+     * for. Ids are validated against the topology's numNodes/numLinks.
+     */
+    arch::FaultMap faults;
 };
 
 /** Instantiate a topology. */
@@ -148,8 +165,10 @@ class Evaluator
   private:
     dnn::Network network_;
     SimConfig config_;
-    core::CommModel model_;
+    // The topology is built (and degraded by SimConfig::faults) before
+    // the CommModel so the model can inherit its level penalties.
     std::unique_ptr<noc::Topology> topology_;
+    core::CommModel model_;
     std::unique_ptr<TrainingSimulator> simulator_;
 };
 

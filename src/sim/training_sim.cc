@@ -42,6 +42,11 @@ TrainingSimulator::TrainingSimulator(const core::CommModel &model,
     : model_(&model), acc_(acc), energy_(energy), topo_(&topo),
       options_(options), mapper_(acc)
 {
+    arch::validateAcceleratorConfig(acc_);
+    if (!(options_.computeScale > 0.0) ||
+        !std::isfinite(options_.computeScale))
+        util::fatal("TrainingSimulator: SimOptions::computeScale must "
+                    "be positive and finite");
     const std::size_t levels = topo_->levels();
     if (levels <= kPrefixTableMaxLevels) {
         const std::size_t states = std::size_t{1} << levels;
@@ -162,7 +167,8 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
 
         Task t;
         t.kind = Task::Kind::kCompute;
-        t.seconds = std::max(pe_sec, dram_sec);
+        // Slowest-surviving-node derating (1.0 pristine, exact).
+        t.seconds = std::max(pe_sec, dram_sec) * options_.computeScale;
         t.phase = phase;
         if (options_.recordTrace)
             t.label = std::string(tag) + ":" + layer.name;
@@ -602,7 +608,8 @@ TrainingSimulator::sweepNeighborhood(
                 ComputeContrib &c = comp[(3 * l + phase) * 2 + b];
                 const double dram_sec =
                     dram_bytes[phase] / acc_.dramBandwidth;
-                c.seconds = std::max(pe_sec, dram_sec);
+                c.seconds =
+                    std::max(pe_sec, dram_sec) * options_.computeScale;
                 c.computeJ = compute_j;
                 c.sramJ = sram_j;
                 c.dramJ = num_accs * energy_.dramEnergy(

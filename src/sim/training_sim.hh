@@ -50,6 +50,18 @@ struct SimOptions
 
     /** Record a per-task trace (examples / debugging). */
     bool recordTrace = false;
+
+    /**
+     * Compute-time multiplier for a degraded array (>= 1.0 when some
+     * nodes are slow or dead, 1.0 pristine): the lockstep array runs at
+     * the pace of the slowest surviving node, which additionally picks
+     * up its share of the dead nodes' work, so every compute task's
+     * seconds are multiplied by this factor
+     * (arch::computeScaleFactor derives it from a FaultMap). Energy is
+     * deliberately left unscaled: slow silicon still performs the same
+     * MACs and DRAM accesses. Must be positive and finite.
+     */
+    double computeScale = 1.0;
 };
 
 /** One executed task, for trace inspection. */

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "arch/accelerator.hh"
 #include "arch/energy_model.hh"
 #include "arch/row_stationary.hh"
@@ -25,6 +28,32 @@ TEST(AcceleratorConfig, PaperDefaults)
     EXPECT_DOUBLE_EQ(cfg.peakOpsPerSec(), 84e9);        // 84 GOPS
     EXPECT_DOUBLE_EQ(cfg.dramBandwidth, 320e9);         // 320 GB/s
     EXPECT_DOUBLE_EQ(cfg.bufferBytes, 108.0 * 1024.0);  // 108 KB
+}
+
+TEST(AcceleratorConfig, ValidationRejectsDegenerateParameters)
+{
+    arch::validateAcceleratorConfig(AcceleratorConfig{}); // defaults ok
+
+    AcceleratorConfig cfg;
+    cfg.peRows = 0;
+    EXPECT_THROW(arch::validateAcceleratorConfig(cfg), util::FatalError);
+    cfg = AcceleratorConfig{};
+    cfg.peCols = 0;
+    EXPECT_THROW(arch::validateAcceleratorConfig(cfg), util::FatalError);
+    cfg = AcceleratorConfig{};
+    cfg.clockHz = 0.0;
+    EXPECT_THROW(arch::validateAcceleratorConfig(cfg), util::FatalError);
+    cfg.clockHz = std::nan(""); // NaN sails through '<= 0' checks
+    EXPECT_THROW(arch::validateAcceleratorConfig(cfg), util::FatalError);
+    cfg = AcceleratorConfig{};
+    cfg.bufferBytes = -1.0;
+    EXPECT_THROW(arch::validateAcceleratorConfig(cfg), util::FatalError);
+    cfg = AcceleratorConfig{};
+    cfg.dramBandwidth = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(arch::validateAcceleratorConfig(cfg), util::FatalError);
+    cfg = AcceleratorConfig{};
+    cfg.dramCapacity = 0.0;
+    EXPECT_THROW(arch::validateAcceleratorConfig(cfg), util::FatalError);
 }
 
 TEST(EnergyModel, PaperConstants)

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for arch::FaultMap: text parsing (including every malformed
+ * shape the format can produce), validation against a concrete array,
+ * the dense scale vectors, the lockstep compute-slowdown factor, and
+ * the deterministic fault-map sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "arch/fault_map.hh"
+#include "util/logging.hh"
+
+using namespace hypar;
+using arch::FaultMap;
+
+namespace {
+
+FaultMap
+parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return arch::parseFaultMap(in);
+}
+
+} // namespace
+
+TEST(FaultMapParse, EmptyAndComments)
+{
+    EXPECT_TRUE(parse("").empty());
+    EXPECT_TRUE(parse("# just a comment\n\n  \n# another\n").empty());
+}
+
+TEST(FaultMapParse, NodesAndLinks)
+{
+    const FaultMap map = parse("node 3 0.5\n"
+                               "# dead link\n"
+                               "link 7 0\n"
+                               "  node 0 1.0  # trailing comment\n");
+    ASSERT_EQ(map.nodes.size(), 2u);
+    ASSERT_EQ(map.links.size(), 1u);
+    EXPECT_EQ(map.nodes[0].id, 3u);
+    EXPECT_DOUBLE_EQ(map.nodes[0].scale, 0.5);
+    EXPECT_EQ(map.nodes[1].id, 0u);
+    EXPECT_DOUBLE_EQ(map.nodes[1].scale, 1.0);
+    EXPECT_EQ(map.links[0].id, 7u);
+    EXPECT_DOUBLE_EQ(map.links[0].scale, 0.0);
+    EXPECT_FALSE(map.empty());
+}
+
+TEST(FaultMapParse, MalformedEntriesAreFatal)
+{
+    EXPECT_THROW(parse("vault 3 0.5\n"), util::FatalError);  // bad kind
+    EXPECT_THROW(parse("node 3\n"), util::FatalError);       // no scale
+    EXPECT_THROW(parse("node\n"), util::FatalError);         // no id
+    EXPECT_THROW(parse("node x 0.5\n"), util::FatalError);   // bad id
+    EXPECT_THROW(parse("node 3 full\n"), util::FatalError);  // bad scale
+    EXPECT_THROW(parse("node 3 0.5 9\n"), util::FatalError); // junk
+    EXPECT_THROW(parse("node -1 0.5\n"), util::FatalError);  // negative
+}
+
+TEST(FaultMapParse, ScaleRangeIsEnforced)
+{
+    EXPECT_THROW(parse("node 1 1.5\n"), util::FatalError);
+    EXPECT_THROW(parse("node 1 -0.1\n"), util::FatalError);
+    EXPECT_THROW(parse("link 1 nan\n"), util::FatalError);
+    // The boundary values are fine.
+    EXPECT_EQ(parse("node 1 0\nlink 2 1\n").nodes.size(), 1u);
+}
+
+TEST(FaultMapParse, DuplicateIdsAreFatal)
+{
+    EXPECT_THROW(parse("node 3 0.5\nnode 3 0.7\n"), util::FatalError);
+    EXPECT_THROW(parse("link 1 0.5\nlink 1 0.5\n"), util::FatalError);
+    // The same id as node and link is two different components.
+    EXPECT_FALSE(parse("node 1 0.5\nlink 1 0.5\n").empty());
+}
+
+TEST(FaultMapParse, ErrorsNameTheLine)
+{
+    try {
+        parse("node 0 1.0\nlink bad 0.5\n");
+        FAIL() << "expected util::FatalError";
+    } catch (const util::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(FaultMapParse, MissingFileIsFatal)
+{
+    EXPECT_THROW(arch::parseFaultMapFile("/nonexistent/faults.txt"),
+                 util::FatalError);
+}
+
+TEST(FaultMapValidate, IdRangesAndSurvivors)
+{
+    FaultMap map = parse("node 15 0.5\nlink 29 0.5\n");
+    arch::validateFaultMap(map, 16, 30); // in range: fine
+    EXPECT_THROW(arch::validateFaultMap(map, 15, 30), util::FatalError);
+    EXPECT_THROW(arch::validateFaultMap(map, 16, 29), util::FatalError);
+    arch::validateFaultMap(FaultMap{}, 1, 0); // empty is always valid
+}
+
+TEST(FaultMapValidate, FullyDeadArrayIsFatal)
+{
+    const FaultMap map = parse("node 0 0\nnode 1 0\n");
+    EXPECT_THROW(arch::validateFaultMap(map, 2, 4), util::FatalError);
+    // One survivor is enough.
+    arch::validateFaultMap(parse("node 0 0\n"), 2, 4);
+}
+
+TEST(FaultMapScales, DenseVectorsDefaultToHealthy)
+{
+    const FaultMap map = parse("node 1 0.25\nlink 3 0.5\n");
+    const auto nodes = arch::nodeScales(map, 4);
+    ASSERT_EQ(nodes.size(), 4u);
+    EXPECT_DOUBLE_EQ(nodes[0], 1.0);
+    EXPECT_DOUBLE_EQ(nodes[1], 0.25);
+    const auto links = arch::linkScales(map, 6);
+    ASSERT_EQ(links.size(), 6u);
+    EXPECT_DOUBLE_EQ(links[3], 0.5);
+    EXPECT_DOUBLE_EQ(links[5], 1.0);
+    EXPECT_THROW(arch::nodeScales(map, 1), util::FatalError);
+}
+
+TEST(FaultMapCompute, SlowestSurvivorSemantics)
+{
+    // Empty map: exactly 1 (no derating).
+    EXPECT_DOUBLE_EQ(arch::computeScaleFactor(FaultMap{}, 16), 1.0);
+
+    // One node at half speed: the lockstep step takes 2x.
+    EXPECT_DOUBLE_EQ(
+        arch::computeScaleFactor(parse("node 5 0.5\n"), 16), 2.0);
+
+    // Four of sixteen nodes dead: survivors carry 16/12 of a shard.
+    EXPECT_DOUBLE_EQ(
+        arch::computeScaleFactor(
+            parse("node 0 0\nnode 1 0\nnode 2 0\nnode 3 0\n"), 16),
+        16.0 / 12.0);
+
+    // Dead nodes *and* a slow survivor: factors compose.
+    EXPECT_DOUBLE_EQ(
+        arch::computeScaleFactor(parse("node 0 0\nnode 1 0.5\n"), 4),
+        (4.0 / 3.0) / 0.5);
+
+    // Killing every node is fatal, not a degenerate number.
+    EXPECT_THROW(
+        arch::computeScaleFactor(parse("node 0 0\nnode 1 0\n"), 2),
+        util::FatalError);
+}
+
+TEST(FaultMapSample, DeterministicAndValid)
+{
+    const FaultMap a = arch::sampleFaultMap(0.3, 16, 30, 42);
+    const FaultMap b = arch::sampleFaultMap(0.3, 16, 30, 42);
+    EXPECT_EQ(a, b); // same seed, same map
+    EXPECT_FALSE(a == arch::sampleFaultMap(0.3, 16, 30, 43));
+
+    // Every sampled map validates against its own array, at any rate —
+    // the revive guard keeps at least one node alive even at rate 1.
+    for (const double rate : {0.0, 0.1, 0.5, 1.0}) {
+        for (std::uint64_t seed = 0; seed < 20; ++seed) {
+            const FaultMap m = arch::sampleFaultMap(rate, 8, 12, seed);
+            arch::validateFaultMap(m, 8, 12);
+            // Links are throttled, never killed: finite planning cost.
+            for (const auto &l : m.links)
+                EXPECT_GT(l.scale, 0.0);
+        }
+    }
+    EXPECT_TRUE(arch::sampleFaultMap(0.0, 8, 12, 7).empty());
+    EXPECT_THROW(arch::sampleFaultMap(1.5, 8, 12, 0), util::FatalError);
+}
+
+TEST(FaultMapSample, MixSeedSeparatesStreams)
+{
+    EXPECT_NE(arch::mixSeed(0, 0), arch::mixSeed(0, 1));
+    EXPECT_NE(arch::mixSeed(0, 0), arch::mixSeed(1, 0));
+    EXPECT_EQ(arch::mixSeed(9, 3), arch::mixSeed(9, 3));
+}

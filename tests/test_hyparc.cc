@@ -418,3 +418,191 @@ TEST(HyparcCommands, TraceToStreamAndFile)
     EXPECT_NE(content.str().find("hypar"), std::string::npos);
     std::remove(path.c_str());
 }
+
+TEST(HyparcArgs, ParsesFaultFlags)
+{
+    const auto opts = parseArgs({"faults", "--model", "Lenet-c",
+                                 "--map", "f.txt", "--rate", "0:0.3:7",
+                                 "--samples", "4", "--sweep"});
+    EXPECT_EQ(opts.map, "f.txt");
+    EXPECT_EQ(opts.rate, "0:0.3:7");
+    EXPECT_EQ(opts.samples, 4u);
+    EXPECT_TRUE(opts.faultSweep);
+
+    // Defaults: no map, a single 10% rate, 8 samples, uniform sweeps.
+    const auto defaults = parseArgs({"faults", "--model", "Lenet-c"});
+    EXPECT_TRUE(defaults.map.empty());
+    EXPECT_EQ(defaults.rate, "0.1");
+    EXPECT_EQ(defaults.samples, 8u);
+    EXPECT_FALSE(defaults.faultSweep);
+    EXPECT_EQ(defaults.sample, "uniform");
+}
+
+TEST(HyparcCommands, FaultsMapModeReplansAroundTheMap)
+{
+    // Default htree x16: node ids 0..15, link ids 0..14 (level-major).
+    const std::string path = "/tmp/hyparc_test_faults.map";
+    {
+        std::ofstream f(path);
+        f << "# one dead node, one throttled level-1 trunk\n"
+             "node 3 0\nlink 2 0.5\n";
+    }
+    const std::string out = run({"faults", "--model", "Lenet-c",
+                                 "--strategy", "optimal", "--map",
+                                 path});
+    EXPECT_NE(out.find("compute slowdown: 1.07x"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("level penalties: 1.00x 2.00x 1.00x 1.00x"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("healthy array"), std::string::npos);
+    EXPECT_NE(out.find("degraded array, re-planned:"),
+              std::string::npos);
+    EXPECT_NE(out.find("recovers"), std::string::npos);
+
+    // A map that kills every node is rejected, not planned around.
+    {
+        std::ofstream f(path);
+        for (int i = 0; i < 16; ++i)
+            f << "node " << i << " 0\n";
+    }
+    EXPECT_THROW(run({"faults", "--model", "Lenet-c", "--map", path}),
+                 util::FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(HyparcCommands, FaultsSweepIsDeterministic)
+{
+    const std::vector<std::string> args = {
+        "faults", "--model", "Lenet-c", "--sweep",
+        "--rate",  "0:0.3:3", "--samples", "2",
+        "--seed",  "5"};
+    const std::string csv = run(args);
+    EXPECT_NE(csv.find("mode=faults"), std::string::npos);
+    EXPECT_NE(csv.find("samples=2 seed=5"), std::string::npos);
+    EXPECT_NE(csv.find(
+                  "rate,static_step_seconds,replanned_step_seconds,"
+                  "recovery"),
+              std::string::npos);
+    // Header comment + column header + 3 rate points.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2 + 3);
+    // Acceptance: byte-identical for a fixed seed; seeds separate.
+    EXPECT_EQ(csv, run(args));
+    EXPECT_NE(csv, run({"faults", "--model", "Lenet-c", "--sweep",
+                        "--rate", "0:0.3:3", "--samples", "2",
+                        "--seed", "6"}));
+
+    // Rate 0 draws the empty map: static == replanned, recovery 1.
+    EXPECT_NE(csv.find(",1\n"), std::string::npos) << csv;
+
+    const std::string json = run({"faults", "--model", "Lenet-c",
+                                  "--sweep", "--rate", "0:0.3:3",
+                                  "--samples", "2", "--format",
+                                  "json"});
+    EXPECT_NE(json.find("\"mode\":\"faults\""), std::string::npos);
+    EXPECT_NE(json.find("\"replanned_step_seconds\":"),
+              std::string::npos);
+
+    const std::string path = "/tmp/hyparc_test_faults.csv";
+    const std::string msg = run({"faults", "--model", "Lenet-c",
+                                 "--sweep", "--rate", "0:0.3:3",
+                                 "--samples", "2", "-o", path});
+    EXPECT_NE(msg.find("wrote 3 rate points"), std::string::npos);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::remove(path.c_str());
+}
+
+TEST(HyparcCommands, FaultsRobustModeReportsExpectedCost)
+{
+    const std::string out = run({"faults", "--model", "Lenet-c",
+                                 "--rate", "0.25", "--samples", "3",
+                                 "--seed", "2"});
+    EXPECT_NE(out.find("robust plan over 3 fault maps at rate 0.25"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("H1:"), std::string::npos);
+    EXPECT_NE(out.find("expected step time:"), std::string::npos);
+    EXPECT_NE(out.find("pristine-optimal plan would average"),
+              std::string::npos);
+    // Deterministic for a fixed seed.
+    EXPECT_EQ(out, run({"faults", "--model", "Lenet-c", "--rate",
+                        "0.25", "--samples", "3", "--seed", "2"}));
+}
+
+TEST(HyparcCommands, FaultsRejections)
+{
+    std::ostringstream os;
+    // --map and --sweep are mutually exclusive modes.
+    EXPECT_THROW(runCommand(parseArgs({"faults", "--model", "Lenet-c",
+                                       "--map", "f.txt", "--sweep"}),
+                            os),
+                 util::FatalError);
+    // --sweep needs a R0:R1:N rate range...
+    EXPECT_THROW(runCommand(parseArgs({"faults", "--model", "Lenet-c",
+                                       "--sweep", "--rate", "0.1"}),
+                            os),
+                 util::FatalError);
+    EXPECT_THROW(runCommand(parseArgs({"faults", "--model", "Lenet-c",
+                                       "--sweep", "--rate",
+                                       "0:0.3:0"}),
+                            os),
+                 util::FatalError);
+    // ... while robust planning takes a single rate.
+    EXPECT_THROW(runCommand(parseArgs({"faults", "--model", "Lenet-c",
+                                       "--rate", "0:0.3:7"}),
+                            os),
+                 util::FatalError);
+    // Rates live in [0, 1] and must parse completely.
+    EXPECT_THROW(runCommand(parseArgs({"faults", "--model", "Lenet-c",
+                                       "--rate", "1.5"}),
+                            os),
+                 util::FatalError);
+    EXPECT_THROW(runCommand(parseArgs({"faults", "--model", "Lenet-c",
+                                       "--rate", "0.1x"}),
+                            os),
+                 util::FatalError);
+    // At least one sample everywhere.
+    EXPECT_THROW(runCommand(parseArgs({"faults", "--model", "Lenet-c",
+                                       "--samples", "0"}),
+                            os),
+                 util::FatalError);
+    EXPECT_THROW(runCommand(parseArgs({"faults", "--model", "Lenet-c",
+                                       "--sweep", "--rate", "0:0.3:3",
+                                       "--samples", "0"}),
+                            os),
+                 util::FatalError);
+}
+
+TEST(HyparcCommands, SweepBiasedSamplerConcentratesNearHypar)
+{
+    // The biased sampler perturbs the HyPar plan's masks instead of
+    // drawing uniformly; both are seed-deterministic and recorded in
+    // the header.
+    const std::vector<std::string> args = {
+        "sweep",   "--model", "VGG-A", "--axes", "H1,H4",
+        "--limit", "12",      "--seed", "3",     "--sample", "biased"};
+    const std::string biased = run(args);
+    EXPECT_NE(biased.find(" sample=biased"), std::string::npos);
+    EXPECT_EQ(std::count(biased.begin(), biased.end(), '\n'), 2 + 12);
+    EXPECT_EQ(biased, run(args));
+
+    const std::string uniform =
+        run({"sweep", "--model", "VGG-A", "--axes", "H1,H4", "--limit",
+             "12", "--seed", "3"});
+    EXPECT_NE(uniform.find(" sample=uniform"), std::string::npos);
+    EXPECT_NE(biased, uniform);
+
+    const std::string json = run({"sweep", "--model", "VGG-A",
+                                  "--axes", "H1,H4", "--limit", "6",
+                                  "--sample", "biased", "--format",
+                                  "json"});
+    EXPECT_NE(json.find("\"sample\":\"biased\""), std::string::npos);
+
+    std::ostringstream os;
+    EXPECT_THROW(runCommand(parseArgs({"sweep", "--model", "VGG-A",
+                                       "--axes", "H1,H4", "--limit",
+                                       "12", "--sample", "bogus"}),
+                            os),
+                 util::FatalError);
+}

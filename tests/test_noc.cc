@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "noc/htree.hh"
 #include "noc/torus.hh"
 #include "util/logging.hh"
@@ -179,4 +183,129 @@ TEST(Topology, ConfigValidation)
     bad.linkBandwidth = 0.0;
     EXPECT_THROW(TorusTopology(2, bad), util::FatalError);
     EXPECT_THROW(HTreeTopology(24, TopologyConfig{}), util::FatalError);
+}
+
+TEST(Topology, ConfigRejectsNonFiniteAndNegative)
+{
+    // The checks are written as negated comparisons, so NaN (which
+    // passes every ordinary '<= 0' test) is rejected too.
+    TopologyConfig nan_bw;
+    nan_bw.linkBandwidth = std::nan("");
+    EXPECT_THROW(HTreeTopology(2, nan_bw), util::FatalError);
+    TopologyConfig neg_bw;
+    neg_bw.linkBandwidth = -1.0;
+    EXPECT_THROW(TorusTopology(2, neg_bw), util::FatalError);
+    TopologyConfig inf_root;
+    inf_root.rootBisection = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(HTreeTopology(2, inf_root), util::FatalError);
+    TopologyConfig zero_root;
+    zero_root.rootBisection = 0.0;
+    EXPECT_THROW(HTreeTopology(2, zero_root), util::FatalError);
+    TopologyConfig neg_lat;
+    neg_lat.perHopLatency = -1e-9;
+    EXPECT_THROW(TorusTopology(2, neg_lat), util::FatalError);
+    TopologyConfig nan_lat;
+    nan_lat.perHopLatency = std::nan("");
+    EXPECT_THROW(HTreeTopology(2, nan_lat), util::FatalError);
+    // Zero latency stays legal (the tests above rely on it).
+    HTreeTopology ok(2, noLatency());
+}
+
+TEST(Faults, LinkCountsFollowTheDocumentedNumbering)
+{
+    // H-tree: one trunk per internal tree edge, 2^H - 1 in total.
+    EXPECT_EQ(HTreeTopology(4, TopologyConfig{}).numLinks(), 15u);
+    EXPECT_EQ(HTreeTopology(1, TopologyConfig{}).numLinks(), 1u);
+    // Torus: one horizontal and one vertical link per node.
+    EXPECT_EQ(TorusTopology(4, TopologyConfig{}).numLinks(), 32u);
+    EXPECT_EQ(TorusTopology(3, TopologyConfig{}).numLinks(), 16u);
+}
+
+TEST(Faults, ApplyLinkScalesValidates)
+{
+    HTreeTopology tree(2, TopologyConfig{});
+    EXPECT_THROW(tree.applyLinkScales({1.0}), util::FatalError); // size
+    EXPECT_THROW(tree.applyLinkScales({1.0, 1.0, 1.5}),
+                 util::FatalError); // range
+    EXPECT_THROW(tree.applyLinkScales({1.0, -0.1, 1.0}),
+                 util::FatalError);
+    EXPECT_THROW(tree.applyLinkScales({1.0, std::nan(""), 1.0}),
+                 util::FatalError);
+    EXPECT_FALSE(tree.degraded());
+    tree.applyLinkScales({1.0, 1.0, 1.0});
+    EXPECT_TRUE(tree.degraded());
+}
+
+TEST(Faults, AllHealthyScalesAreBitIdentical)
+{
+    // Applying an all-1.0 scale vector must not perturb a single bit
+    // of any exchange time, on either topology.
+    HTreeTopology tree(4, TopologyConfig{});
+    HTreeTopology scaled_tree(4, TopologyConfig{});
+    scaled_tree.applyLinkScales(std::vector<double>(15, 1.0));
+    TorusTopology torus(4, TopologyConfig{});
+    TorusTopology scaled_torus(4, TopologyConfig{});
+    scaled_torus.applyLinkScales(std::vector<double>(32, 1.0));
+    for (std::size_t h = 0; h < 4; ++h) {
+        EXPECT_EQ(tree.exchangeSeconds(h, 9.87e6),
+                  scaled_tree.exchangeSeconds(h, 9.87e6))
+            << "level " << h;
+        EXPECT_EQ(torus.exchangeSeconds(h, 9.87e6),
+                  scaled_torus.exchangeSeconds(h, 9.87e6))
+            << "level " << h;
+        EXPECT_DOUBLE_EQ(scaled_tree.levelPenalty(h), 1.0);
+        EXPECT_DOUBLE_EQ(scaled_torus.levelPenalty(h), 1.0);
+    }
+}
+
+TEST(Faults, HTreePenaltyIsSlowestTrunkOfTheLevel)
+{
+    // Level-major trunk ids: level h owns ids 2^h-1 .. 2^(h+1)-2.
+    HTreeTopology tree(3, noLatency());
+    std::vector<double> scales(7, 1.0);
+    scales[1] = 0.5;  // one of the two level-1 trunks at half speed
+    scales[2] = 0.8;  // the other, milder — the level waits for 0.5
+    scales[5] = 0.25; // one level-2 trunk at quarter speed
+    tree.applyLinkScales(scales);
+    EXPECT_DOUBLE_EQ(tree.levelPenalty(0), 1.0); // root untouched
+    EXPECT_DOUBLE_EQ(tree.levelPenalty(1), 2.0);
+    EXPECT_DOUBLE_EQ(tree.levelPenalty(2), 4.0);
+
+    // The penalty multiplies the serialization term only: level 0's
+    // time is unchanged, level 1's exactly doubles.
+    HTreeTopology pristine(3, noLatency());
+    EXPECT_EQ(tree.exchangeSeconds(0, 1e7),
+              pristine.exchangeSeconds(0, 1e7));
+    EXPECT_DOUBLE_EQ(tree.exchangeSeconds(1, 1e7),
+                     2.0 * pristine.exchangeSeconds(1, 1e7));
+}
+
+TEST(Faults, DeadLinkMakesItsLevelsUnusable)
+{
+    HTreeTopology tree(2, TopologyConfig{});
+    tree.applyLinkScales({0.0, 1.0, 1.0}); // root trunk down
+    EXPECT_TRUE(std::isinf(tree.levelPenalty(0)));
+    EXPECT_DOUBLE_EQ(tree.levelPenalty(1), 1.0);
+
+    // Torus: a dead link that carries level traffic drives that
+    // level's penalty to infinity; a healthy level keeps 1.0.
+    TorusTopology torus(2, TopologyConfig{});
+    std::vector<double> scales(torus.numLinks(), 0.0);
+    torus.applyLinkScales(scales);
+    EXPECT_TRUE(std::isinf(torus.levelPenalty(0)));
+}
+
+TEST(Faults, TorusReroutedBottleneckScalesTheLevel)
+{
+    // Throttle every link to the same fraction: the bottleneck link is
+    // unchanged in identity, so each level slows by exactly 1/scale.
+    TorusTopology torus(3, noLatency());
+    TorusTopology pristine(3, noLatency());
+    torus.applyLinkScales(std::vector<double>(torus.numLinks(), 0.5));
+    for (std::size_t h = 0; h < 3; ++h) {
+        EXPECT_DOUBLE_EQ(torus.levelPenalty(h), 2.0) << "level " << h;
+        EXPECT_DOUBLE_EQ(torus.exchangeSeconds(h, 3e7),
+                         2.0 * pristine.exchangeSeconds(h, 3e7))
+            << "level " << h;
+    }
 }

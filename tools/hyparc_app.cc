@@ -10,12 +10,14 @@
 #include <utility>
 #include <vector>
 
+#include "arch/fault_map.hh"
 #include "core/comm_report.hh"
 #include "core/optimal_partitioner.hh"
 #include "core/strategies.hh"
 #include "dnn/model_zoo.hh"
 #include "dnn/spec_parser.hh"
 #include "sim/evaluator.hh"
+#include "sim/robust.hh"
 #include "sim/trace_export.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -250,7 +252,8 @@ writeSweepRows(const Options &opts, const std::string &mode,
         if (opts.overlap)
             os << " overlap=true";
         if (sampled)
-            os << " limit=" << opts.limit << " seed=" << opts.seed;
+            os << " limit=" << opts.limit << " seed=" << opts.seed
+               << " sample=" << opts.sample;
         os << "\n"
            << a.name << "," << b.name
            << ",step_seconds,speedup_vs_dp\n";
@@ -270,7 +273,8 @@ writeSweepRows(const Options &opts, const std::string &mode,
     if (opts.overlap)
         os << ",\"overlap\":true";
     if (sampled)
-        os << ",\"limit\":" << opts.limit << ",\"seed\":" << opts.seed;
+        os << ",\"limit\":" << opts.limit << ",\"seed\":" << opts.seed
+           << ",\"sample\":\"" << jsonEscape(opts.sample) << "\"";
     os << ",\"points\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         std::snprintf(buf, sizeof(buf),
@@ -294,6 +298,9 @@ cmdSweep(const Options &opts, std::ostream &os)
     if (opts.format != "csv" && opts.format != "json")
         util::fatal("unknown sweep format '" + opts.format +
                     "' (csv|json)");
+    if (opts.sample != "uniform" && opts.sample != "biased")
+        util::fatal("unknown sweep sampler '" + opts.sample +
+                    "' (uniform|biased)");
     if (opts.axes.empty())
         util::fatal("sweep needs --axes A,B (two hierarchy levels like "
                     "H1,H4 or two layer names like conv5_2,fc1)");
@@ -340,8 +347,43 @@ cmdSweep(const Options &opts, std::ostream &os)
                         "size is sampleable");
         std::mt19937_64 rng(opts.seed);
         std::set<std::pair<std::uint64_t, std::uint64_t>> points;
-        while (points.size() < opts.limit)
-            points.insert({rng() % axis_masks, rng() % axis_masks});
+        if (opts.sample == "biased") {
+            // Neighborhood-biased sampler: start from the base plan's
+            // own axis masks and flip each bit with probability 1/4,
+            // concentrating samples around the --strategy plan (the
+            // region sweeps usually care about) instead of spreading
+            // them uniformly. Same seed -> same points, like uniform.
+            auto level_mask = [&](std::size_t h) {
+                std::uint64_t m = 0;
+                for (std::size_t l = 0; l < bits; ++l)
+                    if (base.levels[h][l] == core::Parallelism::kModel)
+                        m |= std::uint64_t{1} << l;
+                return m;
+            };
+            auto layer_state = [&](std::size_t layer) {
+                std::uint64_t m = 0;
+                for (std::size_t h = 0; h < bits; ++h)
+                    if (base.levels[h][layer] ==
+                        core::Parallelism::kModel)
+                        m |= std::uint64_t{1} << h;
+                return m;
+            };
+            const std::uint64_t base_a =
+                a.isLevel ? level_mask(a.index) : layer_state(a.index);
+            const std::uint64_t base_b =
+                a.isLevel ? level_mask(b.index) : layer_state(b.index);
+            auto perturb = [&](std::uint64_t m) {
+                for (std::size_t bit = 0; bit < bits; ++bit)
+                    if (rng() % 4 == 0)
+                        m ^= std::uint64_t{1} << bit;
+                return m;
+            };
+            while (points.size() < opts.limit)
+                points.insert({perturb(base_a), perturb(base_b)});
+        } else {
+            while (points.size() < opts.limit)
+                points.insert({rng() % axis_masks, rng() % axis_masks});
+        }
 
         std::vector<core::HierarchicalPlan> grid;
         grid.reserve(points.size());
@@ -442,12 +484,215 @@ cmdSweep(const Options &opts, std::ostream &os)
     return 0;
 }
 
+/** Parse a single floating-point rate in [0, 1]. */
+double
+parseRate(const std::string &token)
+{
+    double rate = 0.0;
+    try {
+        std::size_t used = 0;
+        rate = std::stod(token, &used);
+        if (used != token.size())
+            throw std::invalid_argument(token);
+    } catch (const std::exception &) {
+        util::fatal("bad fault rate '" + token + "'");
+    }
+    if (!(rate >= 0.0 && rate <= 1.0))
+        util::fatal("fault rate must be in [0, 1], got '" + token + "'");
+    return rate;
+}
+
+/** One point of a fault-rate curve. */
+struct FaultRow
+{
+    double rate = 0.0;
+    double staticSeconds = 0.0;    //!< pristine plan on degraded arrays
+    double replannedSeconds = 0.0; //!< per-sample re-planned
+};
+
+void
+writeFaultRows(const Options &opts, const std::vector<FaultRow> &rows,
+               std::ostream &os)
+{
+    char buf[160];
+    if (opts.format == "csv") {
+        os << "# model=" << opts.model << opts.spec << " mode=faults"
+           << " levels=" << opts.levels << " batch=" << opts.batch
+           << " topology=" << opts.topology << " strategy="
+           << opts.strategy << " samples=" << opts.samples << " seed="
+           << opts.seed << "\n"
+           << "rate,static_step_seconds,replanned_step_seconds,"
+              "recovery\n";
+        for (const auto &row : rows) {
+            std::snprintf(buf, sizeof(buf), "%.6g,%.17g,%.17g,%.6g",
+                          row.rate, row.staticSeconds,
+                          row.replannedSeconds,
+                          row.staticSeconds / row.replannedSeconds);
+            os << buf << "\n";
+        }
+        return;
+    }
+    os << "{\"model\":\"" << jsonEscape(opts.model + opts.spec)
+       << "\",\"mode\":\"faults\",\"levels\":" << opts.levels
+       << ",\"batch\":" << opts.batch << ",\"topology\":\""
+       << jsonEscape(opts.topology) << "\",\"strategy\":\""
+       << jsonEscape(opts.strategy) << "\",\"samples\":" << opts.samples
+       << ",\"seed\":" << opts.seed << ",\"points\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"rate\":%.6g,\"static_step_seconds\":%.17g,"
+            "\"replanned_step_seconds\":%.17g,\"recovery\":%.6g}",
+            rows[i].rate, rows[i].staticSeconds, rows[i].replannedSeconds,
+            rows[i].staticSeconds / rows[i].replannedSeconds);
+        os << (i == 0 ? "" : ",") << buf;
+    }
+    os << "]}\n";
+}
+
+int
+cmdFaults(const Options &opts, std::ostream &os)
+{
+    dnn::Network net = loadNetwork(opts);
+    const sim::SimConfig cfg = makeConfig(opts);
+    if (!opts.map.empty() && opts.faultSweep)
+        util::fatal("use either --map or --sweep, not both");
+
+    if (!opts.map.empty()) {
+        // Mode 1: re-plan around a known fault map. The degraded
+        // evaluator validates the map, derates the topology, and hands
+        // the search the degraded cost tables.
+        sim::SimConfig degraded_cfg = cfg;
+        degraded_cfg.faults = arch::parseFaultMapFile(opts.map);
+
+        sim::Evaluator pristine(net, cfg);
+        sim::Evaluator degraded(net, degraded_cfg);
+        const auto static_plan = makeStrategyPlan(opts, pristine.model());
+        const auto replanned = makeStrategyPlan(opts, degraded.model());
+
+        const double healthy = pristine.evaluate(static_plan).stepSeconds;
+        const double stale = degraded.evaluate(static_plan).stepSeconds;
+        const double fresh = degraded.evaluate(replanned).stepSeconds;
+
+        os << net.name() << " on " << degraded.topology().name() << " x"
+           << degraded.topology().numNodes() << " with fault map "
+           << opts.map << " (" << degraded_cfg.faults.nodes.size()
+           << " node, " << degraded_cfg.faults.links.size()
+           << " link entries):\n"
+           << "  compute slowdown: "
+           << util::formatRatio(arch::computeScaleFactor(
+                  degraded_cfg.faults, degraded.topology().numNodes()))
+           << ", level penalties:";
+        for (const double p : degraded.topology().levelPenalties())
+            os << " " << util::formatRatio(p);
+        os << "\n  healthy array, " << opts.strategy << " plan:    "
+           << util::formatSeconds(healthy) << "/step\n"
+           << "  degraded array, same plan:   "
+           << util::formatSeconds(stale) << "/step\n"
+           << "  degraded array, re-planned:  "
+           << util::formatSeconds(fresh) << "/step  (recovers "
+           << util::formatRatio(stale / fresh) << ")\n";
+        if (!(replanned == static_plan))
+            os << "re-planned layout:\n" << core::toString(replanned);
+        return 0;
+    }
+
+    if (opts.faultSweep) {
+        // Mode 2: cost-vs-failure-rate curves. --rate R0:R1:N sweeps N
+        // rate points; each point averages `samples` fault maps drawn
+        // from independent seeded streams, scoring the pristine plan
+        // as-is ("static") against a per-sample re-planned layout.
+        const auto c1 = opts.rate.find(':');
+        const auto c2 =
+            c1 == std::string::npos ? c1 : opts.rate.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos)
+            util::fatal("--sweep needs --rate R0:R1:N (e.g. 0:0.3:7)");
+        const double r0 = parseRate(opts.rate.substr(0, c1));
+        const double r1 = parseRate(opts.rate.substr(c1 + 1, c2 - c1 - 1));
+        std::size_t n = 0;
+        try {
+            n = std::stoul(opts.rate.substr(c2 + 1));
+        } catch (const std::exception &) {
+            n = 0;
+        }
+        if (n == 0)
+            util::fatal("--rate R0:R1:N needs at least one rate point");
+        if (opts.samples == 0)
+            util::fatal("--samples must be at least 1");
+
+        sim::Evaluator pristine(net, cfg);
+        const std::size_t num_nodes = pristine.topology().numNodes();
+        const std::size_t num_links = pristine.topology().numLinks();
+        const auto base_plan = makeStrategyPlan(opts, pristine.model());
+
+        std::vector<FaultRow> rows;
+        rows.reserve(n);
+        for (std::size_t ri = 0; ri < n; ++ri) {
+            const double rate =
+                n == 1 ? r0
+                       : r0 + (r1 - r0) * static_cast<double>(ri) /
+                                  static_cast<double>(n - 1);
+            double static_sum = 0.0;
+            double replanned_sum = 0.0;
+            for (std::size_t k = 0; k < opts.samples; ++k) {
+                sim::SimConfig sample_cfg = cfg;
+                sample_cfg.faults = arch::sampleFaultMap(
+                    rate, num_nodes, num_links,
+                    arch::mixSeed(opts.seed, ri * opts.samples + k));
+                sim::Evaluator ev(net, sample_cfg);
+                static_sum += ev.evaluate(base_plan).stepSeconds;
+                replanned_sum +=
+                    ev.evaluate(makeStrategyPlan(opts, ev.model()))
+                        .stepSeconds;
+            }
+            const double k = static_cast<double>(opts.samples);
+            rows.push_back({rate, static_sum / k, replanned_sum / k});
+        }
+
+        if (opts.output.empty()) {
+            writeFaultRows(opts, rows, os);
+        } else {
+            std::ofstream out(opts.output);
+            if (!out)
+                util::fatal("cannot write '" + opts.output + "'");
+            writeFaultRows(opts, rows, out);
+            os << "wrote " << rows.size() << " rate points to "
+               << opts.output << "\n";
+        }
+        return 0;
+    }
+
+    // Mode 3 (default): robust planning — one plan minimizing the
+    // expected step time over the sampled fault distribution.
+    if (opts.rate.find(':') != std::string::npos)
+        util::fatal("--rate R0:R1:N is only for --sweep; robust "
+                    "planning takes a single --rate R");
+    sim::RobustOptions ropts;
+    ropts.rate = parseRate(opts.rate);
+    ropts.samples = opts.samples;
+    ropts.seed = opts.seed;
+    ropts.search.engine = core::searchEngineFromName(opts.engine);
+    ropts.search.beamWidth = opts.beamWidth;
+    const sim::RobustResult result = sim::robustPlan(net, cfg, ropts);
+
+    os << net.name() << ": robust plan over " << opts.samples
+       << " fault maps at rate " << ropts.rate << " (seed " << opts.seed
+       << ", " << result.candidates.size() << " candidate plans):\n"
+       << core::toString(result.plan) << "expected step time: "
+       << util::formatSeconds(result.expectedStepSeconds)
+       << " (pristine-optimal plan would average "
+       << util::formatSeconds(result.pristineExpectedStepSeconds)
+       << ")\n";
+    return 0;
+}
+
 } // namespace
 
 std::string
 usage()
 {
-    return "usage: hyparc <plan|simulate|report|trace|sweep|models>\n"
+    return "usage: hyparc "
+           "<plan|simulate|report|trace|sweep|faults|models>\n"
            "  --model <zoo name> | --spec <file>\n"
            "  [--levels N] [--batch B] [--topology htree|torus|mesh]\n"
            "  [--strategy hypar|dp|mp|owt|optimal] [-o|--output <file>]\n"
@@ -465,14 +710,27 @@ usage()
            "     all-reduce schedule; swept incrementally via the\n"
            "     two-tape replay)\n"
            "  sweep: --axes A,B [--format csv|json] [--limit N]\n"
-           "         [--seed S]\n"
+           "         [--seed S] [--sample uniform|biased]\n"
            "    A,B = two hierarchy levels (H1,H4 -> Fig. 9 grid) or\n"
            "    two layer names (conv5_2,fc1 -> Fig. 10 grid), scored\n"
            "    around the --strategy base plan via the batched\n"
            "    evaluator; --limit N samples N grid points\n"
            "    deterministically (--seed, default 0), opening\n"
            "    level-mask grids past 8 layers and layer-vector grids\n"
-           "    past H = 8";
+           "    past H = 8; --sample biased concentrates the points\n"
+           "    around the base plan (each of its mask bits flips with\n"
+           "    probability 1/4) instead of drawing uniformly\n"
+           "  faults: [--map <file>] | [--sweep --rate R0:R1:N] |\n"
+           "          [--rate R] [--samples K] [--seed S]\n"
+           "          [--format csv|json]\n"
+           "    --map: score the degraded array described by a fault\n"
+           "    map file ('node <id> <scale>' / 'link <id> <scale>'\n"
+           "    lines) and re-plan around it; --sweep: emit a\n"
+           "    cost-vs-failure-rate curve over N rate points from R0\n"
+           "    to R1, averaging K sampled fault maps per point;\n"
+           "    neither: robust planning — return the plan minimizing\n"
+           "    the expected step time over K fault maps drawn at\n"
+           "    --rate R (all modes deterministic for a fixed --seed)";
 }
 
 Options
@@ -516,6 +774,16 @@ parseArgs(const std::vector<std::string> &args)
             opts.limit = std::stoul(value(i));
         } else if (arg == "--seed") {
             opts.seed = std::stoul(value(i));
+        } else if (arg == "--sample") {
+            opts.sample = value(i);
+        } else if (arg == "--map") {
+            opts.map = value(i);
+        } else if (arg == "--rate") {
+            opts.rate = value(i);
+        } else if (arg == "--samples") {
+            opts.samples = std::stoul(value(i));
+        } else if (arg == "--sweep") {
+            opts.faultSweep = true;
         } else if (arg == "--overlap") {
             opts.overlap = true;
         } else if (arg == "--verbose") {
@@ -544,6 +812,8 @@ runCommand(const Options &opts, std::ostream &os)
         return cmdTrace(opts, os);
     if (opts.command == "sweep")
         return cmdSweep(opts, os);
+    if (opts.command == "faults")
+        return cmdFaults(opts, os);
     util::fatal("unknown command '" + opts.command + "'\n" + usage());
 }
 

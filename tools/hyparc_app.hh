@@ -9,6 +9,9 @@
  *   hyparc trace --model Lenet-c -o out.json # chrome://tracing export
  *   hyparc sweep --model Lenet-c --axes H1,H4      # Fig. 9 style grid
  *   hyparc sweep --model VGG-A --axes conv5_2,fc1  # Fig. 10 style grid
+ *   hyparc faults --model Lenet-c --map faults.txt # re-plan around map
+ *   hyparc faults --model Lenet-c --sweep --rate 0:0.3:7  # cost curves
+ *   hyparc faults --model Lenet-c --rate 0.1 --samples 8  # robust plan
  *   hyparc models                            # list the zoo
  */
 
@@ -25,20 +28,25 @@ namespace hypar::tools {
 struct Options
 {
     std::string command; //!< plan | simulate | report | trace | sweep |
-                         //!< models
+                         //!< faults | models
     std::string model;        //!< zoo model name
     std::string spec;         //!< path to a network spec file
-    std::string output;       //!< -o target (trace, sweep)
+    std::string output;       //!< -o target (trace, sweep, faults)
     std::string topology = "htree"; //!< htree | torus | mesh
     std::string strategy = "hypar"; //!< hypar | dp | mp | owt | optimal
     std::string engine = "auto"; //!< auto | dense | sparse | beam | astar
     std::string axes;         //!< sweep axes: "H1,H4" or "conv5_2,fc1"
-    std::string format = "csv";     //!< sweep output: csv | json
+    std::string format = "csv";     //!< sweep/faults output: csv | json
+    std::string map;          //!< faults: fault-map file (--map)
+    std::string rate = "0.1"; //!< faults: rate R, or R0:R1:N (--sweep)
+    std::string sample = "uniform"; //!< sweep --limit: uniform | biased
     std::size_t beamWidth = 0;      //!< 0 = engine default
     std::size_t levels = 4;
     std::size_t batch = 256;
     std::size_t limit = 0;    //!< sweep: sample at most N grid points
-    std::size_t seed = 0;     //!< sweep: deterministic sampling seed
+    std::size_t seed = 0;     //!< sweep/faults: deterministic seed
+    std::size_t samples = 8;  //!< faults: fault maps per rate point
+    bool faultSweep = false;  //!< faults: sweep a rate range (--sweep)
     bool overlap = false;     //!< overlap gradient reductions (async)
     bool verbose = false;     //!< extra search diagnostics (plan)
 };
