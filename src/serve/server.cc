@@ -1,0 +1,562 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "core/optimal_partitioner.hh"
+#include "core/plan.hh"
+#include "core/strategies.hh"
+#include "dnn/model_zoo.hh"
+#include "dnn/spec_parser.hh"
+#include "serve/canonical.hh"
+#include "serve/json.hh"
+#include "util/logging.hh"
+
+namespace hypar::serve {
+
+namespace {
+
+/** One parsed request, CLI-default-aligned where fields overlap. */
+struct Request
+{
+    std::string op;
+    std::string id;
+    bool hasId = false;
+    std::string model;
+    std::string spec;
+    std::size_t levels = 4;
+    std::size_t batch = 256;
+    std::string topology = "htree";
+    std::string strategy = "hypar";
+    std::string engine = "auto";
+    std::size_t beamWidth = 0;
+    bool overlap = false;
+    arch::FaultMap faults;
+    std::vector<std::string> planBits;
+    bool hasPlan = false;
+    std::size_t level = 0;
+    bool hasLevel = false;
+    std::size_t steps = 1;
+};
+
+/** Per-request working state inside one admission batch. */
+struct Pending
+{
+    Request req;
+    std::optional<dnn::Network> network; //!< Network has no default ctor
+    sim::SimConfig config;
+    std::string ctxHash;
+    core::HierarchicalPlan evalPlan; //!< evaluate: the plan to score
+    bool coalesce = false;           //!< joins a shared evaluateBatch
+    bool done = false;               //!< response already written
+};
+
+std::size_t
+asSize(const JsonValue &v, const char *what)
+{
+    const double d = v.asNumber();
+    if (d < 0 || d != static_cast<double>(static_cast<std::size_t>(d)))
+        util::fatal(std::string("request field '") + what +
+                    "' must be a non-negative integer");
+    return static_cast<std::size_t>(d);
+}
+
+std::vector<arch::FaultEntry>
+parseFaultEntries(const JsonValue &list, const char *what)
+{
+    std::vector<arch::FaultEntry> out;
+    for (const JsonValue &pair : list.asArray()) {
+        const JsonValue::Array &p = pair.asArray();
+        if (p.size() != 2)
+            util::fatal(std::string("request field 'faults." ) + what +
+                        "' entries must be [id, scale] pairs");
+        out.push_back({asSize(p[0], what), p[1].asNumber()});
+    }
+    return out;
+}
+
+Request
+parseRequest(const std::string &line)
+{
+    const JsonValue root = JsonValue::parse(line);
+    if (!root.isObject())
+        util::fatal("request must be a JSON object");
+    for (const auto &[key, value] : root.asObject()) {
+        if (!requestFieldKnown(key))
+            util::fatal("unknown request field '" + key + "'");
+        (void)value;
+    }
+
+    Request req;
+    const JsonValue *op = root.find("op");
+    if (op == nullptr)
+        util::fatal("request needs an \"op\" field");
+    req.op = op->asString();
+    if (const JsonValue *id = root.find("id")) {
+        req.id = id->asString();
+        req.hasId = true;
+    }
+    if (const JsonValue *v = root.find("model"))
+        req.model = v->asString();
+    if (const JsonValue *v = root.find("spec"))
+        req.spec = v->asString();
+    if (const JsonValue *v = root.find("levels"))
+        req.levels = asSize(*v, "levels");
+    if (const JsonValue *v = root.find("batch"))
+        req.batch = asSize(*v, "batch");
+    if (const JsonValue *v = root.find("topology"))
+        req.topology = v->asString();
+    if (const JsonValue *v = root.find("strategy"))
+        req.strategy = v->asString();
+    if (const JsonValue *v = root.find("engine"))
+        req.engine = v->asString();
+    if (const JsonValue *v = root.find("beam_width"))
+        req.beamWidth = asSize(*v, "beam_width");
+    if (const JsonValue *v = root.find("overlap"))
+        req.overlap = v->asBool();
+    if (const JsonValue *v = root.find("faults")) {
+        if (!v->isObject())
+            util::fatal("request field 'faults' must be an object");
+        for (const auto &[key, list] : v->asObject()) {
+            if (key == "nodes")
+                req.faults.nodes = parseFaultEntries(list, "nodes");
+            else if (key == "links")
+                req.faults.links = parseFaultEntries(list, "links");
+            else
+                util::fatal("unknown faults member '" + key + "'");
+        }
+    }
+    if (const JsonValue *v = root.find("plan")) {
+        for (const JsonValue &level : v->asArray())
+            req.planBits.push_back(level.asString());
+        req.hasPlan = true;
+    }
+    if (const JsonValue *v = root.find("level")) {
+        req.level = asSize(*v, "level");
+        req.hasLevel = true;
+    }
+    if (const JsonValue *v = root.find("steps")) {
+        req.steps = asSize(*v, "steps");
+        if (req.steps == 0)
+            util::fatal("request field 'steps' must be at least 1");
+    }
+    return req;
+}
+
+dnn::Network
+buildNetwork(const Request &req)
+{
+    if (!req.model.empty() && !req.spec.empty())
+        util::fatal("use either \"model\" or \"spec\", not both");
+    if (!req.model.empty())
+        return dnn::modelByName(req.model);
+    if (!req.spec.empty())
+        return dnn::parseNetworkSpec(req.spec);
+    util::fatal("a network is required: \"model\" or \"spec\"");
+}
+
+sim::SimConfig
+buildConfig(const Request &req)
+{
+    sim::SimConfig cfg;
+    cfg.levels = req.levels;
+    cfg.comm.batch = req.batch;
+    if (req.topology == "htree")
+        cfg.topology = sim::TopologyKind::kHTree;
+    else if (req.topology == "torus")
+        cfg.topology = sim::TopologyKind::kTorus;
+    else if (req.topology == "mesh")
+        cfg.topology = sim::TopologyKind::kMesh;
+    else
+        util::fatal("unknown topology '" + req.topology +
+                    "' (htree|torus|mesh)");
+    cfg.options.overlapGradComm = req.overlap;
+    cfg.faults = req.faults;
+    return cfg;
+}
+
+core::SearchOptions
+buildSearch(const Request &req)
+{
+    core::SearchOptions search;
+    search.engine = core::searchEngineFromName(req.engine);
+    search.beamWidth = req.beamWidth;
+    return search;
+}
+
+/** Build the plan a request names (mirrors the CLI's strategy set). */
+core::HierarchicalPlan
+buildStrategyPlan(const Request &req, const core::CommModel &model,
+                  core::HierarchicalResult *search_out = nullptr)
+{
+    if (req.strategy == "hypar")
+        return core::makeHyparPlan(model, req.levels);
+    if (req.strategy == "dp")
+        return core::makeDataParallelPlan(model.network(), req.levels);
+    if (req.strategy == "mp")
+        return core::makeModelParallelPlan(model.network(), req.levels);
+    if (req.strategy == "owt")
+        return core::makeOneWeirdTrickPlan(model.network(), req.levels);
+    if (req.strategy == "optimal") {
+        auto result = core::OptimalPartitioner(model).partition(
+            req.levels, buildSearch(req));
+        if (search_out != nullptr)
+            *search_out = result;
+        return result.plan;
+    }
+    util::fatal("unknown strategy '" + req.strategy +
+                "' (hypar|dp|mp|owt|optimal)");
+}
+
+core::HierarchicalPlan
+decodePlanBits(const std::vector<std::string> &bits)
+{
+    core::HierarchicalPlan plan;
+    for (const std::string &level : bits) {
+        core::LevelPlan lp;
+        lp.reserve(level.size());
+        for (const char c : level) {
+            if (c != '0' && c != '1')
+                util::fatal("request field 'plan' must hold bit "
+                            "strings of '0' (dp) and '1' (mp)");
+            lp.push_back(c == '1' ? core::Parallelism::kModel
+                                  : core::Parallelism::kData);
+        }
+        plan.levels.push_back(std::move(lp));
+    }
+    return plan;
+}
+
+std::string
+responseHead(const Request &req, bool ok)
+{
+    std::string out = "{";
+    if (req.hasId)
+        out += "\"id\":\"" + jsonEscape(req.id) + "\",";
+    out += ok ? "\"ok\":true" : "\"ok\":false";
+    if (ok && !req.op.empty())
+        out += ",\"op\":\"" + jsonEscape(req.op) + "\"";
+    return out;
+}
+
+std::string
+errorResponse(const Request &req, const std::string &message)
+{
+    return responseHead(req, false) +
+           ",\"error\":\"" + jsonEscape(message) + "\"}";
+}
+
+std::string
+metricsJson(const sim::StepMetrics &m)
+{
+    std::string out = "{";
+    out += "\"step_seconds\":" + canonicalDouble(m.stepSeconds);
+    out += ",\"compute_busy_seconds\":" +
+           canonicalDouble(m.computeBusySeconds);
+    out += ",\"network_busy_seconds\":" +
+           canonicalDouble(m.networkBusySeconds);
+    out += ",\"comm_bytes\":" + canonicalDouble(m.commBytes);
+    out += ",\"phases\":{\"forward\":" + canonicalDouble(m.phases.forward) +
+           ",\"backward\":" + canonicalDouble(m.phases.backward) +
+           ",\"gradient\":" + canonicalDouble(m.phases.gradient) + "}";
+    out += ",\"energy\":{\"compute_j\":" +
+           canonicalDouble(m.energy.computeJ) +
+           ",\"sram_j\":" + canonicalDouble(m.energy.sramJ) +
+           ",\"dram_j\":" + canonicalDouble(m.energy.dramJ) +
+           ",\"comm_j\":" + canonicalDouble(m.energy.commJ) +
+           ",\"total_j\":" + canonicalDouble(m.energy.totalJ()) + "}";
+    out += "}";
+    return out;
+}
+
+std::string
+searchJson(const core::HierarchicalResult &result)
+{
+    return "{\"transitions_evaluated\":" +
+           std::to_string(result.transitionsEvaluated) +
+           ",\"expanded\":" + std::to_string(result.stats.expanded) +
+           ",\"pruned\":" + std::to_string(result.stats.pruned) +
+           ",\"certified_exact\":" +
+           (result.stats.certifiedExact ? std::string("true")
+                                        : std::string("false")) +
+           ",\"width_used\":" + std::to_string(result.stats.widthUsed) +
+           "}";
+}
+
+std::string
+planLevelsJson(const core::HierarchicalPlan &plan)
+{
+    std::string out = "[";
+    for (std::size_t h = 0; h < plan.levels.size(); ++h) {
+        if (h > 0)
+            out += ",";
+        out += '"' + core::toBitString(plan.levels[h]) + '"';
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+bool
+requestFieldKnown(const std::string &key)
+{
+    for (const char *field : kRequestFields)
+        if (key == field)
+            return true;
+    return false;
+}
+
+Server::Server(const ServeOptions &options)
+    : cache_(options.cacheDir.empty() ? PlanCache::defaultDir()
+                                      : options.cacheDir,
+             !options.noCache)
+{}
+
+bool
+Server::processBatch(const std::vector<std::string> &lines,
+                     std::ostream &out)
+{
+    ++stats_.batches;
+    const std::size_t n = lines.size();
+    std::vector<Pending> pending(n);
+    std::vector<std::string> responses(n);
+    bool shutdown = false;
+
+    // Pass 1 — parse and prepare. Network, config, context hash, and
+    // (for evaluate) the concrete plan are resolved up front so the
+    // coalescing pass below only has to group by context hash.
+    for (std::size_t i = 0; i < n; ++i) {
+        Pending &p = pending[i];
+        try {
+            p.req = parseRequest(lines[i]);
+            const bool needsSession = p.req.op == "plan" ||
+                                      p.req.op == "evaluate" ||
+                                      p.req.op == "sweep";
+            if (!needsSession) {
+                if (p.req.op != "stats" && p.req.op != "evict" &&
+                    p.req.op != "shutdown")
+                    util::fatal("unknown op '" + p.req.op + "'");
+                continue;
+            }
+            p.network = buildNetwork(p.req);
+            p.config = buildConfig(p.req);
+            p.ctxHash = contextHash(*p.network, p.config);
+            if (p.req.op == "evaluate") {
+                Session &session =
+                    sessions_.acquire(*p.network, p.config, p.ctxHash);
+                if (p.req.hasPlan) {
+                    p.evalPlan = decodePlanBits(p.req.planBits);
+                    if (p.evalPlan.numLevels() != p.req.levels)
+                        util::fatal("request plan has " +
+                                    std::to_string(p.evalPlan.numLevels()) +
+                                    " levels but \"levels\" is " +
+                                    std::to_string(p.req.levels));
+                    core::validatePlan(p.evalPlan, session.network);
+                } else {
+                    p.evalPlan = buildStrategyPlan(
+                        p.req, session.evaluator->model());
+                }
+                p.coalesce = p.req.steps == 1;
+            }
+        } catch (const std::exception &e) {
+            responses[i] = errorResponse(p.req, e.what());
+            ++stats_.errors;
+            p.done = true;
+        }
+    }
+
+    // Pass 2 — batched admission: evaluate requests sharing a context
+    // run through one Evaluator::evaluateBatch fan-out, results
+    // written back by request index (deterministic response order).
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < n; ++i)
+        if (!pending[i].done && pending[i].coalesce)
+            groups[pending[i].ctxHash].push_back(i);
+    for (const auto &[hash, members] : groups) {
+        const Pending &first = pending[members.front()];
+        try {
+            Session &session =
+                sessions_.acquire(*first.network, first.config, hash);
+            std::vector<core::HierarchicalPlan> plans;
+            plans.reserve(members.size());
+            for (const std::size_t i : members)
+                plans.push_back(pending[i].evalPlan);
+            const std::vector<sim::StepMetrics> metrics =
+                session.evaluator->evaluateBatch(plans);
+            for (std::size_t k = 0; k < members.size(); ++k) {
+                const std::size_t i = members[k];
+                responses[i] =
+                    responseHead(pending[i].req, true) +
+                    ",\"context_hash\":\"" + hash + "\"" +
+                    ",\"batched\":" + std::to_string(members.size()) +
+                    ",\"steps\":1,\"metrics\":" + metricsJson(metrics[k]) +
+                    "}";
+                pending[i].done = true;
+            }
+            if (members.size() > 1)
+                stats_.coalesced += members.size();
+        } catch (const std::exception &e) {
+            for (const std::size_t i : members) {
+                if (pending[i].done)
+                    continue;
+                responses[i] = errorResponse(pending[i].req, e.what());
+                ++stats_.errors;
+                pending[i].done = true;
+            }
+        }
+    }
+
+    // Pass 3 — everything else, in request order.
+    for (std::size_t i = 0; i < n; ++i) {
+        Pending &p = pending[i];
+        if (p.done)
+            continue;
+        try {
+            if (p.req.op == "plan") {
+                const std::string hash =
+                    planHash(*p.network, p.config, p.req.strategy,
+                             buildSearch(p.req));
+                std::optional<core::HierarchicalResult> cached =
+                    cache_.lookup(hash);
+                const char *outcome =
+                    cached ? "hit" : (cache_.enabled() ? "miss" : "bypass");
+                core::HierarchicalResult result;
+                if (cached) {
+                    result = std::move(*cached);
+                } else {
+                    Session &session =
+                        sessions_.acquire(*p.network, p.config, p.ctxHash);
+                    result.plan = buildStrategyPlan(
+                        p.req, session.evaluator->model(), &result);
+                    if (result.commBytes == 0.0 &&
+                        p.req.strategy != "optimal")
+                        result.commBytes =
+                            session.evaluator->model().planBytes(
+                                result.plan);
+                    cache_.store(hash, result);
+                }
+                responses[i] = responseHead(p.req, true) +
+                               ",\"context_hash\":\"" + p.ctxHash + "\"" +
+                               ",\"plan_hash\":\"" + hash + "\"" +
+                               ",\"cache\":\"" + outcome + "\"" +
+                               ",\"plan\":" + planLevelsJson(result.plan) +
+                               ",\"comm_bytes\":" +
+                               canonicalDouble(result.commBytes) +
+                               ",\"search\":" + searchJson(result) + "}";
+            } else if (p.req.op == "evaluate") {
+                // Steady-state evaluations are served inline (the
+                // cadence loop is not a batch entry point).
+                Session &session =
+                    sessions_.acquire(*p.network, p.config, p.ctxHash);
+                const sim::StepMetrics m =
+                    session.evaluator->evaluateSteadyState(p.evalPlan,
+                                                           p.req.steps);
+                responses[i] = responseHead(p.req, true) +
+                               ",\"context_hash\":\"" + p.ctxHash + "\"" +
+                               ",\"batched\":1,\"steps\":" +
+                               std::to_string(p.req.steps) +
+                               ",\"metrics\":" + metricsJson(m) + "}";
+            } else if (p.req.op == "sweep") {
+                if (!p.req.hasLevel)
+                    util::fatal("sweep needs a \"level\" field "
+                                "(0-based hierarchy level)");
+                Session &session =
+                    sessions_.acquire(*p.network, p.config, p.ctxHash);
+                const core::HierarchicalPlan base = buildStrategyPlan(
+                    p.req, session.evaluator->model());
+                std::uint64_t bestMask = 0;
+                sim::StepMetrics best;
+                std::size_t evaluated = 0;
+                session.evaluator->sweepNeighborhood(
+                    base, p.req.level,
+                    [&](std::uint64_t mask, const sim::StepMetrics &m) {
+                        if (evaluated == 0 ||
+                            m.stepSeconds < best.stepSeconds) {
+                            bestMask = mask;
+                            best = m;
+                        }
+                        ++evaluated;
+                    });
+                responses[i] =
+                    responseHead(p.req, true) +
+                    ",\"context_hash\":\"" + p.ctxHash + "\"" +
+                    ",\"level\":" + std::to_string(p.req.level) +
+                    ",\"evaluated\":" + std::to_string(evaluated) +
+                    ",\"best_mask\":" + std::to_string(bestMask) +
+                    ",\"best_bits\":\"" +
+                    core::toBitString(core::levelPlanFromMask(
+                        bestMask, base.numLayers())) +
+                    "\",\"metrics\":" + metricsJson(best) + "}";
+            } else if (p.req.op == "stats") {
+                const PlanCacheStats &c = cache_.stats();
+                responses[i] =
+                    responseHead(p.req, true) + ",\"cache\":{\"enabled\":" +
+                    (cache_.enabled() ? "true" : "false") + ",\"dir\":\"" +
+                    jsonEscape(cache_.dir().string()) +
+                    "\",\"hits\":" + std::to_string(c.hits) +
+                    ",\"misses\":" + std::to_string(c.misses) +
+                    ",\"stores\":" + std::to_string(c.stores) +
+                    ",\"quarantined\":" + std::to_string(c.quarantined) +
+                    "},\"sessions\":{\"size\":" +
+                    std::to_string(sessions_.size()) +
+                    ",\"capacity\":" + std::to_string(sessions_.capacity()) +
+                    ",\"built\":" + std::to_string(sessions_.built()) +
+                    ",\"reused\":" + std::to_string(sessions_.reused()) +
+                    "},\"server\":{\"requests\":" +
+                    std::to_string(stats_.requests) +
+                    ",\"errors\":" + std::to_string(stats_.errors) +
+                    ",\"batches\":" + std::to_string(stats_.batches) +
+                    ",\"coalesced\":" + std::to_string(stats_.coalesced) +
+                    "}}";
+            } else if (p.req.op == "evict") {
+                responses[i] = responseHead(p.req, true) +
+                               ",\"removed\":" +
+                               std::to_string(cache_.evict()) + "}";
+            } else if (p.req.op == "shutdown") {
+                shutdown = true;
+                responses[i] = responseHead(p.req, true) + "}";
+            }
+        } catch (const std::exception &e) {
+            responses[i] = errorResponse(p.req, e.what());
+            ++stats_.errors;
+        }
+    }
+
+    for (const std::string &response : responses) {
+        out << response << "\n";
+        ++stats_.requests;
+    }
+    out.flush();
+    return !shutdown;
+}
+
+int
+Server::run(std::istream &in, std::ostream &out)
+{
+    std::vector<std::string> batch;
+    std::string line;
+    bool keepGoing = true;
+    while (keepGoing && std::getline(in, line)) {
+        // Blank line = admission barrier: flush the buffered batch.
+        const bool blank =
+            line.find_first_not_of(" \t\r") == std::string::npos;
+        if (blank) {
+            if (!batch.empty()) {
+                keepGoing = processBatch(batch, out);
+                batch.clear();
+            }
+            continue;
+        }
+        batch.push_back(line);
+    }
+    if (keepGoing && !batch.empty())
+        processBatch(batch, out);
+    return 0;
+}
+
+} // namespace hypar::serve

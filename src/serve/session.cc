@@ -1,0 +1,49 @@
+#include "serve/session.hh"
+
+#include "serve/canonical.hh"
+#include "util/logging.hh"
+
+namespace hypar::serve {
+
+Session::Session(std::string hash, dnn::Network net, sim::SimConfig cfg)
+    : contextHash(std::move(hash)), network(std::move(net)),
+      config(std::move(cfg)),
+      evaluator(std::make_unique<sim::Evaluator>(network, config))
+{}
+
+SessionRegistry::SessionRegistry(std::size_t capacity) : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        util::fatal("session registry capacity must be positive");
+}
+
+Session &
+SessionRegistry::acquire(const dnn::Network &network,
+                         const sim::SimConfig &config)
+{
+    return acquire(network, config, contextHash(network, config));
+}
+
+Session &
+SessionRegistry::acquire(const dnn::Network &network,
+                         const sim::SimConfig &config,
+                         const std::string &hash)
+{
+    const auto it = byHash_.find(hash);
+    if (it != byHash_.end()) {
+        // Touch: move to the front of the LRU.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++reused_;
+        return *it->second;
+    }
+    lru_.emplace_front(hash, network, config);
+    byHash_[hash] = lru_.begin();
+    ++built_;
+    while (lru_.size() > capacity_) {
+        byHash_.erase(lru_.back().contextHash);
+        lru_.pop_back();
+    }
+    return lru_.front();
+}
+
+} // namespace hypar::serve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Warm-instance registry for the serving tier.
+ *
+ * A Session owns everything the Evaluator's build-once / evaluate-many
+ * contract says to build exactly once per (network, SimConfig):
+ * the parsed network, the config, and the sim::Evaluator (which in
+ * turn owns the degraded topology, the CommModel byte tables, and the
+ * simulator with its prefix-count table). Sessions are keyed by
+ * serve::contextHash — the SHA-256 of the canonical context text — so
+ * any request that re-states the same problem reuses the warm state
+ * no matter how it spelled its spec.
+ *
+ * The registry is a small LRU: serving workloads touch a handful of
+ * models repeatedly, and an unbounded map would let a spec-fuzzing
+ * client grow memory without bound. Eviction order is
+ * least-recently-*acquired*. Capacity 0 is rejected.
+ */
+
+#ifndef HYPAR_SERVE_SESSION_HH
+#define HYPAR_SERVE_SESSION_HH
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dnn/network.hh"
+#include "sim/evaluator.hh"
+
+namespace hypar::serve {
+
+/** One warm (network, SimConfig, Evaluator) bundle. */
+struct Session
+{
+    std::string contextHash;
+    dnn::Network network;
+    sim::SimConfig config;
+    std::unique_ptr<sim::Evaluator> evaluator;
+
+    Session(std::string hash, dnn::Network net, sim::SimConfig cfg);
+};
+
+/** LRU registry of warm sessions keyed by context hash. */
+class SessionRegistry
+{
+  public:
+    /** Default capacity: plenty for a serving mix, bounded memory. */
+    static constexpr std::size_t kDefaultCapacity = 8;
+
+    explicit SessionRegistry(std::size_t capacity = kDefaultCapacity);
+
+    /**
+     * The warm session for (network, config), building it (and
+     * computing its context hash) on first use. Touches the LRU; may
+     * evict the least-recently-acquired session when over capacity.
+     * The returned reference stays valid until `capacity` further
+     * distinct contexts are acquired.
+     */
+    Session &acquire(const dnn::Network &network,
+                     const sim::SimConfig &config);
+
+    /** Same, with a precomputed context hash (skips re-hashing). */
+    Session &acquire(const dnn::Network &network,
+                     const sim::SimConfig &config,
+                     const std::string &hash);
+
+    std::size_t size() const { return lru_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Total sessions built (cold constructions), for the stats op. */
+    std::size_t built() const { return built_; }
+
+    /** Total acquire() calls answered from a warm session. */
+    std::size_t reused() const { return reused_; }
+
+  private:
+    std::size_t capacity_;
+    std::size_t built_ = 0;
+    std::size_t reused_ = 0;
+    /** Most recently acquired at the front. */
+    std::list<Session> lru_;
+    std::map<std::string, std::list<Session>::iterator> byHash_;
+};
+
+} // namespace hypar::serve
+
+#endif // HYPAR_SERVE_SESSION_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4) for the serving tier's content-addressed keys.
+ *
+ * Self-contained: the repo carries no crypto dependency, and the cache
+ * only needs a stable, collision-resistant content hash — not a
+ * hardware-accelerated one. The implementation is the straightforward
+ * 64-round compression over 512-bit blocks; `tests/test_serve.cc`
+ * pins it against the FIPS 180-4 example digests ("abc", empty
+ * string, the two-block message), so the on-disk cache key format can
+ * never silently drift.
+ */
+
+#ifndef HYPAR_SERVE_SHA256_HH
+#define HYPAR_SERVE_SHA256_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hypar::serve {
+
+/** Incremental SHA-256 context (update as many times as you like). */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb `data`; callable any number of times before digest(). */
+    void update(std::string_view data);
+
+    /** Finalize and return the 64-char lowercase hex digest. */
+    std::string hexDigest();
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t state_[8];
+    std::uint64_t totalBytes_ = 0;
+    std::uint8_t buffer_[64];
+    std::size_t bufferLen_ = 0;
+};
+
+/** One-shot convenience: lowercase hex SHA-256 of `data`. */
+std::string sha256Hex(std::string_view data);
+
+} // namespace hypar::serve
+
+#endif // HYPAR_SERVE_SHA256_HH

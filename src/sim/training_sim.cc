@@ -289,7 +289,7 @@ TrainingSimulator::simulateSteadyState(const core::HierarchicalPlan &plan,
     std::vector<Task> step_tasks = buildTasks(plan, metrics);
 
     // Per-step accounting was accumulated once by buildTasks; scale
-    // the totals, then replicate the task list.
+    // the totals.
     const auto steps_d = static_cast<double>(steps);
     metrics.commBytes *= steps_d;
     metrics.energy.computeJ *= steps_d;
@@ -297,33 +297,15 @@ TrainingSimulator::simulateSteadyState(const core::HierarchicalPlan &plan,
     metrics.energy.dramJ *= steps_d;
     metrics.energy.commJ *= steps_d;
     metrics.computeBusySeconds = 0.0; // re-accumulated by the replay
-
-    std::vector<Task> tasks;
-    tasks.reserve(step_tasks.size() * steps);
-    std::vector<std::size_t> step_last_index(steps, 0);
-    for (std::size_t s = 0; s < steps; ++s) {
-        tasks.insert(tasks.end(), step_tasks.begin(), step_tasks.end());
-        step_last_index[s] = tasks.size() - 1;
-    }
     trace_.clear();
 
-    // Play the task list through the event queue. The serial chain
-    // models the lockstep dependence (compute -> exchange -> next
+    // The resource algebra both paths below apply per task: the serial
+    // chain models the lockstep dependence (compute -> exchange -> next
     // layer); async exchanges contend for the network but do not block
     // the chain.
-    EventQueue queue;
     double serial_free = 0.0;  // when the lockstep chain may continue
     double network_free = 0.0; // when the interconnect is idle again
-    double sim_end = 0.0;
-    std::vector<double> step_finish(steps, 0.0);
-
-    std::size_t next = 0;
-    std::size_t cur_step = 0;
-    std::function<void()> dispatch = [&]() {
-        if (next >= tasks.size())
-            return;
-        const Task &t = tasks[next];
-
+    auto applyTask = [&](const Task &t) {
         double start = 0.0;
         if (t.kind == Task::Kind::kCompute) {
             start = serial_free;
@@ -340,43 +322,59 @@ TrainingSimulator::simulateSteadyState(const core::HierarchicalPlan &plan,
             network_free = serial_free;
         }
         const double end = start + t.seconds;
-        sim_end = std::max(sim_end, end);
         addPhaseSeconds(metrics.phases, t.phase, t.seconds);
         if (t.kind == Task::Kind::kExchange)
             metrics.networkBusySeconds += t.seconds;
         if (options_.recordTrace)
             trace_.push_back(TraceEntry{start, end, t.label});
-
-        if (next == step_last_index[cur_step]) {
-            // A step is complete once both its chain and any async
-            // stragglers scheduled so far have drained.
-            step_finish[cur_step] = std::max(serial_free, network_free);
-            ++cur_step;
-        }
-        ++next;
-
-        // Completion of this task releases the next one. Async
-        // exchanges do not hold the serial chain back, so the next
-        // task's logical end may lie before this event's end; clamp the
-        // bookkeeping event into the present (start/end come from the
-        // resource algebra, not from event time).
-        queue.schedule(std::max(end, queue.now()), dispatch);
+        return end;
     };
 
-    queue.schedule(0.0, dispatch);
-    queue.run();
-
-    HYPAR_ASSERT(next == tasks.size(), "task list not drained");
-    HYPAR_ASSERT(cur_step == steps, "not every step completed");
-
     if (steps == 1) {
+        // Single step: play the task list through the event queue (the
+        // historical simulate() path, kept verbatim).
+        EventQueue queue;
+        double sim_end = 0.0;
+        std::size_t next = 0;
+        std::function<void()> dispatch = [&]() {
+            if (next >= step_tasks.size())
+                return;
+            const double end = applyTask(step_tasks[next]);
+            sim_end = std::max(sim_end, end);
+            ++next;
+
+            // Completion of this task releases the next one. Async
+            // exchanges do not hold the serial chain back, so the next
+            // task's logical end may lie before this event's end; clamp
+            // the bookkeeping event into the present (start/end come
+            // from the resource algebra, not from event time).
+            queue.schedule(std::max(end, queue.now()), dispatch);
+        };
+        queue.schedule(0.0, dispatch);
+        queue.run();
+        HYPAR_ASSERT(next == step_tasks.size(), "task list not drained");
         metrics.stepSeconds = sim_end;
-    } else {
-        // Steady state: spacing of the step boundaries after warm-up.
-        metrics.stepSeconds =
-            (step_finish[steps - 1] - step_finish[0]) /
-            (static_cast<double>(steps) - 1.0);
+        return metrics;
     }
+
+    // Steady state: the queue's dispatch chain is purely sequential
+    // (each task's completion schedules exactly the next task), so
+    // replaying the same algebra over the one-step task list `steps`
+    // times performs the identical operations in the identical order —
+    // bit-identical to the old replicate-then-queue path (pinned by
+    // tests/test_training_sim.cc) with O(1) extra memory instead of a
+    // steps * |tasks| materialized copy.
+    std::vector<double> step_finish(steps, 0.0);
+    for (std::size_t s = 0; s < steps; ++s) {
+        for (const Task &t : step_tasks)
+            (void)applyTask(t);
+        // A step is complete once both its chain and any async
+        // stragglers scheduled so far have drained.
+        step_finish[s] = std::max(serial_free, network_free);
+    }
+    // Spacing of the step boundaries after warm-up.
+    metrics.stepSeconds =
+        (step_finish[steps - 1] - step_finish[0]) / (steps_d - 1.0);
     return metrics;
 }
 

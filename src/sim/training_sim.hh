@@ -141,6 +141,14 @@ class TrainingSimulator
      * exchange of the next step provides natural backpressure (it
      * waits for the network to drain), which conservatively models
      * the weight-update dependency.
+     *
+     * Cost: the per-step task list is built once (reusing the
+     * prefix-count table like every other entry point) and the
+     * multi-step cadence is a replay of the dispatch resource algebra
+     * over that single list — `steps` never multiplies memory, so
+     * long-horizon cadences are cheap. Bit-identical to the old
+     * replicate-the-task-list implementation (pinned by
+     * tests/test_training_sim.cc).
      */
     StepMetrics simulateSteadyState(const core::HierarchicalPlan &plan,
                                     std::size_t steps) const;

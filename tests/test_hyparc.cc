@@ -8,8 +8,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "hyparc_app.hh"
 #include "util/logging.hh"
@@ -605,4 +608,74 @@ TEST(HyparcCommands, SweepBiasedSamplerConcentratesNearHypar)
                                        "12", "--sample", "bogus"}),
                             os),
                  util::FatalError);
+}
+
+TEST(HyparcArgs, ParsesServeFlags)
+{
+    const auto opts = parseArgs({"serve", "--cache-dir", "/tmp/plans",
+                                 "--no-cache"});
+    EXPECT_EQ(opts.command, "serve");
+    EXPECT_EQ(opts.cacheDir, "/tmp/plans");
+    EXPECT_TRUE(opts.noCache);
+    EXPECT_FALSE(opts.evict);
+
+    const auto evict = parseArgs({"serve", "--evict"});
+    EXPECT_TRUE(evict.evict);
+    // Defaults: cache on, default directory.
+    const auto defaults = parseArgs({"serve"});
+    EXPECT_FALSE(defaults.noCache);
+    EXPECT_TRUE(defaults.cacheDir.empty());
+}
+
+TEST(HyparcCommands, ServeAnswersRequestsFromAStream)
+{
+    const std::string dir =
+        "/tmp/hyparc_test_cli_serve_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+
+    std::istringstream in(
+        "{\"op\":\"plan\",\"model\":\"Lenet-c\"}\n"
+        "{\"op\":\"shutdown\"}\n");
+    std::ostringstream os;
+    const int rc = runCommand(
+        parseArgs({"serve", "--cache-dir", dir}), os, in);
+    EXPECT_EQ(rc, 0);
+
+    // Two response lines: the plan (a miss on a fresh cache, stored on
+    // disk) and the shutdown acknowledgement.
+    const std::string out = os.str();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+    EXPECT_NE(out.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(out.find("\"cache\":\"miss\""), std::string::npos);
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+
+    // A second serve process over the same directory answers warm.
+    std::istringstream warm_in(
+        "{\"op\":\"plan\",\"model\":\"Lenet-c\"}\n");
+    std::ostringstream warm_os;
+    EXPECT_EQ(runCommand(parseArgs({"serve", "--cache-dir", dir}),
+                         warm_os, warm_in),
+              0);
+    EXPECT_NE(warm_os.str().find("\"cache\":\"hit\""), std::string::npos);
+
+    // --evict clears it and reports the count.
+    std::istringstream none("");
+    std::ostringstream evict_os;
+    EXPECT_EQ(runCommand(parseArgs({"serve", "--cache-dir", dir,
+                                    "--evict"}),
+                         evict_os, none),
+              0);
+    EXPECT_NE(evict_os.str().find("evicted 1 plan cache entr"),
+              std::string::npos);
+    EXPECT_TRUE(std::filesystem::is_empty(dir));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(HyparcCommands, UsageMentionsServe)
+{
+    const std::string u = tools::usage();
+    EXPECT_NE(u.find("serve"), std::string::npos);
+    EXPECT_NE(u.find("--cache-dir"), std::string::npos);
+    EXPECT_NE(u.find("--no-cache"), std::string::npos);
+    EXPECT_NE(u.find("--evict"), std::string::npos);
 }

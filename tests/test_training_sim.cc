@@ -197,6 +197,74 @@ TEST(TrainingSim, SteadyStateOverlapPipelinesGradients)
     EXPECT_GE(steady.stepSeconds, net_per_step * (1 - 1e-9));
 }
 
+TEST(TrainingSim, SteadyStateMatchesReplicatedTapeReplay)
+{
+    // Bit-identity regression for the no-replication rewrite: the
+    // steady-state cadence must equal a reference that *materializes*
+    // the replicated schedule — the one-step two-tape decomposition
+    // (overlapSchedule) replayed `steps` times through the identical
+    // resource algebra. Exact comparison, no tolerance: both paths
+    // must perform the same float operations in the same order.
+    for (const bool overlap : {false, true}) {
+        SimOptions opts;
+        opts.overlapGradComm = overlap;
+        for (const auto &name : {"Lenet-c", "AlexNet", "VGG-A"}) {
+            Rig rig(dnn::modelByName(name), 4, opts);
+            const auto plan = core::makeDataParallelPlan(rig.net, 4);
+            const std::size_t steps = 5;
+            const auto steady =
+                rig.simulator.simulateSteadyState(plan, steps);
+
+            const sim::TapeSchedule tape =
+                rig.simulator.overlapSchedule(plan);
+            double serial = 0.0;
+            double network = 0.0;
+            std::vector<double> finish(steps, 0.0);
+            for (std::size_t s = 0; s < steps; ++s) {
+                for (const sim::TapeTask &t : tape.tasks) {
+                    if (!t.exchange) {
+                        serial += t.seconds;
+                    } else if (t.async) {
+                        network =
+                            std::max(network, serial) + t.seconds;
+                    } else {
+                        serial = std::max(serial, network) + t.seconds;
+                        network = serial;
+                    }
+                }
+                finish[s] = std::max(serial, network);
+            }
+            const double ref =
+                (finish[steps - 1] - finish[0]) /
+                static_cast<double>(steps - 1);
+            EXPECT_DOUBLE_EQ(steady.stepSeconds, ref)
+                << name << " overlap=" << overlap;
+        }
+    }
+}
+
+TEST(TrainingSim, SteadyStateTotalsScaleExactly)
+{
+    // Per-step accounting is built once and scaled, so the multi-step
+    // totals are exact multiples of the single-step metrics (the old
+    // replicate-the-task-list path re-summed them with different
+    // rounding; the contract is now exact).
+    Rig rig(dnn::makeAlexNet());
+    const auto plan = core::makeDataParallelPlan(rig.net, 4);
+    const auto one = rig.simulator.simulate(plan);
+    const auto steady = rig.simulator.simulateSteadyState(plan, 7);
+    EXPECT_DOUBLE_EQ(steady.commBytes, 7.0 * one.commBytes);
+    EXPECT_DOUBLE_EQ(steady.energy.computeJ, 7.0 * one.energy.computeJ);
+    EXPECT_DOUBLE_EQ(steady.energy.sramJ, 7.0 * one.energy.sramJ);
+    EXPECT_DOUBLE_EQ(steady.energy.dramJ, 7.0 * one.energy.dramJ);
+    EXPECT_DOUBLE_EQ(steady.energy.commJ, 7.0 * one.energy.commJ);
+
+    // steps == 1 stays the verbatim event-queue path: field-for-field
+    // identical to simulate().
+    const auto single = rig.simulator.simulateSteadyState(plan, 1);
+    EXPECT_EQ(single, one);
+}
+
 TEST(TrainingSim, SteadyStateRejectsZeroSteps)
 {
     Rig rig(dnn::makeLenetC());

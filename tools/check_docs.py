@@ -2,7 +2,8 @@
 """Docs-hygiene gate: fail when the front-door docs reference things
 that no longer exist in the tree.
 
-Checked documents: README.md, docs/ARCHITECTURE.md, tools/README.md.
+Checked documents: README.md, docs/ARCHITECTURE.md, docs/SERVING.md,
+tools/README.md.
 Checked reference kinds:
 
   * CLI flags (``--engine``, ``--beam-width``, ...) must appear in
@@ -20,9 +21,16 @@ Checked reference kinds:
   * ``--model <name>`` examples must name a real zoo model
     (src/dnn/model_zoo.cc).
   * Relative ``*.md``/``*.py``/source links must exist on disk.
+  * The serving contract: docs/SERVING.md's request-schema table
+    (rows of the form ``| `field` | ...``) must match the
+    kRequestFields whitelist in src/serve/server.hh exactly, in both
+    directions — a field added to the parser without documentation,
+    or documented without being parsed, fails the gate.
 
 Run from anywhere: paths resolve relative to the repo root (parent of
-this script's directory). Exit code 1 lists every stale reference.
+this script's directory); pass ``--root <dir>`` to check another tree
+(the negative tests in tools/test_check_docs.py use this). Exit code 1
+lists every stale reference.
 """
 
 import pathlib
@@ -30,7 +38,8 @@ import re
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-DOCS = ["README.md", "docs/ARCHITECTURE.md", "tools/README.md"]
+DOCS = ["README.md", "docs/ARCHITECTURE.md", "docs/SERVING.md",
+        "tools/README.md"]
 
 # Flags consumed by binaries other than hyparc (the google-benchmark
 # harness) that the docs legitimately mention.
@@ -51,6 +60,45 @@ FOREIGN_FLAGS = {
 
 def read(relpath):
     return (ROOT / relpath).read_text(encoding="utf-8")
+
+
+def check_serving_schema(errors):
+    """docs/SERVING.md's schema table vs server.hh's kRequestFields."""
+    server = read("src/serve/server.hh")
+    init = re.search(r"kRequestFields\[\]\s*=\s*\{(.*?)\};", server,
+                     re.S)
+    if not init:
+        errors.append("src/serve/server.hh: could not locate the "
+                      "kRequestFields initializer (update "
+                      "check_docs.py)")
+        return
+    # Strip the per-field // comments first — they quote nested JSON
+    # keys ("nodes", "links") that are not request fields.
+    body = re.sub(r"//[^\n]*", "", init.group(1))
+    parsed = re.findall(r'"(\w+)"', body)
+
+    serving = read("docs/SERVING.md")
+    section = re.search(r"^## Request fields$(.*?)(?=^## |\Z)", serving,
+                        re.S | re.M)
+    if not section:
+        errors.append("docs/SERVING.md: no '## Request fields' "
+                      "section found")
+        return
+    documented = re.findall(r"^\|\s*`(\w+)`", section.group(1), re.M)
+    if not documented:
+        errors.append("docs/SERVING.md: no request-schema table rows "
+                      "(| `field` | ...) under '## Request fields'")
+        return
+    for field in parsed:
+        if field not in documented:
+            errors.append(
+                f"docs/SERVING.md: request field '{field}' accepted "
+                "by the server but missing from the schema table")
+    for field in documented:
+        if field not in parsed:
+            errors.append(
+                f"docs/SERVING.md: schema table documents '{field}' "
+                "but src/serve/server.hh does not accept it")
 
 
 def fail(errors):
@@ -161,9 +209,12 @@ def main():
             if "/" not in token and (
                     token.startswith("BENCH_") or
                     list(ROOT.glob(f"*/{token}")) or
+                    list(ROOT.glob(f"src/*/{token}")) or
                     list(ROOT.glob(token))):
                 continue
             errors.append(f"{doc}: file '{token}' does not exist")
+
+    check_serving_schema(errors)
 
     if errors:
         return fail(errors)
@@ -172,4 +223,6 @@ def main():
 
 
 if __name__ == "__main__":
+    if len(sys.argv) >= 3 and sys.argv[1] == "--root":
+        ROOT = pathlib.Path(sys.argv[2]).resolve()
     sys.exit(main())

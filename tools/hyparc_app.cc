@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <random>
 #include <set>
@@ -16,6 +17,7 @@
 #include "core/strategies.hh"
 #include "dnn/model_zoo.hh"
 #include "dnn/spec_parser.hh"
+#include "serve/server.hh"
 #include "sim/evaluator.hh"
 #include "sim/robust.hh"
 #include "sim/trace_export.hh"
@@ -686,13 +688,30 @@ cmdFaults(const Options &opts, std::ostream &os)
     return 0;
 }
 
+int
+cmdServe(const Options &opts, std::ostream &os, std::istream &in)
+{
+    serve::ServeOptions sopts;
+    if (!opts.cacheDir.empty())
+        sopts.cacheDir = opts.cacheDir;
+    sopts.noCache = opts.noCache;
+    serve::Server server(sopts);
+    if (opts.evict) {
+        os << "evicted " << server.cache().evict()
+           << " plan cache entries from " << server.cache().dir().string()
+           << "\n";
+        return 0;
+    }
+    return server.run(in, os);
+}
+
 } // namespace
 
 std::string
 usage()
 {
     return "usage: hyparc "
-           "<plan|simulate|report|trace|sweep|faults|models>\n"
+           "<plan|simulate|report|trace|sweep|faults|serve|models>\n"
            "  --model <zoo name> | --spec <file>\n"
            "  [--levels N] [--batch B] [--topology htree|torus|mesh]\n"
            "  [--strategy hypar|dp|mp|owt|optimal] [-o|--output <file>]\n"
@@ -730,7 +749,15 @@ usage()
            "    to R1, averaging K sampled fault maps per point;\n"
            "    neither: robust planning — return the plan minimizing\n"
            "    the expected step time over K fault maps drawn at\n"
-           "    --rate R (all modes deterministic for a fixed --seed)";
+           "    --rate R (all modes deterministic for a fixed --seed)\n"
+           "  serve: [--cache-dir <dir>] [--no-cache] [--evict]\n"
+           "    long-lived planner service: newline-delimited JSON\n"
+           "    requests on stdin, one JSON response line each, blank\n"
+           "    line flushes an admission batch (docs/SERVING.md has\n"
+           "    the schema); plan results are cached content-addressed\n"
+           "    under --cache-dir (default ~/.cache/hyparc/plans);\n"
+           "    --no-cache bypasses reads and writes; --evict clears\n"
+           "    the cache and exits";
 }
 
 Options
@@ -784,6 +811,12 @@ parseArgs(const std::vector<std::string> &args)
             opts.samples = std::stoul(value(i));
         } else if (arg == "--sweep") {
             opts.faultSweep = true;
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = value(i);
+        } else if (arg == "--no-cache") {
+            opts.noCache = true;
+        } else if (arg == "--evict") {
+            opts.evict = true;
         } else if (arg == "--overlap") {
             opts.overlap = true;
         } else if (arg == "--verbose") {
@@ -798,7 +831,7 @@ parseArgs(const std::vector<std::string> &args)
 }
 
 int
-runCommand(const Options &opts, std::ostream &os)
+runCommand(const Options &opts, std::ostream &os, std::istream &in)
 {
     if (opts.command == "models")
         return cmdModels(os);
@@ -814,7 +847,15 @@ runCommand(const Options &opts, std::ostream &os)
         return cmdSweep(opts, os);
     if (opts.command == "faults")
         return cmdFaults(opts, os);
+    if (opts.command == "serve")
+        return cmdServe(opts, os, in);
     util::fatal("unknown command '" + opts.command + "'\n" + usage());
+}
+
+int
+runCommand(const Options &opts, std::ostream &os)
+{
+    return runCommand(opts, os, std::cin);
 }
 
 } // namespace hypar::tools

@@ -12,6 +12,8 @@
  *   hyparc faults --model Lenet-c --map faults.txt # re-plan around map
  *   hyparc faults --model Lenet-c --sweep --rate 0:0.3:7  # cost curves
  *   hyparc faults --model Lenet-c --rate 0.1 --samples 8  # robust plan
+ *   hyparc serve                             # planner-as-a-service loop
+ *   hyparc serve --evict                     # clear the plan cache
  *   hyparc models                            # list the zoo
  */
 
@@ -28,7 +30,7 @@ namespace hypar::tools {
 struct Options
 {
     std::string command; //!< plan | simulate | report | trace | sweep |
-                         //!< faults | models
+                         //!< faults | serve | models
     std::string model;        //!< zoo model name
     std::string spec;         //!< path to a network spec file
     std::string output;       //!< -o target (trace, sweep, faults)
@@ -40,6 +42,8 @@ struct Options
     std::string map;          //!< faults: fault-map file (--map)
     std::string rate = "0.1"; //!< faults: rate R, or R0:R1:N (--sweep)
     std::string sample = "uniform"; //!< sweep --limit: uniform | biased
+    std::string cacheDir; //!< serve: plan cache dir (default: see
+                          //!< serve::PlanCache::defaultDir)
     std::size_t beamWidth = 0;      //!< 0 = engine default
     std::size_t levels = 4;
     std::size_t batch = 256;
@@ -49,6 +53,8 @@ struct Options
     bool faultSweep = false;  //!< faults: sweep a rate range (--sweep)
     bool overlap = false;     //!< overlap gradient reductions (async)
     bool verbose = false;     //!< extra search diagnostics (plan)
+    bool noCache = false;     //!< serve: bypass plan cache reads+writes
+    bool evict = false;       //!< serve: clear the plan cache and exit
 };
 
 /**
@@ -57,8 +63,16 @@ struct Options
  */
 Options parseArgs(const std::vector<std::string> &args);
 
-/** Execute a parsed command, writing human-readable output to `os`. */
+/**
+ * Execute a parsed command, writing human-readable output to `os`
+ * (JSON response lines for `serve`). The serve loop reads its
+ * newline-delimited requests from std::cin.
+ */
 int runCommand(const Options &opts, std::ostream &os);
+
+/** Same, with an explicit request stream for `serve` (tests drive the
+ *  loop with an istringstream; other commands ignore `in`). */
+int runCommand(const Options &opts, std::ostream &os, std::istream &in);
 
 /** One-line usage summary (printed on error and by --help). */
 std::string usage();
