@@ -17,11 +17,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cstdint>
+#include <vector>
+
 #include "core/brute_force.hh"
 #include "core/comm_model.hh"
 #include "core/hierarchical_partitioner.hh"
 #include "core/optimal_partitioner.hh"
 #include "core/pairwise_partitioner.hh"
+#include "core/simd_kernels.hh"
 #include "core/strategies.hh"
 #include "dnn/builder.hh"
 #include "dnn/model_zoo.hh"
@@ -262,6 +267,187 @@ BM_OptimalPartitionBeamAdaptive(benchmark::State &state)
 }
 
 void
+BM_OptimalPartitionBeamWarmStart(benchmark::State &state)
+{
+    // The serve tier's width_hint path: a prior adaptive solve's
+    // certified width seeds the first pass, skipping the geometric
+    // ramp entirely when the hint still certifies. Pair by eye with
+    // BM_OptimalPartitionBeamAdaptive at the same depth — that is the
+    // cold ramp this warm start replaces.
+    const auto levels = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = deepNet(12);
+    core::CommModel model(net, core::CommConfig{});
+    core::OptimalPartitioner partitioner(model);
+    core::SearchOptions opts;
+    opts.engine = core::SearchEngine::kBeam; // width 0 -> adaptive
+    const auto cold = partitioner.partition(levels, opts);
+    opts.beamWidthStart = cold.stats.widthUsed;
+    for (auto _ : state) {
+        auto result = partitioner.partition(levels, opts);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_OptimalPartitionAStarVggE(benchmark::State &state)
+{
+    // The headline row of the "H = 16 interactive" work: the paper's
+    // largest network at the full 2^16-node depth, exact. CI gates
+    // this row against tools/bench_baseline.json (check_bench.py), so
+    // a regression toward the old ~22 s behavior fails the Release
+    // job instead of just dimming the report.
+    const auto levels = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = dnn::makeVggE();
+    core::CommModel model(net, core::CommConfig{});
+    core::OptimalPartitioner partitioner(model);
+    core::SearchOptions opts;
+    opts.engine = core::SearchEngine::kAStar;
+    for (auto _ : state) {
+        auto result = partitioner.partition(levels, opts);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+}
+
+/** Shared state for the kernel-level SIMD rows: the H-deep factored
+ *  expansion cascade plus the dense/beam scan inputs, filled with
+ *  deterministic values. */
+struct SimdBenchData {
+    explicit SimdBenchData(unsigned levels)
+        : h(levels), n(std::size_t{1} << levels), trans(n), cost(n),
+          best(n), prev(n), pcnt(n), rows0(levels), rows1(levels)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            cost[i] = static_cast<double>((i * 37) % 1013) * 0.25;
+            best[i] = 1e30;
+            pcnt[i] = static_cast<std::uint8_t>(std::popcount(i));
+        }
+        for (unsigned l = 0; l < h; ++l) {
+            rows0[l].resize(l + 1);
+            rows1[l].resize(l + 1);
+            for (unsigned a = 0; a <= l; ++a) {
+                rows0[l][a] = static_cast<double>(l * 7 + a) * 0.125;
+                rows1[l][a] = static_cast<double>(l * 11 + a) * 0.0625;
+            }
+        }
+    }
+
+    /** One full expansion: all 2^h transition sums from the factored
+     *  rows — exactly the per-(layer, predecessor) work of the dense
+     *  and beam engines. */
+    void expand(const core::simd::Kernels &k)
+    {
+        trans[0] = 0.0;
+        for (unsigned l = 0; l < h; ++l)
+            k.expandLevel(trans.data(), std::size_t{1} << l,
+                          rows0[l].data(), rows1[l].data(), pcnt.data(),
+                          l);
+    }
+
+    unsigned h;
+    std::size_t n;
+    std::vector<double> trans, cost, best;
+    std::vector<std::uint32_t> prev;
+    std::vector<std::uint8_t> pcnt;
+    std::vector<std::vector<double>> rows0, rows1;
+};
+
+void
+simdExpandLevelRun(benchmark::State &state, const core::simd::Kernels &k)
+{
+    SimdBenchData d(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        d.expand(k);
+        benchmark::DoNotOptimize(d.trans[d.n - 1]);
+    }
+}
+
+void
+simdArgminAddRun(benchmark::State &state, const core::simd::Kernels &k)
+{
+    SimdBenchData d(static_cast<unsigned>(state.range(0)));
+    d.expand(core::simd::scalarKernels());
+    for (auto _ : state) {
+        double min = 0.0;
+        std::uint32_t p =
+            k.argminAdd(d.cost.data(), d.trans.data(), d.n, &min);
+        benchmark::DoNotOptimize(p);
+        benchmark::DoNotOptimize(min);
+    }
+}
+
+void
+simdRelaxRowRun(benchmark::State &state, const core::simd::Kernels &k)
+{
+    SimdBenchData d(static_cast<unsigned>(state.range(0)));
+    d.expand(core::simd::scalarKernels());
+    // A beam-pass-shaped workload: 16 predecessors relaxed in
+    // ascending order into one (best, prev) row. After the first
+    // iteration the row is saturated and the scan is compare-dominated
+    // — the steady-state shape of a wide frontier.
+    for (auto _ : state) {
+        for (std::uint32_t p = 0; p < 16; ++p)
+            k.relaxRow(d.best.data(), d.prev.data(), d.trans.data(),
+                       d.cost[p], p, d.n);
+        benchmark::DoNotOptimize(d.best[d.n - 1]);
+    }
+}
+
+// The SIMD lever's before/after rows. The optimized side is the AVX2
+// set, the *Reference twin the scalar set — both called directly
+// because activeKernels() caches its HYPAR_SIMD choice in a static, so
+// the two sides cannot be A/B'd through the dispatcher in one process.
+// Bit-equivalence of the pair is pinned by test_simd_kernels.
+
+void
+BM_SimdExpandLevel(benchmark::State &state)
+{
+    if (!core::simd::avx2Available()) {
+        state.SkipWithError("AVX2 unavailable on this host");
+        return;
+    }
+    simdExpandLevelRun(state, core::simd::avx2Kernels());
+}
+
+void
+BM_SimdExpandLevelReference(benchmark::State &state)
+{
+    simdExpandLevelRun(state, core::simd::scalarKernels());
+}
+
+void
+BM_SimdArgminAdd(benchmark::State &state)
+{
+    if (!core::simd::avx2Available()) {
+        state.SkipWithError("AVX2 unavailable on this host");
+        return;
+    }
+    simdArgminAddRun(state, core::simd::avx2Kernels());
+}
+
+void
+BM_SimdArgminAddReference(benchmark::State &state)
+{
+    simdArgminAddRun(state, core::simd::scalarKernels());
+}
+
+void
+BM_SimdRelaxRow(benchmark::State &state)
+{
+    if (!core::simd::avx2Available()) {
+        state.SkipWithError("AVX2 unavailable on this host");
+        return;
+    }
+    simdRelaxRowRun(state, core::simd::avx2Kernels());
+}
+
+void
+BM_SimdRelaxRowReference(benchmark::State &state)
+{
+    simdRelaxRowRun(state, core::simd::scalarKernels());
+}
+
+void
 BM_BruteForceHierarchical(benchmark::State &state)
 {
     // The Gray-code joint enumerator: (2^L)^H plans, one flip apart.
@@ -367,6 +553,22 @@ BENCHMARK(BM_OptimalPartitionBeam)->DenseRange(10, 14, 2);
 // belongs in fig11, not a micro bench.
 BENCHMARK(BM_OptimalPartitionAStar)->DenseRange(10, 14, 2);
 BENCHMARK(BM_OptimalPartitionBeamAdaptive)->DenseRange(10, 12, 2);
+// The warm-start lever next to the cold adaptive ramp above.
+BENCHMARK(BM_OptimalPartitionBeamWarmStart)->DenseRange(10, 12, 2);
+// The gated headline row: one exact solve per run keeps the JSON
+// target's wall clock bounded (a solve is seconds, not micros), and
+// the row is a baseline check, not a statistics exercise.
+BENCHMARK(BM_OptimalPartitionAStarVggE)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+// The SIMD lever at the headline table width (2^16 doubles).
+BENCHMARK(BM_SimdExpandLevel)->Arg(16);
+BENCHMARK(BM_SimdExpandLevelReference)->Arg(16);
+BENCHMARK(BM_SimdArgminAdd)->Arg(16);
+BENCHMARK(BM_SimdArgminAddReference)->Arg(16);
+BENCHMARK(BM_SimdRelaxRow)->Arg(16);
+BENCHMARK(BM_SimdRelaxRowReference)->Arg(16);
 BENCHMARK(BM_BruteForceHierarchical);
 BENCHMARK(BM_BruteForceHierarchicalReference);
 BENCHMARK(BM_SweepLevelBytes);

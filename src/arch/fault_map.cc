@@ -78,7 +78,8 @@ parseFaultMap(std::istream &in)
             util::fatal("fault map line " + std::to_string(lineno) +
                         ": duplicate " + kind + " id " +
                         std::to_string(uid));
-        (kind == "node" ? map.nodes : map.links).push_back({uid, scale});
+        (kind == "node" ? map.nodes : map.links)
+            .push_back({uid, scale, lineno});
     }
     return map;
 }

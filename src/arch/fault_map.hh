@@ -14,6 +14,10 @@
  *
  * Unlisted nodes/links are healthy (scale 1). Link ids follow each
  * topology's numbering (see noc::HTreeTopology / noc::TorusTopology).
+ * Topologies without a link-level fault model (the mesh, whose
+ * inherited torus id space contains wrap links that carry no traffic)
+ * reject link entries outright — see noc::Topology::supportsLinkFaults
+ * and the Evaluator's line-numbered rejection.
  *
  * The array executes in lockstep, so degradation has slowest-member
  * semantics: compute is priced on the slowest surviving node
@@ -42,8 +46,17 @@ struct FaultEntry
 {
     std::size_t id = 0;
     double scale = 1.0; //!< in [0, 1]; 0 = dead
+    /** 1-based source line when parsed from the text format, 0 for
+     *  programmatic entries — lets later validation stages (e.g. the
+     *  Evaluator's topology checks) point at the offending line. */
+    std::size_t line = 0;
 
-    bool operator==(const FaultEntry &) const = default;
+    bool operator==(const FaultEntry &o) const
+    {
+        // Provenance is not identity: the same fault parsed from a
+        // different line is the same fault.
+        return id == o.id && scale == o.scale;
+    }
 };
 
 /** Sparse fault map over an accelerator array. */

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "core/optimal_partitioner.hh"
 #include "core/tie_break.hh"
 #include "util/logging.hh"
 
@@ -38,6 +39,10 @@ class TermTape
         return prefix_.empty() ? 0.0 : prefix_.back();
     }
 
+    /** Sum of terms 0..i — the same left-to-right partial total()
+     *  walks through; used by the suffix-bound block pruning. */
+    double prefixAt(std::size_t i) const { return prefix_[i]; }
+
   private:
     std::vector<double> terms_;
     std::vector<double> prefix_;
@@ -50,6 +55,16 @@ repairStart(std::size_t j)
 {
     return j > 0 ? 2 * j - 1 : 0;
 }
+
+/**
+ * Relative slack for the Gray-walk suffix-bound pruning, mirroring
+ * the engines' kBoundSlack convention: the bound is admissible in the
+ * DP's float semantics while the walk scores plans through the tape
+ * algebra, and 1e-9 dwarfs the ~tens-of-ulp re-association drift
+ * between the two, so `prefix + bound > best * (1 + slack)` proves no
+ * plan in the block can beat — or exactly tie — the incumbent.
+ */
+constexpr double kPruneSlack = 1e-9;
 
 } // namespace
 
@@ -245,28 +260,48 @@ bruteForceHierarchical(const CommModel &model, std::size_t levels)
         return std::uint64_t{1} << ((levels - 1 - h) * num_layers + j);
     };
 
+    // Layer-major Gray mapping: the low (frequently flipped) joint
+    // bits cover *all* levels of the last layer — bottom level
+    // fastest, so the cheapest flips touch no other level and the
+    // shortest tape suffix. Crucially, the high bits then hold a
+    // fully-fixed layer *prefix*, which is exactly the shape the
+    // engines' suffix bound h[l][s] can prune: whenever the walk
+    // enters a block whose fixed prefix provably cannot complete
+    // below the incumbent, the entire 2^g sub-sweep is skipped.
+    auto flipLayer = [&](std::size_t g) {
+        return num_layers - 1 - g / levels;
+    };
+    auto flipLevel = [&](std::size_t g) {
+        return levels - 1 - g % levels;
+    };
+
+    // Per-layer DP state (bit h = mp at level h), kept in lockstep
+    // with `choices` so the suffix bound can be indexed directly.
+    std::vector<std::uint32_t> lstate(num_layers, 0);
+
+    // The engines' admissible completion bound, [l * 2^H + s]. The
+    // joint cap L*H <= 26 keeps H <= 13 whenever L >= 2, far under
+    // the partitioner's H = 16 ceiling.
+    std::vector<double> suffix;
+    if (num_layers >= 2)
+        suffix = OptimalPartitioner(model).suffixTable(levels);
+    const std::uint32_t states = std::uint32_t{1} << levels;
+
     std::uint64_t key = 0;
     std::uint64_t best_key = 0;
     double best_bytes = totalBytes();
 
-    const std::uint64_t count = std::uint64_t{1} << bits;
-    for (std::uint64_t i = 1; i < count; ++i) {
-        // Reflected Gray code over the joint bit-string. The frequently
-        // flipped low Gray bits map to the *bottom* hierarchy level
-        // (whose flips touch no other level) and to the *last* layers
-        // (shortest tape suffix), so the repair work per visited plan
-        // is O(1) amortized.
-        const auto gray_bit =
-            static_cast<std::size_t>(std::countr_zero(i));
-        const std::size_t h = levels - 1 - gray_bit / num_layers;
-        const std::size_t j = num_layers - 1 - gray_bit % num_layers;
-
+    // One Gray flip: update the choice, the tie-break key, the DP
+    // state, the flipped level's terms, and the upper counts (and
+    // terms) of every level below it.
+    auto applyFlip = [&](std::size_t g) {
+        const std::size_t j = flipLayer(g);
+        const std::size_t h = flipLevel(g);
         const bool now_mp = choices[h][j] == Parallelism::kData;
         choices[h][j] = now_mp ? Parallelism::kModel : Parallelism::kData;
         key ^= keyBit(h, j);
+        lstate[j] ^= std::uint32_t{1} << h;
 
-        // Level h's own terms change through the choice; the levels
-        // below it see layer j's upper counts shift by one.
         const std::size_t start = repairStart(j);
         fillTerm(tapes[h], h, j);
         if (j > 0)
@@ -284,6 +319,54 @@ bruteForceHierarchical(const CommModel &model, std::size_t levels)
             if (j > 0)
                 fillTerm(tapes[below], below, j - 1);
             tapes[below].repairFrom(start);
+        }
+    };
+
+    const std::uint64_t count = std::uint64_t{1} << bits;
+    for (std::uint64_t i = 1; i < count; ++i) {
+        const auto g = static_cast<std::size_t>(std::countr_zero(i));
+        applyFlip(g);
+
+        // Block pruning: the next 2^g - 1 steps sweep only bits
+        // below g, so layers 0..anchor (the deepest fully-fixed
+        // layer) stay put for the whole block. If the prefix cost
+        // through the anchor plus the anchor state's completion
+        // bound clears the incumbent with slack, no plan in the
+        // block can beat or tie it — fast-forward the Gray counter
+        // and resync the walk state by flipping the bits that
+        // differ, without scoring anything in between.
+        if (!suffix.empty() && g >= levels) {
+            const std::size_t j = flipLayer(g);
+            // The deepest fully-fixed layer for the coming block: j
+            // itself when the flip was j's top bit (every lower bit
+            // belongs to later layers), else j - 1 — which does not
+            // exist when j == 0, so no prefix is fixed and the block
+            // cannot be pruned.
+            const bool top_bit = g % levels == 0;
+            const std::size_t anchor =
+                top_bit ? j : (j > 0 ? j - 1 : num_layers);
+            if (anchor + 1 < num_layers) {
+                double prefix_bytes = 0.0;
+                for (std::size_t h = 0; h < levels; ++h)
+                    prefix_bytes += model.levelWeight(h) *
+                                    tapes[h].prefixAt(2 * anchor);
+                const double bound =
+                    suffix[anchor * states + lstate[anchor]];
+                if (prefix_bytes + bound >
+                    best_bytes * (1.0 + kPruneSlack)) {
+                    const std::uint64_t target =
+                        i + (std::uint64_t{1} << g) - 1;
+                    std::uint64_t diff =
+                        (i ^ (i >> 1)) ^ (target ^ (target >> 1));
+                    while (diff != 0) {
+                        applyFlip(static_cast<std::size_t>(
+                            std::countr_zero(diff)));
+                        diff &= diff - 1;
+                    }
+                    i = target;
+                    continue;
+                }
+            }
         }
 
         const double bytes = totalBytes();

@@ -5,8 +5,10 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <cstring>
 #include <numeric>
 
+#include "core/simd_kernels.hh"
 #include "core/tie_break.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -123,14 +125,23 @@ class InterTermTable
 constexpr double kBoundSlack = 1e-9;
 
 /**
- * Deflation for A*'s fast transition screen: a re-associated
- * (4-accumulator) sum of the same non-negative addends is within
- * H * 2^-53 < 4e-15 relative of the canonical ascending-order sum, so
+ * Deflation for A*'s fast transition screen: a re-associated sum of
+ * the same non-negative addends (two-level pair sums, or a
+ * 4-accumulator split on short scans) is within
+ * 2H * 2^-53 < 4e-15 relative of the canonical ascending-order sum, so
  * multiplying it by (1 - 1e-12) yields a certified lower bound on the
  * exact value — candidates rejected against it can never win (or tie)
  * the argmin.
  */
 constexpr double kScreenSlack = 1.0 - 1e-12;
+
+/**
+ * Minimum binary-searched scan-prefix length at which A* builds the
+ * per-node level-pair screen table: the ~3k-add build amortizes over
+ * the halved per-candidate screen cost only on long scans, and short
+ * scans keep the gather-based four-accumulator screen.
+ */
+constexpr std::size_t kPairScreenMin = 256;
 
 double
 inflate(double cost)
@@ -388,12 +399,27 @@ struct BeamOutcome
     std::uint64_t dropped = 0;  //!< frontier states pruned, all layers
 };
 
+/**
+ * popcount(p) for every state, as the u8 side table the expandLevel
+ * kernel indexes (a = h - pcnt[p]); built once per engine pass.
+ */
+std::vector<std::uint8_t>
+buildPcnt(std::uint32_t states)
+{
+    std::vector<std::uint8_t> pcnt(states);
+    for (std::uint32_t p = 0; p < states; ++p)
+        pcnt[p] = static_cast<std::uint8_t>(std::popcount(p));
+    return pcnt;
+}
+
 BeamOutcome
 beamPass(std::size_t levels, std::size_t num_layers,
          std::size_t beam_width, const WideTables &tables)
 {
     const std::uint32_t states = 1u << levels;
     auto &pool = util::ThreadPool::global();
+    const simd::Kernels &kern = simd::activeKernels();
+    const std::vector<std::uint8_t> pcnt = buildPcnt(states);
 
     const std::vector<double> &intra = tables.intra;
     std::vector<double> cost(intra.begin(), intra.begin() + states);
@@ -490,28 +516,19 @@ beamPass(std::size_t levels, std::size_t num_layers,
                 trans[0] = 0.0;
                 for (std::size_t h = 0; h < levels; ++h) {
                     const std::size_t half = std::size_t{1} << h;
-                    const double *t0 = &tp[(h * 2 + 0) * (levels + 1)];
-                    const double *t1 = &tp[(h * 2 + 1) * (levels + 1)];
-                    for (std::size_t s_low = 0; s_low < half; ++s_low) {
-                        const auto mp_below = static_cast<unsigned>(
-                            std::popcount(static_cast<std::uint32_t>(
-                                s_low)));
-                        const unsigned b =
-                            static_cast<unsigned>(h) - mp_below;
-                        const double acc = trans[s_low];
-                        trans[s_low] = acc + t0[b];
-                        trans[s_low + half] = acc + t1[b];
-                    }
+                    kern.expandLevel(
+                        trans.data(), half,
+                        &tp[(h * 2 + 0) * (levels + 1)],
+                        &tp[(h * 2 + 1) * (levels + 1)], pcnt.data(),
+                        static_cast<unsigned>(h));
                 }
 
-                const double cost_p = cost[p];
-                for (std::uint32_t s = 0; s < states; ++s) {
-                    const double c = cost_p + trans[s];
-                    if (better(c, p, best[s], prev[s])) {
-                        best[s] = c;
-                        prev[s] = p;
-                    }
-                }
+                // relaxRow keeps the incumbent on exact ties, which
+                // equals better() here because the frontier is sorted:
+                // within a chunk p strictly ascends, so the incumbent
+                // is always the lower-index candidate.
+                kern.relaxRow(best.data(), prev.data(), trans.data(),
+                              cost[p], p, states);
             }
         });
 
@@ -674,6 +691,17 @@ OptimalPartitioner::partition(std::size_t levels,
     util::fatal("OptimalPartitioner: unresolved search engine");
 }
 
+std::vector<double>
+OptimalPartitioner::suffixTable(std::size_t levels) const
+{
+    if (levels > kWideMax)
+        util::fatal("OptimalPartitioner: suffix bound capped at H = 16");
+    const std::size_t num_layers = model_->numLayers();
+    HYPAR_ASSERT(num_layers > 0, "suffix bound of an empty network");
+    return suffixBound(*model_, levels, num_layers, intraTable(levels),
+                       buildInterTables(*model_, levels));
+}
+
 HierarchicalResult
 OptimalPartitioner::partitionDense(std::size_t levels) const
 {
@@ -696,6 +724,8 @@ OptimalPartitioner::partitionDense(std::size_t levels) const
     const std::size_t grain = pool.grainFor(states);
 
     const std::vector<double> intra = intraTable(levels);
+    const simd::Kernels &kern = simd::activeKernels();
+    const std::vector<std::uint8_t> pcnt = buildPcnt(states);
 
     // Chain DP: cost[s] = best total with layer l in level vector s.
     std::vector<double> cost(intra.begin(), intra.begin() + states);
@@ -729,31 +759,17 @@ OptimalPartitioner::partitionDense(std::size_t levels) const
                 for (std::size_t h = 0; h < levels; ++h) {
                     const double *row = rows[h];
                     const std::size_t half = std::size_t{1} << h;
-                    for (std::size_t p_low = 0; p_low < half; ++p_low) {
-                        const auto mp_below = static_cast<unsigned>(
-                            std::popcount(static_cast<std::uint32_t>(
-                                p_low)));
-                        const unsigned a =
-                            static_cast<unsigned>(h) - mp_below;
-                        const double acc = trans[p_low];
-                        trans[p_low] = acc + row[a];
-                        trans[p_low + half] =
-                            acc + row[(levels + 1) + a];
-                    }
+                    kern.expandLevel(trans.data(), half, row,
+                                     row + (levels + 1), pcnt.data(),
+                                     static_cast<unsigned>(h));
                 }
 
-                // Ascending p with strict < implements the shared
+                // argminAdd's ascending strict < implements the shared
                 // tie-break rule (core/tie_break.hh): dp-heavier
                 // predecessor wins exact ties.
-                double best = std::numeric_limits<double>::infinity();
-                std::uint32_t best_prev = 0;
-                for (std::uint32_t p = 0; p < states; ++p) {
-                    const double c = cost[p] + trans[p];
-                    if (c < best) {
-                        best = c;
-                        best_prev = p;
-                    }
-                }
+                double best;
+                const std::uint32_t best_prev = kern.argminAdd(
+                    cost.data(), trans.data(), states, &best);
                 next[s] = best + intra_l[s];
                 parent_l[s] = best_prev;
             }
@@ -984,6 +1000,59 @@ OptimalPartitioner::partitionAStar(std::size_t levels) const
     const double ub = inflate(incumbent.result.commBytes);
 
     const std::vector<std::uint16_t> pcol = buildPcol(levels);
+    // Popcount class of every state (number of mp bits).
+    std::vector<std::uint8_t> pclass(states);
+    for (std::uint32_t s = 0; s < states; ++s)
+        pclass[s] = static_cast<std::uint8_t>(std::popcount(s));
+
+    // Level-pair screen geometry. Levels are grouped in pairs
+    // (0,1), (2,3), ...; per scanned node a small table P holds every
+    // fl(rows[2j][colA] + rows[2j+1][colB]) over the *admissible*
+    // columns of both levels (a <= h), so the per-candidate screen
+    // sums `pairs` table entries instead of `levels` row entries. A
+    // level-h row has only 2 * (h + 1) admissible columns, so the
+    // whole table is ~3k doubles at H = 16 — it lives in L1 while the
+    // packed candidate codes below stream past it. `rankOf` compacts
+    // a full column index (pb * (H+1) + a) to pb * (h+1) + a.
+    const std::size_t pairs = levels / 2;
+    const bool odd_levels = (levels & 1) != 0;
+    const std::size_t c2stride = pairs + (odd_levels ? 1 : 0);
+    std::array<std::size_t, kWideMax / 2> pair_off{};
+    std::array<std::size_t, kWideMax / 2> pair_wb{};
+    std::size_t pair_total = 0;
+    for (std::size_t j = 0; j < pairs; ++j) {
+        const std::size_t wa = 2 * (2 * j + 1);
+        const std::size_t wb = 2 * (2 * j + 2);
+        pair_off[j] = pair_total;
+        pair_wb[j] = wb;
+        pair_total += wa * wb;
+    }
+    // colTab[h][r]: full column index of compact rank r at level h.
+    std::vector<std::uint16_t> colTab(levels * 2 * (levels + 1));
+    for (std::size_t h = 0; h < levels; ++h)
+        for (std::size_t r = 0; r < 2 * (h + 1); ++r)
+            colTab[h * 2 * (levels + 1) + r] = static_cast<std::uint16_t>(
+                r <= h ? r : (levels + 1) + (r - (h + 1)));
+    const auto rankOf = [&](std::uint16_t col, std::size_t h) {
+        const std::uint16_t pb = col >= levels + 1 ? 1 : 0;
+        const std::uint16_t a =
+            static_cast<std::uint16_t>(col - pb * (levels + 1));
+        return static_cast<std::uint16_t>(pb * (h + 1) + a);
+    };
+    // pcode2[p * c2stride + j]: p's flattened (rankA, rankB) into pair
+    // j's table; the odd tail level's full column rides in the last
+    // slot. Layer-invariant, packed into scan order each layer.
+    std::vector<std::uint16_t> pcode2(std::size_t{states} * c2stride);
+    for (std::uint32_t p = 0; p < states; ++p) {
+        const std::uint16_t *pc = &pcol[std::size_t{p} * levels];
+        std::uint16_t *code = &pcode2[std::size_t{p} * c2stride];
+        for (std::size_t j = 0; j < pairs; ++j)
+            code[j] = static_cast<std::uint16_t>(
+                rankOf(pc[2 * j], 2 * j) * pair_wb[j] +
+                rankOf(pc[2 * j + 1], 2 * j + 1));
+        if (odd_levels)
+            code[pairs] = pc[levels - 1];
+    }
 
     const std::vector<double> &intra = tables.intra;
     std::vector<double> cost(intra.begin(), intra.begin() + states);
@@ -991,12 +1060,33 @@ OptimalPartitioner::partitionAStar(std::size_t levels) const
     std::vector<double> next(states);
     std::vector<std::uint8_t> dead(states, 0);
     std::vector<std::uint32_t> alive;
-    // Class-conditioned predecessor keys: keyC[pc * states + p] =
-    // cost[p] + (a lower bound on trans(p, s) valid for every target s
-    // with popcount(s) == pc), plus one predecessor ordering per class.
-    std::vector<double> keyC((levels + 1) * states);
-    std::vector<std::vector<std::uint32_t>> orderC(levels + 1);
-    std::vector<double> min_keyC(levels + 1);
+    // Class-conditioned predecessor keys: a target class is the
+    // triple (top two level bits, popcount) — keyC[cls * states + p]
+    // = cost[p] + (a lower bound on trans(p, s) valid for every
+    // target s in the class), plus one predecessor ordering per
+    // class. Conditioning on the two top bits on top of the popcount
+    // pins the two heaviest addends (weights 2^(H-1) + 2^(H-2), ~75%
+    // of the total level weight) to their exact values in the bound.
+    const std::size_t nclass = 4 * (levels + 1);
+    const auto classOf = [&](std::uint32_t sv) {
+        const std::uint32_t tt = (sv >> (levels - 2)) & 3u;
+        return tt * (levels + 1) +
+               static_cast<std::size_t>(std::popcount(sv));
+    };
+    std::vector<double> keyC(nclass * states);
+    std::vector<double> min_keyC(nclass);
+    std::vector<std::size_t> navailC(nclass);
+    // Scan-order packing of each class's sorted candidates: key, g,
+    // state id, and pair-screen codes laid out contiguously in the
+    // order the scan walks them. The hot loop then streams sequential
+    // cache lines instead of gathering cost/key/column data from
+    // state-indexed tables — the gathers, not the arithmetic, were
+    // the measured bottleneck of the predecessor scan.
+    std::vector<double> ordKey(nclass * std::size_t{states});
+    std::vector<double> ordCost(nclass * std::size_t{states});
+    std::vector<std::uint32_t> ordP(nclass * std::size_t{states});
+    std::vector<std::uint16_t> ordC2(nclass * std::size_t{states} *
+                                     c2stride);
     std::vector<std::uint64_t> evaluated(chunks);
     std::uint64_t total_evaluated = incumbent.result.transitionsEvaluated;
     std::uint64_t expanded = 0;
@@ -1020,26 +1110,26 @@ OptimalPartitioner::partitionAStar(std::size_t levels) const
         const double *suffix_l = &tables.suffix[l * states];
         std::uint32_t *parent_l = &parent[l * states];
 
-        // The sparse engine's per-target row minima (lbIn).
-        const std::vector<double> rowmin = targetRowMins(iterm, levels);
-
-        // colmin[(h * cols + col) * 2 + sb]: cheapest level-h entry at
-        // source column `col` toward a dp (sb = 0) or mp (sb = 1)
-        // target, minimized over the target's dpAbove b <= h. Only
-        // 2 * (H+1) columns exist per level, so hoisting this out of
-        // the per-predecessor key DP below removes an O(alive * H^2)
-        // recompute per layer.
+        // sAdd[(h * cols + col) * cols + sb * (H+1) + c]: the *exact*
+        // level-h addend rowAt(h, sb, h - c)[col] of a transition whose
+        // target picks sb at level h with exactly c mp bits below it,
+        // seen from source column `col`. Slots with c > h stay +inf
+        // (unreachable). Indexing the factored table by the target's
+        // exact dpAbove count — instead of min-relaxing it away as the
+        // old per-column minima did — is what conditions the class key
+        // DP below on *both* endpoint popcounts.
         const std::size_t cols = 2 * (levels + 1);
-        std::vector<double> colmin(
-            levels * cols * 2, std::numeric_limits<double>::infinity());
+        std::vector<double> sAdd(
+            levels * cols * cols,
+            std::numeric_limits<double>::infinity());
         for (std::size_t h = 0; h < levels; ++h)
             for (unsigned sb = 0; sb < 2; ++sb)
                 for (unsigned b = 0; b <= h; ++b) {
                     const double *row = iterm.rowAt(h, sb, b);
-                    for (std::size_t col = 0; col < cols; ++col) {
-                        double &m = colmin[(h * cols + col) * 2 + sb];
-                        m = std::min(m, row[col]);
-                    }
+                    const std::size_t c = h - b;
+                    for (std::size_t col = 0; col < cols; ++col)
+                        sAdd[(h * cols + col) * cols +
+                             sb * (levels + 1) + c] = row[col];
                 }
 
         // Assignment-aware predecessor keys, one per target class. A
@@ -1047,13 +1137,17 @@ OptimalPartitioner::partitionAStar(std::size_t levels) const
         // mp-side column of the factored table, so for each live
         // predecessor p a tiny count DP over levels —
         //
-        //   f[c] after level h = cheapest way to route c mp bits
-        //                        through levels 0..h at p's column
+        //   f[c] after level h = cheapest transition prefix through
+        //                        levels 0..h-1 at p's columns, over
+        //                        targets with exactly c mp bits there
         //
         // — yields keyC[pc][p] = cost[p] + f[pc], a lower bound on
         // cost[p] + trans(p, s) for every target s with popcount pc.
-        // Each realized f is a level-ascending float sum of addends
-        // dominated by the real ones, so the bound is exact in float.
+        // The DP steps through the sAdd table, so every addend is the
+        // *exact* factored entry for the target's (sb, dpAbove) at
+        // that level — the pair-conditioned bound — and each realized
+        // f is a level-ascending float sum of a real target's addends
+        // with min-propagation, so the bound is exact in float.
         // Scanning each target's class order makes `keyC > best` an
         // early break that knows mp-heavy targets cannot be reached
         // for free — the per-level row minima alone collapse to ~0
@@ -1065,53 +1159,135 @@ OptimalPartitioner::partitionAStar(std::size_t levels) const
             std::max<std::size_t>(1, na / (4 * pool.parallelism()));
         pool.parallelFor(0, na, agrain, [&](std::size_t a_begin,
                                             std::size_t a_end) {
-            std::array<double, kWideMax> dpmin;
-            std::array<double, kWideMax> mpmin;
             std::array<double, kWideMax + 1> f;
             for (std::size_t i = a_begin; i < a_end; ++i) {
                 const std::uint32_t p = alive[i];
                 const std::uint16_t *pc = &pcol[std::size_t{p} * levels];
-                for (std::size_t h = 0; h < levels; ++h) {
-                    const double *cm = &colmin[(h * cols + pc[h]) * 2];
-                    dpmin[h] = cm[0];
-                    mpmin[h] = cm[1];
-                }
                 f[0] = 0.0;
-                for (std::size_t h = 0; h < levels; ++h) {
-                    f[h + 1] = f[h] + mpmin[h];
+                for (std::size_t h = 0; h + 2 < levels; ++h) {
+                    const double *sa0 =
+                        &sAdd[(h * cols + pc[h]) * cols];
+                    const double *sa1 = sa0 + (levels + 1);
+                    f[h + 1] = f[h] + sa1[h];
                     for (std::size_t c = h; c > 0; --c)
-                        f[c] = std::min(f[c] + dpmin[h],
-                                        f[c - 1] + mpmin[h]);
-                    f[0] += dpmin[h];
+                        f[c] = std::min(f[c] + sa0[c],
+                                        f[c - 1] + sa1[c - 1]);
+                    f[0] += sa0[0];
                 }
+                // Finalize per class: f covers levels 0..H-3; the
+                // class fixes the two top bits (t14, t15) and the mp
+                // count below them, so both heavy addends are added
+                // exactly — still in level-ascending order.
                 const double cost_p = cost[p];
-                for (std::size_t c = 0; c <= levels; ++c)
-                    keyC[c * states + p] = cost_p + f[c];
+                const double *sb0 = &sAdd[((levels - 2) * cols +
+                                           pc[levels - 2]) *
+                                          cols];
+                const double *sb1 = sb0 + (levels + 1);
+                const double *sa0 = &sAdd[((levels - 1) * cols +
+                                           pc[levels - 1]) *
+                                          cols];
+                const double *sa1 = sa0 + (levels + 1);
+                for (std::size_t tt = 0; tt < 4; ++tt) {
+                    const std::size_t t14 = tt & 1;
+                    const std::size_t t15 = tt >> 1;
+                    const double *sb = t14 ? sb1 : sb0;
+                    const double *sa = t15 ? sa1 : sa0;
+                    double *key = &keyC[tt * (levels + 1) * states];
+                    for (std::size_t cs = t14 + t15;
+                         cs + 2 <= levels + t14 + t15; ++cs) {
+                        const std::size_t cl = cs - t14 - t15;
+                        key[cs * states + p] =
+                            cost_p +
+                            ((f[cl] + sb[cl]) + sa[cl + t14]);
+                    }
+                }
             }
         });
+        // The scan's prefix cut accepts a candidate only while
+        // (key + intra_l[s]) + suffix_l[s] <= ub for its node, so a
+        // key beyond ub - min_s(intra + suffix) + margin can never be
+        // reached by *any* node of the class — sorting and packing it
+        // is pure waste. The 1e-6-relative margin dwarfs the ~4-ulp
+        // float drift between the two association orders, so every
+        // excluded key provably fails the scan predicate for every
+        // node; over-inclusion near the cut only lengthens the sorted
+        // prefix, never changes what the scan visits.
+        std::vector<double> minRest(
+            nclass, std::numeric_limits<double>::infinity());
+        for (std::uint32_t s = 0; s < states; ++s) {
+            double &m = minRest[classOf(s)];
+            m = std::min(m, intra_l[s] + suffix_l[s]);
+        }
+        std::vector<double> thrC(nclass);
+        for (std::size_t c = 0; c < nclass; ++c)
+            thrC[c] = std::isfinite(ub)
+                          ? (ub - minRest[c]) + 1e-6 * std::abs(ub)
+                          : std::numeric_limits<double>::infinity();
         pool.parallelFor(
-            0, levels + 1, 1, [&](std::size_t c_begin, std::size_t c_end) {
+            0, nclass, 1, [&](std::size_t c_begin, std::size_t c_end) {
+                std::vector<std::pair<double, std::uint32_t>> tmp(na);
                 for (std::size_t c = c_begin; c < c_end; ++c) {
-                    std::vector<std::uint32_t> &ord = orderC[c];
-                    ord = alive;
+                    // Classes whose popcount is inconsistent with
+                    // their top-bit pattern contain no targets; skip
+                    // their sort and leave them unused.
+                    const std::size_t tt = c / (levels + 1);
+                    const std::size_t cs = c % (levels + 1);
+                    const std::size_t tbits =
+                        (tt & 1) + (tt >> 1);
+                    if (cs < tbits || cs - tbits > levels - 2) {
+                        min_keyC[c] =
+                            std::numeric_limits<double>::infinity();
+                        navailC[c] = 0;
+                        continue;
+                    }
                     const double *keyc = &keyC[c * states];
-                    std::sort(ord.begin(), ord.end(),
-                              [&](std::uint32_t x, std::uint32_t y) {
-                                  return better(keyc[x], x, keyc[y], y);
-                              });
-                    min_keyC[c] = keyc[ord[0]];
+                    const double thr = thrC[c];
+                    double mk = std::numeric_limits<double>::infinity();
+                    std::size_t m = 0;
+                    for (std::size_t i = 0; i < na; ++i) {
+                        const std::uint32_t p = alive[i];
+                        const double key = keyc[p];
+                        mk = std::min(mk, key);
+                        if (key <= thr)
+                            tmp[m++] = {key, p};
+                    }
+                    min_keyC[c] = mk;
+                    navailC[c] = m;
+                    // std::pair's lexicographic order (key, then state
+                    // id) is exactly better()'s total order.
+                    std::sort(tmp.begin(), tmp.begin() + m);
+                    double *okey = &ordKey[c * na];
+                    double *ocost = &ordCost[c * na];
+                    std::uint32_t *op = &ordP[c * na];
+                    std::uint16_t *oc2 = &ordC2[c * na * c2stride];
+                    for (std::size_t k = 0; k < m; ++k) {
+                        const std::uint32_t p = tmp[k].second;
+                        okey[k] = tmp[k].first;
+                        ocost[k] = cost[p];
+                        op[k] = p;
+                        std::memcpy(&oc2[k * c2stride],
+                                    &pcode2[std::size_t{p} * c2stride],
+                                    c2stride * sizeof(std::uint16_t));
+                    }
                 }
             });
-        double min_alive_cost = cost[alive[0]];
-        for (const std::uint32_t p : alive)
-            min_alive_cost = std::min(min_alive_cost, cost[p]);
+        // Cheapest live g per predecessor class: pairs with the
+        // per-target pred-class bound lbc[] below for a node precheck
+        // that knows *which* class the cheap predecessors live in.
+        std::array<double, kWideMax + 1> minCostC;
+        minCostC.fill(std::numeric_limits<double>::infinity());
+        for (const std::uint32_t p : alive) {
+            double &m = minCostC[pclass[p]];
+            m = std::min(m, cost[p]);
+        }
 
         std::fill(evaluated.begin(), evaluated.end(), 0);
         pool.parallelFor(0, states, grain, [&](std::size_t s_begin,
                                                std::size_t s_end) {
             std::uint64_t &count = evaluated[s_begin / grain];
             std::array<const double *, kWideMax> rows;
-            std::array<double, kWideMax> rmins;
+            std::array<double, kWideMax + 1> lbc;
+            std::array<double, 2976> P; // level-pair sums, H = 16 max
 
             for (std::size_t s = s_begin; s < s_end; ++s) {
                 const auto sv = static_cast<std::uint32_t>(s);
@@ -1119,91 +1295,160 @@ OptimalPartitioner::partitionAStar(std::size_t levels) const
                     const unsigned sb = (sv >> h) & 1u;
                     const unsigned b = dpAbove(sv, h);
                     rows[h] = iterm.rowAt(h, sb, b);
-                    rmins[h] = rowmin[(h * 2 + sb) * (levels + 1) + b];
                 }
-                // Per-target lower bound on any transition into s,
-                // accumulated in the same level-ascending order as
-                // the real transition sums (monotone rounding makes
-                // lb <= trans(p, s) exact in float, as in the sparse
-                // engine).
-                double lb = 0.0;
-                for (std::size_t h = 0; h < levels; ++h)
-                    lb += rmins[h];
 
-                const auto pc_s = static_cast<std::size_t>(
-                    std::popcount(sv));
-                const std::vector<std::uint32_t> &ord = orderC[pc_s];
-                const double *keyc = &keyC[pc_s * states];
+                const std::size_t pc_s = classOf(sv);
 
-                // Node precheck: if even the best conceivable
-                // relaxation — cheapest live class key (or cheapest
-                // live cost plus the per-target bound) plus this
-                // node's intra and suffix bound — cannot reach the
-                // incumbent, prune the node without scanning anything.
-                // Every chain is single additions dominated
-                // addend-wise by the real relaxation, so the
-                // comparisons are safe.
-                if ((min_keyC[pc_s] + intra_l[s]) + suffix_l[s] > ub ||
-                    (min_alive_cost + lb + intra_l[s]) + suffix_l[s] >
-                        ub) {
+                // Cheap node precheck first: if even the cheapest
+                // live class key plus this node's intra and suffix
+                // bound cannot reach the incumbent, prune the node
+                // without touching its rows at all.
+                if ((min_keyC[pc_s] + intra_l[s]) + suffix_l[s] > ub) {
                     next[s] = std::numeric_limits<double>::infinity();
                     parent_l[s] = 0;
                     dead[s] = 1;
                     continue;
                 }
 
+                // The target-side mirror of keyC: a count DP over the
+                // *predecessor's* mp bits through this target's exact
+                // rows — lbc[c] lower-bounds trans(p, s) for every
+                // predecessor p with popcount c. Same float-exactness
+                // argument as keyC (level-ascending sums of real
+                // addends with min-propagation), and strictly tighter
+                // than the old per-row minima, which let every level
+                // pick its column independently.
+                lbc[0] = 0.0;
+                for (std::size_t h = 0; h < levels; ++h) {
+                    const double *r = rows[h];
+                    const double *r1 = r + (levels + 1);
+                    lbc[h + 1] = lbc[h] + r1[0];
+                    for (std::size_t c = h; c > 0; --c)
+                        lbc[c] = std::min(lbc[c] + r[h - c],
+                                          lbc[c - 1] + r1[h - c + 1]);
+                    lbc[0] += r[h];
+                }
+
+                // Second precheck: the cheapest live g *within each
+                // predecessor class*, plus that class's transition
+                // bound, keyed to this node. Each chain is single
+                // additions dominated addend-wise by a real
+                // relaxation, so the comparison is safe.
+                double pre = std::numeric_limits<double>::infinity();
+                for (std::size_t c = 0; c <= levels; ++c)
+                    pre = std::min(pre, minCostC[c] + lbc[c]);
+                if ((pre + intra_l[s]) + suffix_l[s] > ub) {
+                    next[s] = std::numeric_limits<double>::infinity();
+                    parent_l[s] = 0;
+                    dead[s] = 1;
+                    continue;
+                }
+
+                const double *okey = &ordKey[pc_s * na];
+                const double *ocost = &ordCost[pc_s * na];
+                const std::uint32_t *op = &ordP[pc_s * na];
+                const std::uint16_t *oc2 = &ordC2[pc_s * na * c2stride];
+
+                // Incumbent break, hoisted out of the loop: the packed
+                // keys ascend, so the first candidate whose bound
+                // chain overshoots ub is a fixed prefix boundary —
+                // binary-search it with the *same* float expression
+                // the per-candidate break used. Cutting the scan there
+                // may leave this node's cost above its dense value,
+                // but never for a node on an optimal path (whose dense
+                // argmin predecessor chain stays <= ub and therefore
+                // sits inside the prefix).
+                std::size_t blo = 0, bhi = navailC[pc_s];
+                while (blo < bhi) {
+                    const std::size_t mid = blo + (bhi - blo) / 2;
+                    if ((okey[mid] + intra_l[s]) + suffix_l[s] > ub)
+                        bhi = mid;
+                    else
+                        blo = mid + 1;
+                }
+                const std::size_t kmax = blo;
+
+                // Level-pair screen table: every admissible two-level
+                // partial sum fl(rows[2j][colA] + rows[2j+1][colB]),
+                // built once per node (~3k adds) when the scan prefix
+                // is long enough to amortize it, then hit `pairs`
+                // times per candidate instead of `levels`.
+                const bool use_pairs = kmax >= kPairScreenMin;
+                if (use_pairs) {
+                    for (std::size_t j = 0; j < pairs; ++j) {
+                        const double *rowA = rows[2 * j];
+                        const double *rowB = rows[2 * j + 1];
+                        const std::uint16_t *ctA =
+                            &colTab[(2 * j) * 2 * (levels + 1)];
+                        const std::uint16_t *ctB =
+                            &colTab[(2 * j + 1) * 2 * (levels + 1)];
+                        const std::size_t wa = 2 * (2 * j + 1);
+                        const std::size_t wb = pair_wb[j];
+                        double *dst = &P[pair_off[j]];
+                        for (std::size_t ra = 0; ra < wa; ++ra) {
+                            const double va = rowA[ctA[ra]];
+                            for (std::size_t rb = 0; rb < wb; ++rb)
+                                dst[ra * wb + rb] = va + rowB[ctB[rb]];
+                        }
+                    }
+                }
+                const double *tail_row =
+                    odd_levels ? rows[levels - 1] : nullptr;
+
                 double best = std::numeric_limits<double>::infinity();
                 std::uint32_t best_prev = 0;
-                for (std::size_t k = 0; k < ord.size(); ++k) {
-                    const std::uint32_t p = ord[k];
-                    const double base = keyc[p];
-                    if (base > best)
+                for (std::size_t k = 0; k < kmax; ++k) {
+                    if (okey[k] > best)
                         break; // every later p bounds at least as high
-                    // Incumbent break: the class key grows along the
-                    // scan, so once even the bound chain overshoots
-                    // ub, no remaining predecessor can sit on a path
-                    // that beats or ties the incumbent — cutting them
-                    // may leave this node's cost above its dense
-                    // value, but never for a node on an optimal path
-                    // (whose dense argmin predecessor chain stays
-                    // <= ub and is therefore reached before this
-                    // break fires).
-                    if ((base + intra_l[s]) + suffix_l[s] > ub)
-                        break;
-                    // Per-target screen: lbIn can reject p where the
-                    // class key (which relaxed the target's exact
-                    // dpAbove counts) cannot.
-                    if (cost[p] + lb > best)
+                    // Fast screen: re-associate the same non-negative
+                    // addends (two-level pair sums when the table is
+                    // built, four independent accumulators otherwise).
+                    // The re-associated value differs from the
+                    // canonical ascending-order sum by < 2H * 2^-53
+                    // relative, so deflating it by kScreenSlack makes
+                    // `cost + t_deflated > best` a proof the candidate
+                    // loses; only the few candidates near the
+                    // incumbent re-run the exact level-ascending sum
+                    // that bit-identity requires.
+                    double tfast;
+                    if (use_pairs) {
+                        const std::uint16_t *code = &oc2[k * c2stride];
+                        double t0 = 0.0, t1 = 0.0;
+                        std::size_t j = 0;
+                        for (; j + 2 <= pairs; j += 2) {
+                            t0 += P[pair_off[j] + code[j]];
+                            t1 += P[pair_off[j + 1] + code[j + 1]];
+                        }
+                        if (j < pairs)
+                            t0 += P[pair_off[j] + code[j]];
+                        if (tail_row)
+                            t1 += tail_row[code[pairs]];
+                        tfast = t0 + t1;
+                    } else {
+                        const std::uint16_t *pc =
+                            &pcol[std::size_t{op[k]} * levels];
+                        double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+                        std::size_t h = 0;
+                        for (; h + 4 <= levels; h += 4) {
+                            t0 += rows[h][pc[h]];
+                            t1 += rows[h + 1][pc[h + 1]];
+                            t2 += rows[h + 2][pc[h + 2]];
+                            t3 += rows[h + 3][pc[h + 3]];
+                        }
+                        for (; h < levels; ++h)
+                            t0 += rows[h][pc[h]];
+                        tfast = (t0 + t1) + (t2 + t3);
+                    }
+                    ++count;
+                    if (ocost[k] + tfast * kScreenSlack > best)
                         continue;
-                    // Fast screen: sum the same addends with four
-                    // independent accumulators (breaks the add
-                    // latency chain). The re-associated value tfast
-                    // differs from the canonical ascending-order sum
-                    // by < H * 2^-53 relative, so deflating it by
-                    // kScreenSlack makes `cost + tfast_deflated >
-                    // best` a proof the candidate loses; only the few
-                    // candidates near the incumbent re-run the exact
-                    // level-ascending sum that bit-identity requires.
+                    const std::uint32_t p = op[k];
                     const std::uint16_t *pc =
                         &pcol[std::size_t{p} * levels];
-                    double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
-                    std::size_t h = 0;
-                    for (; h + 4 <= levels; h += 4) {
-                        t0 += rows[h][pc[h]];
-                        t1 += rows[h + 1][pc[h + 1]];
-                        t2 += rows[h + 2][pc[h + 2]];
-                        t3 += rows[h + 3][pc[h + 3]];
-                    }
-                    for (; h < levels; ++h)
-                        t0 += rows[h][pc[h]];
-                    ++count;
-                    const double tfast = (t0 + t1) + (t2 + t3);
-                    if (cost[p] + tfast * kScreenSlack > best)
-                        continue;
                     double t = 0.0;
                     for (std::size_t hh = 0; hh < levels; ++hh)
                         t += rows[hh][pc[hh]];
-                    const double c = cost[p] + t;
+                    const double c = ocost[k] + t;
                     if (better(c, p, best, best_prev)) {
                         best = c;
                         best_prev = p;

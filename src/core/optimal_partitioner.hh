@@ -249,6 +249,17 @@ class OptimalPartitioner
     double interCost(std::size_t layer, std::uint32_t v_l,
                      std::uint32_t v_next, std::size_t levels) const;
 
+    /**
+     * The admissible per-(layer, state) completion bound h[l][s] the
+     * beam and A* engines prune with: a lower bound (in the DP's own
+     * float semantics, minus the re-association drift kBoundSlack
+     * absorbs) on the cost of layers after l given layer l in level
+     * vector s, flat [l * 2^H + s]. Exposed so external enumerations
+     * — bruteForceHierarchical's Gray walk — can prune against the
+     * same certificate the engines use. Fatal for levels > 16.
+     */
+    std::vector<double> suffixTable(std::size_t levels) const;
+
   private:
     HierarchicalResult partitionDense(std::size_t levels) const;
     HierarchicalResult partitionSparse(std::size_t levels) const;

@@ -70,6 +70,14 @@ class Topology
     virtual std::size_t numLinks() const = 0;
 
     /**
+     * Whether per-link fault entries are meaningful on this topology.
+     * When false, callers must reject FaultMap link entries up front
+     * (sim::Evaluator does) rather than planning around entries the
+     * model silently ignores; samplers draw node faults only.
+     */
+    virtual bool supportsLinkFaults() const { return true; }
+
+    /**
      * Derate/disable links: scales[id] in [0, 1] is link id's surviving
      * bandwidth fraction (0 = dead). Must cover every link
      * (scales.size() == numLinks()); fatal otherwise. Recomputes the

@@ -113,6 +113,15 @@ class MeshTopology : public TorusTopology
     MeshTopology(std::size_t levels, const TopologyConfig &config)
         : TorusTopology(levels, config, /*wraparound=*/false)
     {}
+
+    /**
+     * The mesh inherits the torus link id space, in which the wrap
+     * links (x = W-1 / y = H-1) exist but carry no mesh traffic, so a
+     * per-link fault map is partially meaningless — an entry naming a
+     * wrap link would be accepted and silently change nothing. Reject
+     * link entries up front instead of planning around them.
+     */
+    bool supportsLinkFaults() const override { return false; }
 };
 
 } // namespace hypar::noc

@@ -34,6 +34,7 @@ struct Request
     std::string strategy = "hypar";
     std::string engine = "auto";
     std::size_t beamWidth = 0;
+    std::size_t widthHint = 0;
     bool overlap = false;
     arch::FaultMap faults;
     std::vector<std::string> planBits;
@@ -116,6 +117,8 @@ parseRequest(const std::string &line)
         req.engine = v->asString();
     if (const JsonValue *v = root.find("beam_width"))
         req.beamWidth = asSize(*v, "beam_width");
+    if (const JsonValue *v = root.find("width_hint"))
+        req.widthHint = asSize(*v, "width_hint");
     if (const JsonValue *v = root.find("overlap"))
         req.overlap = v->asBool();
     if (const JsonValue *v = root.find("faults")) {
@@ -185,6 +188,13 @@ buildSearch(const Request &req)
     core::SearchOptions search;
     search.engine = core::searchEngineFromName(req.engine);
     search.beamWidth = req.beamWidth;
+    // Warm start: a client that threads a prior response's
+    // `width_used` back skips the adaptive beam's width-doubling ramp
+    // straight to the measured plateau. Exactness is unaffected — the
+    // adaptive loop still certifies (and keeps growing) from
+    // whatever width it starts at — so the plan and cost stay
+    // bit-identical with or without the hint.
+    search.beamWidthStart = req.widthHint;
     return search;
 }
 
@@ -314,7 +324,8 @@ requestFieldKnown(const std::string &key)
 Server::Server(const ServeOptions &options)
     : cache_(options.cacheDir.empty() ? PlanCache::defaultDir()
                                       : options.cacheDir,
-             !options.noCache)
+             !options.noCache),
+      sessions_(options.maxSessions)
 {}
 
 bool

@@ -62,6 +62,8 @@ inline constexpr const char *kRequestFields[] = {
     "strategy",  // hypar | dp | mp | owt | optimal (default hypar)
     "engine",    // optimal: auto | dense | sparse | beam | astar
     "beam_width", // optimal: beam width (0 = adaptive)
+    "width_hint", // optimal: warm-start width for the adaptive beam
+                  //          (thread a prior result's width_used back)
     "overlap",   // overlap gradient reductions (default false)
     "faults",    // {"nodes": [[id, scale]...], "links": [[id, scale]...]}
     "plan",      // evaluate: explicit plan, one bit string per level
@@ -74,6 +76,10 @@ struct ServeOptions
 {
     std::filesystem::path cacheDir; //!< empty = PlanCache::defaultDir()
     bool noCache = false;           //!< bypass reads AND writes
+    /** Warm-session LRU capacity (`--max-sessions`, >= 1): size this
+     *  to the serving mix so distinct contexts don't thrash warm
+     *  Evaluators. */
+    std::size_t maxSessions = SessionRegistry::kDefaultCapacity;
 };
 
 /** Serving counters reported by the `stats` op. */

@@ -32,6 +32,23 @@ makeFaultedTopology(const SimConfig &config)
 {
     auto topo = makeTopology(config.topology, config.levels, config.noc);
     if (!config.faults.empty()) {
+        if (!config.faults.links.empty() &&
+            !topo->supportsLinkFaults()) {
+            // Reject instead of planning around entries the topology
+            // silently ignores; point at the source line when the map
+            // came from a file (fault_map.cc's error convention).
+            const arch::FaultEntry &first = config.faults.links.front();
+            const std::string where =
+                first.line > 0
+                    ? "fault map line " + std::to_string(first.line)
+                    : "fault map";
+            util::fatal(where + ": link entry (id " +
+                        std::to_string(first.id) + ") against " +
+                        topo->name() +
+                        ", which has no link-level fault model — "
+                        "remove the link entries or use a topology "
+                        "that supports them");
+        }
         arch::validateFaultMap(config.faults, topo->numNodes(),
                                topo->numLinks());
         if (!config.faults.links.empty())

@@ -20,7 +20,11 @@ robustPlan(const dnn::Network &network, const SimConfig &config,
     pristine.faults = arch::FaultMap{};
     Evaluator base(network, pristine);
     const std::size_t num_nodes = base.topology().numNodes();
-    const std::size_t num_links = base.topology().numLinks();
+    // Topologies without a link-level fault model (mesh) sample node
+    // faults only; link entries would be rejected downstream.
+    const std::size_t num_links = base.topology().supportsLinkFaults()
+                                      ? base.topology().numLinks()
+                                      : 0;
 
     RobustResult result;
     result.sampleMaps.reserve(options.samples);

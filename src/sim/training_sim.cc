@@ -471,21 +471,6 @@ TrainingSimulator::sweepNeighborhood(
 
     const std::uint64_t num_masks = std::uint64_t{1} << num_layers;
 
-    // Tracing needs the real task list, so it falls back to one full
-    // simulate() per mask — same results, just slower. Async gradient
-    // overlap no longer forces the fallback: the replay below carries
-    // the two tapes (serial + network) through the same variant
-    // tables.
-    if (options_.recordTrace) {
-        core::HierarchicalPlan plan = base;
-        for (std::uint64_t mask = 0; mask < num_masks; ++mask) {
-            plan.levels[level] =
-                core::levelPlanFromMask(mask, num_layers);
-            visit(mask, simulate(plan));
-        }
-        return;
-    }
-
     // ---- precompute ---------------------------------------------------
     //
     // Flipping layer l's choice at the swept level changes only values
@@ -651,6 +636,53 @@ TrainingSimulator::sweepNeighborhood(
         }
     }
 
+    // ---- trace labels -------------------------------------------------
+    //
+    // A task's label is a function of its slot alone — tag, layer name,
+    // hierarchy level — never of the swept mask, so one string per slot
+    // serves every visited plan and the trace can be emitted straight
+    // from the variant tables (this was the last remaining per-mask
+    // simulate() fallback). Built only under recordTrace; the hot
+    // non-trace sweep stays allocation-free.
+    const bool tracing = options_.recordTrace;
+    std::vector<std::string> comp_label, psum_label, gradx_label,
+        featx_label, errx_label;
+    if (tracing) {
+        comp_label.resize(num_layers * 3);
+        psum_label.resize(num_layers * levels);
+        gradx_label.resize(num_layers * levels);
+        featx_label.resize(transitions * levels);
+        errx_label.resize(transitions * levels);
+        for (std::size_t l = 0; l < num_layers; ++l) {
+            const std::string &name = net.layer(l).name;
+            comp_label[3 * l + kFwd] = "fwd:" + name;
+            comp_label[3 * l + kBwd] = "bwd:" + name;
+            comp_label[3 * l + kGrad] = "grad:" + name;
+            for (std::size_t h = 0; h < levels; ++h) {
+                const std::string at = "@H" + std::to_string(h + 1);
+                psum_label[l * levels + h] = "psum:" + name + at;
+                gradx_label[l * levels + h] = "gradx:" + name + at;
+            }
+        }
+        for (std::size_t l = 0; l + 1 < num_layers; ++l) {
+            for (std::size_t h = 0; h < levels; ++h) {
+                const std::string at = "@H" + std::to_string(h + 1);
+                // featx of transition l -> l+1 is emitted while walking
+                // layer l forward; errx while walking layer l+1
+                // backward — each labeled with the emitting layer.
+                featx_label[l * levels + h] =
+                    "featx:" + net.layer(l).name + at;
+                errx_label[l * levels + h] =
+                    "errx:" + net.layer(l + 1).name + at;
+            }
+        }
+    }
+    // nullptr when not tracing, so the replay below can branch once.
+    auto slot_label = [&](const std::vector<std::string> &labels,
+                          std::size_t slot) {
+        return tracing ? &labels[slot] : nullptr;
+    };
+
     // ---- per-mask replay ----------------------------------------------
     //
     // One walk over the task slots in buildTasks' emission order (which
@@ -671,6 +703,8 @@ TrainingSimulator::sweepNeighborhood(
         StepMetrics m;
         double serial = 0.0;
         double network = 0.0;
+        if (tracing)
+            trace_.clear();
         const auto bit = [&](std::size_t l) {
             return static_cast<int>((mask >> l) & 1);
         };
@@ -682,12 +716,18 @@ TrainingSimulator::sweepNeighborhood(
             m.energy.computeJ += c.computeJ;
             m.energy.sramJ += c.sramJ;
             m.energy.dramJ += c.dramJ;
+            const double start = serial;
             serial += c.seconds;
             m.computeBusySeconds += c.seconds;
             phase_acc += c.seconds;
+            if (tracing)
+                trace_.push_back(TraceEntry{
+                    start, serial,
+                    comp_label[3 * l + static_cast<std::size_t>(phase)]});
         };
         auto tally_exchange = [&](const ExchangeContrib &c,
-                                  double &phase_acc) {
+                                  double &phase_acc,
+                                  const std::string *label) {
             if (!c.present)
                 return;
             m.commBytes += c.globalBytes;
@@ -698,22 +738,29 @@ TrainingSimulator::sweepNeighborhood(
             // async tasks sit in the final phase), so the max is the
             // identity and the sum stays bit-identical to the
             // non-overlap serial chain.
-            serial = std::max(serial, network) + c.seconds;
+            const double start = std::max(serial, network);
+            serial = start + c.seconds;
             network = serial;
             m.networkBusySeconds += c.seconds;
             phase_acc += c.seconds;
+            if (label != nullptr)
+                trace_.push_back(TraceEntry{start, serial, *label});
         };
         // Overlapped gradient reduction: network-tape task.
         auto tally_async_exchange = [&](const ExchangeContrib &c,
-                                        double &phase_acc) {
+                                        double &phase_acc,
+                                        const std::string *label) {
             if (!c.present)
                 return;
             m.commBytes += c.globalBytes;
             m.energy.commJ += c.commJ;
             m.energy.computeJ += c.addJ;
-            network = std::max(network, serial) + c.seconds;
+            const double start = std::max(network, serial);
+            network = start + c.seconds;
             m.networkBusySeconds += c.seconds;
             phase_acc += c.seconds;
+            if (label != nullptr)
+                trace_.push_back(TraceEntry{start, network, *label});
         };
 
         // forward
@@ -722,13 +769,16 @@ TrainingSimulator::sweepNeighborhood(
             for (std::size_t h = 0; h < levels; ++h) {
                 if (choice(h, l, bit(l)) == core::Parallelism::kModel)
                     tally_exchange(psum[(l * levels + h) * 2 + bit(l)],
-                                   m.phases.forward);
+                                   m.phases.forward,
+                                   slot_label(psum_label,
+                                              l * levels + h));
                 if (l + 1 < num_layers)
                     tally_exchange(
                         featx[(l * levels + h) * 4 +
                               static_cast<std::size_t>(
                                   2 * bit(l) + bit(l + 1))],
-                        m.phases.forward);
+                        m.phases.forward,
+                        slot_label(featx_label, l * levels + h));
             }
         }
         // error backward
@@ -739,7 +789,8 @@ TrainingSimulator::sweepNeighborhood(
                     errx[((l - 1) * levels + h) * 4 +
                          static_cast<std::size_t>(
                              2 * bit(l - 1) + bit(l))],
-                    m.phases.backward);
+                    m.phases.backward,
+                    slot_label(errx_label, (l - 1) * levels + h));
         }
         // gradient
         for (std::size_t l = 0; l < num_layers; ++l) {
@@ -748,10 +799,13 @@ TrainingSimulator::sweepNeighborhood(
                 if (choice(h, l, bit(l)) == core::Parallelism::kData) {
                     const ExchangeContrib &c =
                         gradx[(l * levels + h) * 2 + bit(l)];
+                    const std::string *label =
+                        slot_label(gradx_label, l * levels + h);
                     if (overlap)
-                        tally_async_exchange(c, m.phases.gradient);
+                        tally_async_exchange(c, m.phases.gradient,
+                                             label);
                     else
-                        tally_exchange(c, m.phases.gradient);
+                        tally_exchange(c, m.phases.gradient, label);
                 }
             }
         }

@@ -172,8 +172,12 @@ class TrainingSimulator
      * queue's exact resource algebra (async reductions start at
      * max(network, serial), synchronous exchanges join the tapes), so
      * the async schedule is swept incrementally too — still
-     * bit-identical to per-mask simulate(). Only recordTrace forces
-     * the per-mask fallback (the trace needs the real task list).
+     * bit-identical to per-mask simulate(). Under recordTrace the
+     * replay also emits the per-task trace from the variant tables
+     * (labels are slot functions, start/end come from the tapes), so
+     * lastTrace() after each visit — and after the sweep — matches a
+     * direct simulate() of that mask's plan exactly; no path falls
+     * back to per-mask simulation anymore.
      * Fatal when `level` is out of range or the network has more than
      * 24 weighted layers (2^L enumeration).
      */

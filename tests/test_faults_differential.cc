@@ -20,6 +20,7 @@
 #include <array>
 #include <cmath>
 #include <random>
+#include <sstream>
 
 #include "arch/fault_map.hh"
 #include "core/brute_force.hh"
@@ -138,12 +139,14 @@ TEST(FaultsDifferential, AllOnesFaultMapIsBitIdenticalEndToEnd)
         pristine.topology = kind;
         sim::SimConfig mapped = pristine;
         mapped.faults = ones;
-        // All links listed healthy too.
-        const std::size_t links =
-            sim::makeTopology(kind, pristine.levels, pristine.noc)
-                ->numLinks();
-        for (std::size_t l = 0; l < links; ++l)
-            mapped.faults.links.push_back({l, 1.0});
+        // All links listed healthy too — except on the mesh, which
+        // has no link-level fault model and rejects link entries
+        // outright (MeshRejectsLinkFaultEntries below).
+        const auto topo =
+            sim::makeTopology(kind, pristine.levels, pristine.noc);
+        if (topo->supportsLinkFaults())
+            for (std::size_t l = 0; l < topo->numLinks(); ++l)
+                mapped.faults.links.push_back({l, 1.0});
 
         const sim::Evaluator a(net, pristine);
         const sim::Evaluator b(net, mapped);
@@ -280,6 +283,56 @@ TEST(FaultsDifferential, DeadLinkOnLoadedRouteIsRejected)
     const sim::Evaluator ev(net, slow);
     EXPECT_DOUBLE_EQ(ev.topology().levelPenalty(0), 2.0);
     EXPECT_DOUBLE_EQ(ev.topology().levelPenalty(1), 1.0);
+}
+
+TEST(FaultsDifferential, MeshRejectsLinkFaultEntries)
+{
+    // The mesh inherits the torus link id space, where the wrap links
+    // exist but carry no traffic — a per-link map against it is
+    // partially meaningless, so link entries are rejected up front
+    // with the source line when the map came from a file.
+    const dnn::Network net = dnn::makeLenetC();
+    std::istringstream text("# degraded array\n"
+                            "node 3 0.5\n"
+                            "link 7 0.0\n");
+    sim::SimConfig mesh;
+    mesh.topology = sim::TopologyKind::kMesh;
+    mesh.faults = arch::parseFaultMap(text);
+    try {
+        sim::Evaluator ev(net, mesh);
+        FAIL() << "mesh link fault entry should be fatal";
+    } catch (const util::FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("fault map line 3"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("Mesh"), std::string::npos) << what;
+    }
+
+    // Programmatic maps (no source line) are rejected too, with the
+    // plain prefix.
+    sim::SimConfig prog = mesh;
+    prog.faults = arch::FaultMap{};
+    prog.faults.links = {{0, 0.5}};
+    EXPECT_THROW(sim::Evaluator(net, prog), util::FatalError);
+
+    // Node-only maps stay valid on the mesh, and the samplers draw
+    // node faults only for it — end to end, robust planning on a mesh
+    // cannot trip the rejection.
+    sim::SimConfig nodes_only = mesh;
+    nodes_only.faults = arch::FaultMap{};
+    nodes_only.faults.nodes = {{1, 0.0}};
+    const sim::Evaluator ok(net, nodes_only);
+    EXPECT_GT(ok.evaluate(ok.plan(core::Strategy::kHypar)).stepSeconds,
+              0.0);
+
+    sim::SimConfig clean_mesh;
+    clean_mesh.topology = sim::TopologyKind::kMesh;
+    sim::RobustOptions ropts;
+    ropts.rate = 0.5;
+    ropts.samples = 3;
+    const auto robust = sim::robustPlan(net, clean_mesh, ropts);
+    for (const auto &m : robust.sampleMaps)
+        EXPECT_TRUE(m.links.empty());
 }
 
 TEST(FaultsDifferential, EvaluatorBatchCarriesTheComputeDerating)

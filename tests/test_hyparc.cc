@@ -621,10 +621,24 @@ TEST(HyparcArgs, ParsesServeFlags)
 
     const auto evict = parseArgs({"serve", "--evict"});
     EXPECT_TRUE(evict.evict);
-    // Defaults: cache on, default directory.
+    // Defaults: cache on, default directory, registry-default capacity.
     const auto defaults = parseArgs({"serve"});
     EXPECT_FALSE(defaults.noCache);
     EXPECT_TRUE(defaults.cacheDir.empty());
+    EXPECT_EQ(defaults.maxSessions, 0u);
+
+    const auto sized = parseArgs({"serve", "--max-sessions", "3"});
+    EXPECT_EQ(sized.maxSessions, 3u);
+    // Validated >= 1: a zero capacity would make every request
+    // rebuild its Evaluator (and the registry rejects it anyway).
+    try {
+        parseArgs({"serve", "--max-sessions", "0"});
+        FAIL() << "--max-sessions 0 should be fatal";
+    } catch (const util::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("--max-sessions"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(HyparcCommands, ServeAnswersRequestsFromAStream)

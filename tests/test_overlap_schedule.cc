@@ -213,9 +213,51 @@ TEST(OverlapSchedule, NetworkTapeCarriesExactlyTheGradientReductions)
               rig.simulator.simulate(plan).stepSeconds);
 }
 
-// The recordTrace fallback of sweepNeighborhood: each visited mask is
-// a real simulate(), so lastTrace() afterwards holds the final mask's
-// trace — identical to tracing the substituted plan directly.
+// Tracing sweeps replay the variant tables too (the fallback to
+// per-mask simulate() is gone): for every mask, the metrics AND the
+// full per-task trace — start, end, label — must equal a direct
+// simulate() of the substituted plan, in both overlap modes.
+TEST(OverlapSchedule, SweepRecordTraceMatchesPerMaskSimulate)
+{
+    for (const bool overlap : {false, true}) {
+        SimOptions opts;
+        opts.overlapGradComm = overlap;
+        opts.recordTrace = true;
+        Rig rig(threeLayerNet(), 2, opts);
+        Rig oracle(threeLayerNet(), 2, opts);
+        const auto base = core::makeDataParallelPlan(rig.net, 2);
+
+        for (std::size_t level = 0; level < 2; ++level) {
+            std::uint64_t visited = 0;
+            rig.simulator.sweepNeighborhood(
+                base, level,
+                [&](std::uint64_t mask, const sim::StepMetrics &m) {
+                    EXPECT_EQ(mask, visited++);
+                    HierarchicalPlan plan = base;
+                    plan.levels[level] =
+                        core::levelPlanFromMask(mask, rig.net.size());
+                    const auto ref = oracle.simulator.simulate(plan);
+                    EXPECT_EQ(m.stepSeconds, ref.stepSeconds);
+                    EXPECT_EQ(m.commBytes, ref.commBytes);
+
+                    const auto &got = rig.simulator.lastTrace();
+                    const auto &want = oracle.simulator.lastTrace();
+                    ASSERT_EQ(got.size(), want.size())
+                        << "overlap " << overlap << " level " << level
+                        << " mask " << mask;
+                    for (std::size_t i = 0; i < want.size(); ++i) {
+                        EXPECT_EQ(got[i].start, want[i].start) << i;
+                        EXPECT_EQ(got[i].end, want[i].end) << i;
+                        EXPECT_EQ(got[i].label, want[i].label) << i;
+                    }
+                });
+            EXPECT_EQ(visited, std::uint64_t{1} << rig.net.size());
+        }
+    }
+}
+
+// After a tracing sweep, lastTrace() holds the final mask's trace —
+// identical to tracing the substituted plan directly.
 TEST(OverlapSchedule, SweepRecordTraceKeepsLastMaskTrace)
 {
     SimOptions opts;

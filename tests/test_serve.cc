@@ -479,6 +479,7 @@ struct PlanResponse
     std::vector<std::string> planBits;
     double commBytes = 0.0;
     std::uint64_t transitions = 0;
+    std::uint64_t widthUsed = 0;
     bool certified = false;
 
     static PlanResponse parse(const std::string &line)
@@ -494,6 +495,8 @@ struct PlanResponse
         r.transitions = static_cast<std::uint64_t>(
             search->find("transitions_evaluated")->asNumber());
         r.certified = search->find("certified_exact")->asBool();
+        r.widthUsed = static_cast<std::uint64_t>(
+            search->find("width_used")->asNumber());
         return r;
     }
 };
@@ -539,6 +542,62 @@ TEST(Server, WarmCachePlanIsBitIdenticalToColdSearchAcrossEngines)
             EXPECT_EQ(first.commBytes, reference->commBytes) << engine;
         }
     }
+}
+
+TEST(Server, MaxSessionsSizesTheWarmRegistry)
+{
+    // --max-sessions threads through ServeOptions to the session LRU:
+    // capacity 2 keeps two warm contexts and evicts on the third.
+    serve::ServeOptions opts;
+    opts.noCache = true;
+    opts.maxSessions = 2;
+    serve::Server server(opts);
+    EXPECT_EQ(server.sessions().capacity(), 2u);
+
+    const auto req = [](const char *model) {
+        return std::string(R"({"op":"evaluate","model":")") + model +
+               R"(","strategy":"dp","levels":2})";
+    };
+    runBatch(server, {req("Lenet-c")});
+    runBatch(server, {req("SFC")});
+    EXPECT_EQ(server.sessions().size(), 2u);
+    runBatch(server, {req("VGG-A")});
+    EXPECT_EQ(server.sessions().size(), 2u); // LRU evicted, not grown
+    EXPECT_EQ(server.sessions().built(), 3u);
+}
+
+TEST(Server, WidthHintWarmStartsTheAdaptiveBeamBitIdentically)
+{
+    // Cold adaptive beam: width-doubling ramp until the drop
+    // certificate holds. Threading the measured plateau back as
+    // width_hint must skip the ramp (strictly fewer transitions, same
+    // final width) and return the bit-identical plan and cost.
+    serve::ServeOptions opts;
+    opts.noCache = true; // force a real search on every request
+    serve::Server server(opts);
+
+    const std::string cold_req =
+        R"({"op":"plan","model":"VGG-E","strategy":"optimal",)"
+        R"("engine":"beam","levels":8})";
+    const PlanResponse cold =
+        PlanResponse::parse(runBatch(server, {cold_req}).at(0));
+    EXPECT_TRUE(cold.certified);
+    EXPECT_GT(cold.widthUsed, 0u);
+
+    const std::string warm_req =
+        R"({"op":"plan","model":"VGG-E","strategy":"optimal",)"
+        R"("engine":"beam","levels":8,"width_hint":)" +
+        std::to_string(cold.widthUsed) + "}";
+    const PlanResponse warm =
+        PlanResponse::parse(runBatch(server, {warm_req}).at(0));
+    EXPECT_TRUE(warm.certified);
+    EXPECT_EQ(warm.planBits, cold.planBits);
+    EXPECT_EQ(warm.commBytes, cold.commBytes); // exact doubles
+    EXPECT_EQ(warm.widthUsed, cold.widthUsed);
+    // The hinted search starts at the plateau instead of ramping
+    // through every narrower pass, so it evaluates strictly fewer
+    // transitions whenever the cold ramp took more than one pass.
+    EXPECT_LE(warm.transitions, cold.transitions);
 }
 
 TEST(Server, CachedPlanEvaluatesIdenticallyAtEveryThreadCount)

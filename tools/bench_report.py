@@ -35,6 +35,11 @@ def main(argv: list[str]) -> int:
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
+        # Skipped rows (e.g. the AVX2 kernels on a host without AVX2)
+        # carry no time; leave the pair out rather than report a bogus
+        # 0x speedup.
+        if bench.get("error_occurred"):
+            continue
         times[bench["name"]] = (bench["real_time"], bench["time_unit"])
 
     rows = []

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate google-benchmark rows against recorded baselines.
+
+Reads a google-benchmark JSON file (as written by the
+`bench_partitioner_json` CMake target) and a baseline file
+(tools/bench_baseline.json) listing gated rows with their recorded
+times and failure thresholds. Exits non-zero when a gated row is
+missing, errored, or slower than its threshold — so the CI Release
+job fails on a perf regression instead of just printing a dimmer
+report.
+
+Usage:
+    tools/check_bench.py [BENCH_partitioner.json] [bench_baseline.json]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# google-benchmark time units -> seconds.
+UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def load(path: Path) -> dict:
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def main(argv: list[str]) -> int:
+    bench_path = Path(argv[1]) if len(argv) > 1 else Path(
+        "build/BENCH_partitioner.json")
+    baseline_path = Path(argv[2]) if len(argv) > 2 else Path(
+        "tools/bench_baseline.json")
+    for path in (bench_path, baseline_path):
+        if not path.exists():
+            print(f"error: {path} not found", file=sys.stderr)
+            return 1
+
+    benchmarks = load(bench_path).get("benchmarks", [])
+    gates = load(baseline_path)["gates"]
+
+    failures = []
+    for gate in gates:
+        name = gate["benchmark"]
+        # Match the registered name with or without run-config suffixes
+        # google-benchmark appends (e.g. "/iterations:1").
+        rows = [
+            b for b in benchmarks
+            if (b["name"] == name or b["name"].startswith(name + "/"))
+            and b.get("run_type") != "aggregate"
+        ]
+        if not rows:
+            failures.append(f"{name}: no row in {bench_path}")
+            continue
+        for row in rows:
+            if row.get("error_occurred"):
+                failures.append(
+                    f"{row['name']}: errored — "
+                    f"{row.get('error_message', 'unknown error')}")
+                continue
+            seconds = row["real_time"] * UNIT_SECONDS[row["time_unit"]]
+            limit = gate["max_seconds"]
+            verdict = "OK" if seconds <= limit else "REGRESSION"
+            print(f"{row['name']}: {seconds:.2f} s "
+                  f"(recorded {gate['recorded_seconds']:.2f} s, "
+                  f"limit {limit:.2f} s) {verdict}")
+            if seconds > limit:
+                failures.append(
+                    f"{row['name']}: {seconds:.2f} s exceeds the "
+                    f"{limit:.2f} s gate")
+
+    if failures:
+        print(f"\n{len(failures)} bench gate failure(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(gates)} bench gate(s) pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

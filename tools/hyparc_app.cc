@@ -624,7 +624,11 @@ cmdFaults(const Options &opts, std::ostream &os)
 
         sim::Evaluator pristine(net, cfg);
         const std::size_t num_nodes = pristine.topology().numNodes();
-        const std::size_t num_links = pristine.topology().numLinks();
+        // No link-level fault model (mesh): sample node faults only.
+        const std::size_t num_links =
+            pristine.topology().supportsLinkFaults()
+                ? pristine.topology().numLinks()
+                : 0;
         const auto base_plan = makeStrategyPlan(opts, pristine.model());
 
         std::vector<FaultRow> rows;
@@ -695,6 +699,8 @@ cmdServe(const Options &opts, std::ostream &os, std::istream &in)
     if (!opts.cacheDir.empty())
         sopts.cacheDir = opts.cacheDir;
     sopts.noCache = opts.noCache;
+    if (opts.maxSessions != 0)
+        sopts.maxSessions = opts.maxSessions;
     serve::Server server(sopts);
     if (opts.evict) {
         os << "evicted " << server.cache().evict()
@@ -751,13 +757,15 @@ usage()
            "    the expected step time over K fault maps drawn at\n"
            "    --rate R (all modes deterministic for a fixed --seed)\n"
            "  serve: [--cache-dir <dir>] [--no-cache] [--evict]\n"
+           "         [--max-sessions N]\n"
            "    long-lived planner service: newline-delimited JSON\n"
            "    requests on stdin, one JSON response line each, blank\n"
            "    line flushes an admission batch (docs/SERVING.md has\n"
            "    the schema); plan results are cached content-addressed\n"
            "    under --cache-dir (default ~/.cache/hyparc/plans);\n"
            "    --no-cache bypasses reads and writes; --evict clears\n"
-           "    the cache and exits";
+           "    the cache and exits; --max-sessions sizes the warm\n"
+           "    Evaluator LRU (>= 1, default 8) to the serving mix";
 }
 
 Options
@@ -813,6 +821,10 @@ parseArgs(const std::vector<std::string> &args)
             opts.faultSweep = true;
         } else if (arg == "--cache-dir") {
             opts.cacheDir = value(i);
+        } else if (arg == "--max-sessions") {
+            opts.maxSessions = std::stoul(value(i));
+            if (opts.maxSessions == 0)
+                util::fatal("--max-sessions must be at least 1");
         } else if (arg == "--no-cache") {
             opts.noCache = true;
         } else if (arg == "--evict") {

@@ -50,6 +50,8 @@ struct Options
     std::size_t limit = 0;    //!< sweep: sample at most N grid points
     std::size_t seed = 0;     //!< sweep/faults: deterministic seed
     std::size_t samples = 8;  //!< faults: fault maps per rate point
+    std::size_t maxSessions = 0; //!< serve: warm-session capacity
+                                 //!< (0 = registry default)
     bool faultSweep = false;  //!< faults: sweep a rate range (--sweep)
     bool overlap = false;     //!< overlap gradient reductions (async)
     bool verbose = false;     //!< extra search diagnostics (plan)
