@@ -309,6 +309,24 @@ BM_OptimalPartitionAStarVggE(benchmark::State &state)
     }
 }
 
+void
+BM_OptimalPartitionResNetBlock(benchmark::State &state)
+{
+    // The series-parallel DAG path: a residual block routed through
+    // decompose() + the per-component DP instead of the chain DP. The
+    // per-level cost tables dominate; the SP solve itself is a handful
+    // of S x S table merges.
+    const auto levels = static_cast<std::size_t>(state.range(0));
+    dnn::Network net = dnn::makeResNetBlock();
+    core::CommModel model(net, core::CommConfig{});
+    core::OptimalPartitioner partitioner(model);
+    for (auto _ : state) {
+        auto result = partitioner.partition(levels);
+        benchmark::DoNotOptimize(result.commBytes);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
 /** Shared state for the kernel-level SIMD rows: the H-deep factored
  *  expansion cascade plus the dense/beam scan inputs, filled with
  *  deterministic values. */
@@ -555,6 +573,9 @@ BENCHMARK(BM_OptimalPartitionAStar)->DenseRange(10, 14, 2);
 BENCHMARK(BM_OptimalPartitionBeamAdaptive)->DenseRange(10, 12, 2);
 // The warm-start lever next to the cold adaptive ramp above.
 BENCHMARK(BM_OptimalPartitionBeamWarmStart)->DenseRange(10, 12, 2);
+// The DAG path next to its chain siblings (same H sweep as the dense
+// rows).
+BENCHMARK(BM_OptimalPartitionResNetBlock)->DenseRange(4, 6, 2);
 // The gated headline row: one exact solve per run keeps the JSON
 // target's wall clock bounded (a solve is seconds, not micros), and
 // the row is a baseline check, not a statistics exercise.

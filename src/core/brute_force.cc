@@ -71,6 +71,10 @@ constexpr double kPruneSlack = 1e-9;
 PairwiseResult
 bruteForcePairwise(const CommModel &model, const History &hist)
 {
+    // The prefix-sum tape mirrors the chain term order; on a DAG the
+    // naive rescan (whose pairBytes is DAG-aware) is the enumerator.
+    if (!model.network().isChain())
+        return bruteForcePairwiseReference(model, hist);
     const std::size_t num_layers = model.numLayers();
     if (num_layers > 24)
         util::fatal("bruteForcePairwise: network too large to enumerate");
@@ -196,6 +200,14 @@ enumerateLevels(const CommModel &model, std::size_t levels_left,
 BruteForceResult
 bruteForceHierarchical(const CommModel &model, std::size_t levels)
 {
+    // The Gray-walk tapes are chain-shaped (one inter term per layer
+    // boundary). On a DAG network the naive enumerator is the oracle:
+    // it rescores every plan through the DAG-aware pairBytes, and its
+    // ascending-mask visit order implements the shared tie-break on
+    // the concatenated level-mask key — the same key the
+    // series-parallel DP packs (core/series_parallel.hh).
+    if (!model.network().isChain())
+        return bruteForceHierarchicalReference(model, levels);
     const std::size_t num_layers = model.numLayers();
     const std::size_t bits = num_layers * levels;
     if (bits > 26)
@@ -453,6 +465,18 @@ sweepLevelBytes(const CommModel &model, const HierarchicalPlan &base,
         if (level_plan.size() != num_layers)
             util::fatal("sweepLevelBytes: ragged plan (level layer "
                         "counts differ)");
+
+    // The incremental tapes below are chain-shaped; on a DAG network
+    // fall back to substituting each mask and rescoring through the
+    // DAG-aware planBytes — same values, no tape.
+    if (!model.network().isChain()) {
+        sweepLevelMasks(base, level,
+                        [&](std::uint64_t mask,
+                            const HierarchicalPlan &plan) {
+                            visit(mask, model.planBytes(plan));
+                        });
+        return;
+    }
 
     if (num_layers == 0) {
         // Degenerate: every mask is the empty plan.

@@ -269,6 +269,30 @@ CommModel::interBytes(std::size_t l, Parallelism prev, Parallelism cur,
 }
 
 double
+CommModel::interBytesEdge(std::size_t src, std::size_t dst,
+                          Parallelism prev, Parallelism cur,
+                          const History &hist) const
+{
+    HYPAR_ASSERT(src < dst && dst < numLayers(), "edge endpoints");
+
+    // Feature part: identical to the chain formula — it only looks at
+    // the producing layer.
+    const double f = interBytesF(src, prev, cur, hist);
+
+    // Error part: interBytesE with the consumer made explicit. Same
+    // operation shapes, so dst == src + 1 reproduces interBytesE
+    // bit-for-bit.
+    double coeff_e = 0.0;
+    if (prev == Parallelism::kData && cur == Parallelism::kModel)
+        coeff_e = 0.25;
+    else if (prev == Parallelism::kModel)
+        coeff_e = 0.5; // mp-mp and mp-dp (Table 2)
+    if (coeff_e == 0.0)
+        return f;
+    return f + coeff_e * (scaledBoundaryBytes_[src] * featScale(dst, hist));
+}
+
+double
 CommModel::intraBytesReference(std::size_t l, Parallelism p,
                                const History &hist) const
 {
@@ -317,6 +341,10 @@ CommModel::fillPairTables(const History &hist, PairTables &out) const
     const std::size_t layers = numLayers();
     if (hist.numLayers() != layers)
         util::fatal("CommModel::fillPairTables: history size mismatch");
+    if (!network_->isChain())
+        util::fatal("CommModel::fillPairTables is chain-shaped (one "
+                    "inter row per layer boundary); DAG networks route "
+                    "through the series-parallel search instead");
 
     out.intra.resize(2 * layers);
     out.inter.resize(layers > 0 ? 4 * (layers - 1) : 0);
@@ -357,10 +385,22 @@ CommModel::pairBytes(const LevelPlan &plan, const History &hist) const
         util::fatal("CommModel::pairBytes: plan size mismatch");
 
     double total = 0.0;
+    if (network_->isChain()) {
+        for (std::size_t l = 0; l < plan.size(); ++l) {
+            total += intraBytes(l, plan[l], hist);
+            if (l + 1 < plan.size())
+                total += interBytes(l, plan[l], plan[l + 1], hist);
+        }
+        return total;
+    }
+    // DAG: each layer's intra charge, then its outgoing edges ascending.
+    // On a chain this would visit the same terms in the same order as
+    // above; the explicit branch just keeps the hot chain loop free of
+    // the succs() indirection.
     for (std::size_t l = 0; l < plan.size(); ++l) {
         total += intraBytes(l, plan[l], hist);
-        if (l + 1 < plan.size())
-            total += interBytes(l, plan[l], plan[l + 1], hist);
+        for (const std::size_t w : network_->succs(l))
+            total += interBytesEdge(l, w, plan[l], plan[w], hist);
     }
     return total;
 }

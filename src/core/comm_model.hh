@@ -166,7 +166,27 @@ class CommModel
     double interBytesE(std::size_t l, Parallelism prev, Parallelism cur,
                        const History &hist) const;
 
-    /** Per-pair communication of a whole level plan. */
+    /**
+     * Inter-layer communication of an arbitrary DAG edge src -> dst:
+     * the boundary tensor is src's pooled output (for a join, each
+     * incoming edge carries its own full summand of the elementwise
+     * sum, so edges are charged independently), the feature part
+     * scales with src's upper dp splits and the error part with dst's.
+     * For dst == src + 1 this is bit-identical to interBytes — the
+     * chain transition is the degenerate edge.
+     */
+    double interBytesEdge(std::size_t src, std::size_t dst,
+                          Parallelism prev, Parallelism cur,
+                          const History &hist) const;
+
+    /**
+     * Per-pair communication of a whole level plan: every layer's
+     * intra charge plus every DAG edge's inter charge, layers
+     * ascending and each layer's outgoing edges ascending by
+     * destination. On a chain this visits exactly the old
+     * intra(0), inter(0->1), intra(1), ... sequence, so the
+     * accumulation is bit-identical.
+     */
     double pairBytes(const LevelPlan &plan, const History &hist) const;
 
     /**

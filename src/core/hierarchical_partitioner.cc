@@ -11,6 +11,10 @@ HierarchicalPartitioner::HierarchicalPartitioner(const CommModel &model)
 HierarchicalResult
 HierarchicalPartitioner::partition(std::size_t levels) const
 {
+    if (!model_->network().isChain())
+        util::fatal("the greedy hierarchical search (Algorithm 2) is "
+                    "chain-only; DAG networks are solved exactly by "
+                    "the joint search — use strategy 'optimal'");
     if (levels > 20)
         util::fatal("HierarchicalPartitioner: unreasonable level count");
 

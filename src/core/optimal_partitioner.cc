@@ -8,6 +8,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "core/series_parallel.hh"
 #include "core/simd_kernels.hh"
 #include "core/tie_break.hh"
 #include "util/logging.hh"
@@ -676,6 +677,12 @@ OptimalPartitioner::partition(std::size_t levels,
     if (engine == SearchEngine::kAuto)
         engine = levels <= kDenseMax ? SearchEngine::kDense
                                      : SearchEngine::kAStar;
+    // Non-chain networks route to the series-parallel decomposition
+    // search (core/series_parallel.hh); every engine stays exact there.
+    // Chains never enter it, so every historical chain result is
+    // produced by the exact same code as before.
+    if (!model_->network().isChain())
+        return searchSeriesParallel(*model_, levels, engine);
     switch (engine) {
     case SearchEngine::kDense:
         return partitionDense(levels);
@@ -694,6 +701,10 @@ OptimalPartitioner::partition(std::size_t levels,
 std::vector<double>
 OptimalPartitioner::suffixTable(std::size_t levels) const
 {
+    if (!model_->network().isChain())
+        util::fatal("OptimalPartitioner::suffixTable is chain-shaped "
+                    "(per-transition terms); DAG networks have no "
+                    "single successor per layer");
     if (levels > kWideMax)
         util::fatal("OptimalPartitioner: suffix bound capped at H = 16");
     const std::size_t num_layers = model_->numLayers();
@@ -1486,6 +1497,10 @@ OptimalPartitioner::partitionAStar(std::size_t levels) const
 HierarchicalResult
 OptimalPartitioner::partitionReference(std::size_t levels) const
 {
+    if (!model_->network().isChain())
+        util::fatal("OptimalPartitioner::partitionReference is "
+                    "chain-only; DAG networks are checked against the "
+                    "flat enumeration oracle (bruteForceHierarchical)");
     if (levels > kDenseMax)
         util::fatal("OptimalPartitioner: 4^H transitions explode past "
                     "H = 10");

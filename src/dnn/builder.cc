@@ -73,10 +73,31 @@ NetworkBuilder::activation(Activation act)
     return *this;
 }
 
+NetworkBuilder &
+NetworkBuilder::edge(const std::string &src, const std::string &dst)
+{
+    edges_.push_back({src, dst});
+    return *this;
+}
+
 Network
 NetworkBuilder::build() const
 {
-    return Network(name_, input_, layers_);
+    if (edges_.empty())
+        return Network(name_, input_, layers_);
+
+    auto index_of = [&](const std::string &layer_name) -> std::size_t {
+        for (std::size_t l = 0; l < layers_.size(); ++l)
+            if (layers_[l].name == layer_name)
+                return l;
+        util::fatal(name_ + ": edge references unknown layer '" +
+                    layer_name + "' (dangling edge)");
+    };
+
+    std::vector<std::vector<std::size_t>> preds(layers_.size());
+    for (const auto &[src, dst] : edges_)
+        preds[index_of(dst)].push_back(index_of(src));
+    return Network(name_, input_, layers_, std::move(preds));
 }
 
 } // namespace hypar::dnn

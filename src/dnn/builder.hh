@@ -8,6 +8,13 @@
  *       .fc("fc1", 500)
  *       .fc("fc2", 10).activation(Activation::kNone)
  *       .build();
+ *
+ * DAG wiring: edge(src, dst) declares an explicit edge by layer name.
+ * A layer that is the destination of at least one explicit edge takes
+ * *exactly* the declared edges as its predecessors (the implicit
+ * chain edge from the previous layer is dropped for it); all other
+ * layers keep the chain wiring. With no edge() calls the builder
+ * produces a plain chain, bit-identically to before.
  */
 
 #ifndef HYPAR_DNN_BUILDER_HH
@@ -40,6 +47,14 @@ class NetworkBuilder
     NetworkBuilder &maxPool(std::size_t window, std::size_t pool_stride = 0);
     NetworkBuilder &activation(Activation act);
 
+    /**
+     * Declare an explicit DAG edge from layer `src` to layer `dst` (by
+     * name). Destinations of explicit edges must list *all* their
+     * predecessors explicitly. Names are resolved at build(); an
+     * unknown name is fatal (dangling edge).
+     */
+    NetworkBuilder &edge(const std::string &src, const std::string &dst);
+
     /** Validate, run shape inference, and return the network. */
     Network build() const;
 
@@ -49,6 +64,7 @@ class NetworkBuilder
     std::string name_;
     SampleShape input_;
     std::vector<Layer> layers_;
+    std::vector<std::pair<std::string, std::string>> edges_;
 };
 
 } // namespace hypar::dnn

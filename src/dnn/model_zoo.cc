@@ -176,6 +176,42 @@ makeVggE()
     return b.build();
 }
 
+Network
+makeResNetBlock()
+{
+    // Residual block on CIFAR: conv1 projects to 16 channels, the
+    // trunk conv2a/conv2b keeps the shape, and `join` sums the trunk
+    // output with the skip edge from conv1 (both 16x32x32).
+    return NetworkBuilder("ResNet-block", kCifar)
+        .conv("conv1", 16, 3).pad(1)
+        .conv("conv2a", 16, 3).pad(1)
+        .conv("conv2b", 16, 3).pad(1)
+        .conv("join", 16, 3).pad(1)
+        .edge("conv1", "join")
+        .edge("conv2b", "join")
+        .fc("fc1", 10).activation(Activation::kNone)
+        .build();
+}
+
+Network
+makeInceptionBranch()
+{
+    // Inception-style split on MNIST: a shared stem feeds a 1x1 branch
+    // (b1) and a stacked 3x3 branch (b2a -> b2b); `merge` sums the two
+    // branch outputs (both 16x28x28).
+    return NetworkBuilder("Inception-branch", kMnist)
+        .conv("stem", 16, 3).pad(1)
+        .conv("b1", 16, 1)
+        .conv("b2a", 16, 3).pad(1)
+        .edge("stem", "b2a")
+        .conv("b2b", 16, 3).pad(1)
+        .conv("merge", 16, 3).pad(1)
+        .edge("b1", "merge")
+        .edge("b2b", "merge")
+        .fc("fc1", 10).activation(Activation::kNone)
+        .build();
+}
+
 std::vector<Network>
 allModels()
 {
@@ -223,6 +259,10 @@ modelByName(const std::string &name)
         return makeVggD();
     if (name == "VGG-E")
         return makeVggE();
+    if (name == "ResNet-block")
+        return makeResNetBlock();
+    if (name == "Inception-branch")
+        return makeInceptionBranch();
     util::fatal("unknown model '" + name + "'");
 }
 

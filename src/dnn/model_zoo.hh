@@ -33,13 +33,32 @@ Network makeVggC();
 Network makeVggD();
 Network makeVggE();
 
-/** All ten networks in the paper's presentation order. */
+/**
+ * Series-parallel DAG fixtures (not part of the paper's ten chains).
+ *
+ * ResNet-block: a CIFAR-sized residual block — conv trunk plus an
+ * identity-shaped skip edge meeting at an elementwise-sum join.
+ * Inception-branch: two parallel branches of different depth (1x1 vs
+ * stacked 3x3) off a shared stem, summed at the merge layer.
+ *
+ * Both are resolvable through modelByName but are deliberately *not*
+ * in allModels(): that list feeds chain-only consumers (the greedy
+ * hierarchical search, figure sweeps, serve benchmarks).
+ */
+Network makeResNetBlock();
+Network makeInceptionBranch();
+
+/** All ten networks in the paper's presentation order (chains only). */
 std::vector<Network> allModels();
 
 /** Names of the ten networks, in order. */
 std::vector<std::string> allModelNames();
 
-/** Look up one of the ten networks by name; fatal on unknown names. */
+/**
+ * Look up a network by name; fatal on unknown names. Resolves the ten
+ * paper chains plus the DAG fixtures "ResNet-block" and
+ * "Inception-branch".
+ */
 Network modelByName(const std::string &name);
 
 } // namespace hypar::dnn

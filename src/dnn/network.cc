@@ -1,5 +1,6 @@
 #include "dnn/network.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -61,10 +62,25 @@ inferPooledOutput(const Layer &layer, const SampleShape &raw,
     return out;
 }
 
+std::string
+shapeStr(const SampleShape &s)
+{
+    std::ostringstream os;
+    os << s.c << "x" << s.h << "x" << s.w;
+    return os.str();
+}
+
 } // namespace
 
 Network::Network(std::string name, SampleShape input,
                  std::vector<Layer> layers)
+    : Network(std::move(name), input, std::move(layers), {})
+{
+}
+
+Network::Network(std::string name, SampleShape input,
+                 std::vector<Layer> layers,
+                 std::vector<std::vector<std::size_t>> preds)
     : name_(std::move(name)), input_(input), layers_(std::move(layers))
 {
     if (layers_.empty())
@@ -72,16 +88,113 @@ Network::Network(std::string name, SampleShape input,
     if (input_.elems() == 0)
         util::fatal(name_ + ": empty input shape");
 
-    SampleShape cur = input_;
-    for (auto &layer : layers_) {
-        if (layer.name.empty())
+    wireEdges(std::move(preds));
+    inferShapes();
+}
+
+void
+Network::wireEdges(std::vector<std::vector<std::size_t>> preds)
+{
+    const std::size_t n = layers_.size();
+    if (!preds.empty() && preds.size() != n) {
+        util::fatal(name_ + ": predecessor list count (" +
+                    std::to_string(preds.size()) +
+                    ") does not match layer count (" + std::to_string(n) +
+                    ")");
+    }
+    preds.resize(n);
+
+    for (std::size_t l = 0; l < n; ++l) {
+        if (layers_[l].name.empty())
             util::fatal(name_ + ": unnamed layer");
-        layer.in = cur;
-        layer.outRaw = inferRawOutput(layer, cur, name_);
+        for (std::size_t m = 0; m < l; ++m) {
+            if (layers_[m].name == layers_[l].name) {
+                util::fatal(name_ + ": duplicate layer name '" +
+                            layers_[l].name + "'");
+            }
+        }
+    }
+
+    preds_.assign(n, {});
+    succs_.assign(n, {});
+    is_chain_ = true;
+    for (std::size_t l = 0; l < n; ++l) {
+        auto &p = preds[l];
+        if (l == 0) {
+            if (!p.empty()) {
+                util::fatal(name_ + "/" + layers_[0].name +
+                            ": the first layer is the source and cannot "
+                            "have predecessors");
+            }
+            continue;
+        }
+        // An empty list means the implicit chain edge.
+        if (p.empty())
+            p.push_back(l - 1);
+        std::sort(p.begin(), p.end());
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            const std::size_t u = p[i];
+            if (u >= l) {
+                util::fatal(name_ + ": edge '" +
+                            (u < n ? layers_[u].name
+                                   : std::to_string(u)) +
+                            "' -> '" + layers_[l].name +
+                            "': the source must be declared before the "
+                            "destination (layers are listed in "
+                            "topological order; a back edge would close "
+                            "a cycle)");
+            }
+            if (i > 0 && p[i - 1] == u) {
+                util::fatal(name_ + ": duplicate edge '" +
+                            layers_[u].name + "' -> '" + layers_[l].name +
+                            "'");
+            }
+        }
+        if (p.size() != 1 || p[0] != l - 1)
+            is_chain_ = false;
+        preds_[l] = p;
+        for (const std::size_t u : p)
+            succs_[u].push_back(l);
+    }
+
+    for (std::size_t l = 0; l + 1 < n; ++l) {
+        if (succs_[l].empty()) {
+            util::fatal(name_ + "/" + layers_[l].name +
+                        ": dangling layer (no successor; only the last "
+                        "layer may be the sink)");
+        }
+    }
+}
+
+void
+Network::inferShapes()
+{
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        auto &layer = layers_[l];
+        if (l == 0) {
+            layer.in = input_;
+        } else {
+            // A join layer sums its predecessors elementwise, so all
+            // incoming shapes must agree.
+            const auto &p = preds_[l];
+            layer.in = layers_[p[0]].outPooled;
+            for (std::size_t i = 1; i < p.size(); ++i) {
+                const auto &other = layers_[p[i]].outPooled;
+                if (!(other == layer.in)) {
+                    util::fatal(
+                        name_ + "/" + layer.name +
+                        ": join shape mismatch (predecessor '" +
+                        layers_[p[0]].name + "' gives " +
+                        shapeStr(layer.in) + ", predecessor '" +
+                        layers_[p[i]].name + "' gives " + shapeStr(other) +
+                        "; an elementwise-sum join needs equal shapes)");
+                }
+            }
+        }
+        layer.outRaw = inferRawOutput(layer, layer.in, name_);
         layer.outPooled = inferPooledOutput(layer, layer.outRaw, name_);
         if (layer.pool.enabled() && layer.pool.stride == 0)
             layer.pool.stride = layer.pool.window;
-        cur = layer.outPooled;
     }
 }
 
@@ -91,6 +204,31 @@ Network::layer(std::size_t l) const
     if (l >= layers_.size())
         util::fatal(name_ + ": layer index out of range");
     return layers_[l];
+}
+
+const std::vector<std::size_t> &
+Network::preds(std::size_t l) const
+{
+    if (l >= layers_.size())
+        util::fatal(name_ + ": layer index out of range");
+    return preds_[l];
+}
+
+const std::vector<std::size_t> &
+Network::succs(std::size_t l) const
+{
+    if (l >= layers_.size())
+        util::fatal(name_ + ": layer index out of range");
+    return succs_[l];
+}
+
+std::size_t
+Network::numEdges() const
+{
+    std::size_t total = 0;
+    for (const auto &p : preds_)
+        total += p.size();
+    return total;
 }
 
 std::size_t
@@ -147,6 +285,13 @@ Network::describe() const
        << totalParamElems() << " params)\n";
     for (const auto &layer : layers_)
         os << "  " << layer.describe() << "\n";
+    if (!is_chain_) {
+        os << "  edges:";
+        for (std::size_t l = 0; l < layers_.size(); ++l)
+            for (const std::size_t u : preds_[l])
+                os << " " << layers_[u].name << "->" << layers_[l].name;
+        os << "\n";
+    }
     return os.str();
 }
 

@@ -1,8 +1,30 @@
 /**
  * @file
- * A deep neural network as seen by HyPar: an ordered list of weighted
- * layers plus an input sample shape. Construction runs shape inference
- * and validates every layer, so a Network instance is always consistent.
+ * A deep neural network as seen by HyPar: weighted layers plus an input
+ * sample shape, wired either as a simple chain (the paper's setting) or
+ * as a general DAG with explicit predecessor edges. Construction runs
+ * shape inference and validates every layer, so a Network instance is
+ * always consistent.
+ *
+ * DAG semantics
+ * -------------
+ *  - Layers are listed in topological order; an edge (u, w) feeds the
+ *    pooled output of layer u into layer w and requires u < w.
+ *  - A layer with a single predecessor consumes that predecessor's
+ *    output directly, exactly like the chain case.
+ *  - A layer with two or more predecessors is a *join*: its input is
+ *    the elementwise sum of all predecessor outputs, so every
+ *    predecessor must produce the same pooled output shape (this is the
+ *    ResNet residual-add / inception-merge pattern).
+ *  - Layer 0 is the unique source (it reads the network input); the
+ *    last layer is the unique sink (every other layer must feed at
+ *    least one successor).
+ *
+ * The chain constructor is untouched by the DAG generalization: a
+ * network built from a plain layer list (or from edges that happen to
+ * form the chain) reports isChain() == true, and every consumer in
+ * core/sim/serve routes such networks through the original chain code
+ * paths bit-for-bit.
  */
 
 #ifndef HYPAR_DNN_NETWORK_HH
@@ -25,7 +47,8 @@ class Network
 {
   public:
     /**
-     * Build and validate. Runs shape inference through all layers.
+     * Build and validate a chain. Runs shape inference through all
+     * layers in order.
      * @param name model name, e.g. "VGG-A".
      * @param input per-sample input shape (e.g. 3x224x224).
      * @param layers weighted layers in forward order (shape fields of
@@ -34,6 +57,19 @@ class Network
      * than input, non-positive output, fc before spatial mismatch...).
      */
     Network(std::string name, SampleShape input, std::vector<Layer> layers);
+
+    /**
+     * Build and validate a DAG. `preds[l]` lists the predecessors of
+     * layer l; an empty list for l >= 1 means the implicit chain edge
+     * {l - 1}. Predecessor order is irrelevant (lists are stored
+     * sorted), duplicates are fatal. Additional fatals: an edge whose
+     * source is not declared before its destination (a back edge would
+     * close a cycle), a non-last layer with no successor (dangling
+     * branch), duplicate layer names, and join layers whose predecessor
+     * output shapes differ.
+     */
+    Network(std::string name, SampleShape input, std::vector<Layer> layers,
+            std::vector<std::vector<std::size_t>> preds);
 
     const std::string &name() const { return name_; }
     const SampleShape &inputShape() const { return input_; }
@@ -46,6 +82,19 @@ class Network
 
     /** Look up a layer index by name; fatal if absent. */
     std::size_t layerIndex(const std::string &layer_name) const;
+
+    /** True when every layer's sole predecessor is the previous layer —
+     *  the degenerate DAG. Chain-only fast paths key off this. */
+    bool isChain() const { return is_chain_; }
+
+    /** Predecessors of layer l, ascending (empty for layer 0). */
+    const std::vector<std::size_t> &preds(std::size_t l) const;
+
+    /** Successors of layer l, ascending (empty for the sink). */
+    const std::vector<std::size_t> &succs(std::size_t l) const;
+
+    /** Total edge count (L - 1 for a chain). */
+    std::size_t numEdges() const;
 
     /** Total kernel (weight) elements over all layers. */
     std::size_t totalParamElems() const;
@@ -61,9 +110,15 @@ class Network
     std::string describe() const;
 
   private:
+    void inferShapes();
+    void wireEdges(std::vector<std::vector<std::size_t>> preds);
+
     std::string name_;
     SampleShape input_;
     std::vector<Layer> layers_;
+    std::vector<std::vector<std::size_t>> preds_;
+    std::vector<std::vector<std::size_t>> succs_;
+    bool is_chain_ = true;
 };
 
 } // namespace hypar::dnn

@@ -146,31 +146,88 @@ parseNetworkSpec(std::istream &in)
         util::fatal("spec: missing 'input <c> <h> <w>' directive");
 
     NetworkBuilder b(name, input);
+    // Layer names in declaration order, plus edge directives with their
+    // source lines so every edge error can cite the offending line.
+    std::vector<std::string> layer_names;
+    struct EdgeDirective
+    {
+        std::size_t line;
+        std::string src;
+        std::string dst;
+    };
+    std::vector<EdgeDirective> edges;
     for (const auto &[no, tokens] : body) {
-        if (tokens[0] == "conv") {
-            if (tokens.size() < 4)
+        if (tokens[0] == "conv" || tokens[0] == "fc") {
+            const bool is_conv = tokens[0] == "conv";
+            if (is_conv && tokens.size() < 4)
                 parseError(no, "usage: conv <name> <out> <kernel> "
                                "[attrs...]");
-            b.conv(tokens[1], parseCount(tokens[2], no),
-                   parseCount(tokens[3], no));
-            have_layer = true;
-            last_was_conv = true;
-            applyAttributes(b, tokens, 4, no, true);
-        } else if (tokens[0] == "fc") {
-            if (tokens.size() < 3)
+            if (!is_conv && tokens.size() < 3)
                 parseError(no, "usage: fc <name> <out> [attrs...]");
-            b.fc(tokens[1], parseCount(tokens[2], no));
+            for (const auto &existing : layer_names) {
+                if (existing == tokens[1])
+                    parseError(no, "duplicate layer name '" + tokens[1] +
+                                       "'");
+            }
+            layer_names.push_back(tokens[1]);
+            if (is_conv) {
+                b.conv(tokens[1], parseCount(tokens[2], no),
+                       parseCount(tokens[3], no));
+                applyAttributes(b, tokens, 4, no, true);
+            } else {
+                b.fc(tokens[1], parseCount(tokens[2], no));
+                applyAttributes(b, tokens, 3, no, false);
+            }
             have_layer = true;
-            last_was_conv = false;
-            applyAttributes(b, tokens, 3, no, false);
+            last_was_conv = is_conv;
         } else if (tokens[0] == "pool" || tokens[0] == "stride" ||
                    tokens[0] == "pad" || tokens[0] == "act") {
             if (!have_layer)
                 parseError(no, "attribute before any layer");
             applyAttributes(b, tokens, 0, no, last_was_conv);
+        } else if (tokens[0] == "edge") {
+            if (tokens.size() != 3)
+                parseError(no, "usage: edge <src-layer> <dst-layer>");
+            edges.push_back({no, tokens[1], tokens[2]});
         } else {
             parseError(no, "unknown directive '" + tokens[0] + "'");
         }
+    }
+
+    // Validate edges against the declared layers so the fatal can name
+    // the offending line (the Network constructor would catch the same
+    // conditions, but without line provenance).
+    auto layer_pos = [&](const std::string &n) -> std::size_t {
+        for (std::size_t l = 0; l < layer_names.size(); ++l)
+            if (layer_names[l] == n)
+                return l;
+        return layer_names.size();
+    };
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const auto &e = edges[i];
+        const std::size_t src = layer_pos(e.src);
+        const std::size_t dst = layer_pos(e.dst);
+        if (src == layer_names.size())
+            parseError(e.line, "edge references unknown layer '" + e.src +
+                                   "' (dangling edge)");
+        if (dst == layer_names.size())
+            parseError(e.line, "edge references unknown layer '" + e.dst +
+                                   "' (dangling edge)");
+        if (src == dst)
+            parseError(e.line, "self-edge '" + e.src + "' -> '" + e.dst +
+                                   "' would close a cycle");
+        if (src > dst)
+            parseError(e.line,
+                       "edge '" + e.src + "' -> '" + e.dst +
+                           "': the source must be declared before the "
+                           "destination (layers are listed in topological "
+                           "order; a back edge would close a cycle)");
+        for (std::size_t j = 0; j < i; ++j) {
+            if (edges[j].src == e.src && edges[j].dst == e.dst)
+                parseError(e.line, "duplicate edge '" + e.src + "' -> '" +
+                                       e.dst + "'");
+        }
+        b.edge(e.src, e.dst);
     }
 
     return b.build();
@@ -218,6 +275,22 @@ toSpec(const Network &network)
         if (layer.act != Activation::kReLU)
             os << " act " << toString(layer.act);
         os << "\n";
+    }
+    // Chain networks serialize exactly as before (no edge lines), so
+    // their canonical text — and every serve hash derived from it —
+    // is unchanged. DAG networks list the explicit predecessors of
+    // every non-chain layer, sources ascending, which also makes the
+    // output invariant to the edge order of the original spec.
+    if (!network.isChain()) {
+        for (std::size_t l = 1; l < network.size(); ++l) {
+            const auto &p = network.preds(l);
+            if (p.size() == 1 && p[0] == l - 1)
+                continue;
+            for (const std::size_t u : p) {
+                os << "edge " << network.layer(u).name << " "
+                   << network.layer(l).name << "\n";
+            }
+        }
     }
     return os.str();
 }

@@ -14,6 +14,20 @@
  * Attributes (stride/pad/pool/act) may be inline after a layer
  * directive or on their own line applying to the most recent layer.
  * Activation tokens: relu (default), none, sigmoid, tanh.
+ *
+ * DAG wiring (optional):
+ *
+ *   edge <src-layer> <dst-layer>
+ *
+ * With no edge directives the layers form a chain, exactly as before.
+ * A layer that is the destination of at least one edge directive takes
+ * *exactly* the declared edges as its predecessors, so a join layer
+ * (e.g. a ResNet residual add) lists every incoming edge, including
+ * the one from the previous layer. Layers must be declared in
+ * topological order; edges whose source is not declared before the
+ * destination, edges naming unknown layers, duplicate edges, and
+ * duplicate layer names are all rejected with the offending line
+ * number.
  */
 
 #ifndef HYPAR_DNN_SPEC_PARSER_HH

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "core/brute_force.hh"
 #include "sim/event_queue.hh"
 #include "util/logging.hh"
 
@@ -210,11 +211,14 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
                                 static_cast<unsigned>(h) - dp),
                             false, kFwd, "psum", layer.name, metrics);
             }
-            if (l + 1 < num_layers) {
+            // Forward boundary exchanges: one per outgoing DAG edge,
+            // destinations ascending. On a chain this is exactly the
+            // old single l -> l+1 term.
+            for (const std::size_t w : net.succs(l)) {
                 addExchange(tasks, h,
                             model_->interBytesFAt(
                                 l, plan.levels[h][l],
-                                plan.levels[h][l + 1],
+                                plan.levels[h][w],
                                 dpAbove(col[l], h)),
                             false, kFwd, "featx", layer.name, metrics);
             }
@@ -232,14 +236,18 @@ TrainingSimulator::buildTasks(const core::HierarchicalPlan &plan,
             comm.wordBytes;
         add_compute(l, kBwd, shard_macs(l), dram_bytes, "bwd");
 
-        // The transition l-1 -> l moves E_l during backward (its batch
-        // dimension follows layer l's upper dp splits).
+        // The incoming edges u -> l move E_l during backward (its
+        // batch dimension follows layer l's upper dp splits); a join
+        // layer fans its error back along every incoming edge. On a
+        // chain this is exactly the old single l-1 -> l term.
         for (std::size_t h = 0; h < levels; ++h) {
-            addExchange(tasks, h,
-                        model_->interBytesEAt(
-                            l - 1, plan.levels[h][l - 1],
-                            plan.levels[h][l], dpAbove(col[l], h)),
-                        false, kBwd, "errx", layer.name, metrics);
+            for (const std::size_t u : net.preds(l)) {
+                addExchange(tasks, h,
+                            model_->interBytesEAt(
+                                u, plan.levels[h][u],
+                                plan.levels[h][l], dpAbove(col[l], h)),
+                            false, kBwd, "errx", layer.name, metrics);
+            }
         }
     }
 
@@ -468,6 +476,21 @@ TrainingSimulator::sweepNeighborhood(
     if (num_layers > 24)
         util::fatal("sweepNeighborhood: more than 24 layers makes the "
                     "2^L sweep unreasonable");
+
+    // DAG networks: the 4-variant incremental tables below key the
+    // inter exchanges by the chain transition (l, l+1), which does not
+    // hold with joins. Fall back to one full simulate() per
+    // substituted mask — bit-identical by definition, just O(2^L)
+    // rebuilds. An incremental DAG sweep is a recorded follow-up
+    // (ROADMAP).
+    if (!net.isChain()) {
+        core::sweepLevelMasks(
+            base, level,
+            [&](std::uint64_t mask, const core::HierarchicalPlan &plan) {
+                visit(mask, simulate(plan));
+            });
+        return;
+    }
 
     const std::uint64_t num_masks = std::uint64_t{1} << num_layers;
 

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Seed-deterministic series-parallel DAG generator for the randomized
+ * differential suites (tests/test_dag_differential.cc).
+ *
+ * Same philosophy as arch::sampleFaultMap: a splitmix64 stream keyed
+ * only by the caller's seed, so a failing trial reproduces from its
+ * seed alone on any platform — no std::mt19937 distribution quirks.
+ *
+ * The generator builds a two-terminal series-parallel network by
+ * recursing over the composition grammar (path | series | parallel)
+ * and emitting fc layers through NetworkBuilder in topological order:
+ *
+ *   - every emitted layer lists its predecessors explicitly via
+ *     edge(), so the builder's implicit chain wiring never applies;
+ *   - a parallel composition forces all branch tails to one width
+ *     (join inputs must be elementwise-summable) and may use at most
+ *     one direct source->join edge (a second would be a duplicate);
+ *   - the top-level composition is always parallel, so the result is
+ *     never a chain;
+ *   - widths stay <= 64 and layer counts <= 9, keeping every byte
+ *     amount a small integer times a power-of-two word size (sums
+ *     stay exact in double) and keeping H*L inside the flat
+ *     enumeration oracle's 24-bit cap at H = 2..3.
+ */
+
+#ifndef HYPAR_TESTS_SUPPORT_SP_DAG_GEN_HH
+#define HYPAR_TESTS_SUPPORT_SP_DAG_GEN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/comm_model.hh"
+#include "dnn/builder.hh"
+#include "dnn/network.hh"
+
+namespace hypar::tests {
+
+/** splitmix64: the same finalizer arch::mixSeed uses. */
+struct SplitMix64
+{
+    std::uint64_t state;
+
+    std::uint64_t next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, n). */
+    std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    bool coin() { return (next() & 1) != 0; }
+};
+
+namespace detail {
+
+inline std::size_t
+randWidth(SplitMix64 &rng)
+{
+    return static_cast<std::size_t>(rng.range(1, 64));
+}
+
+/**
+ * Emit a series-parallel component whose source is the already-emitted
+ * layer `src` (fc, output width `src_width`) and whose sink is a new
+ * fc layer of width `out_width`. Returns the sink's name.
+ *
+ * `budget` counts layers still allowed. Invariant: every call is made
+ * with budget >= 1 and spends between 1 and budget layers; composite
+ * cases reserve the later obligations (join layer, second component)
+ * before recursing so no sibling can drain the budget below a
+ * pending mandatory layer.
+ */
+inline std::string
+emitComponent(dnn::NetworkBuilder &b, SplitMix64 &rng,
+              const std::string &src, std::size_t src_width,
+              std::size_t out_width, std::size_t depth,
+              std::size_t &budget, std::size_t &counter)
+{
+    const auto fresh = [&counter] {
+        return "L" + std::to_string(counter++);
+    };
+
+    // Parallel composition: two branches src -> join, one of which may
+    // be the direct edge (width permitting). Needs >= 4 spare layers
+    // (branch tail x2 + join, with one to spare) to be worth it.
+    if (depth > 0 && budget >= 4 && rng.coin()) {
+        const bool direct = rng.coin();
+        const std::size_t branch_width =
+            direct ? src_width : randWidth(rng);
+        --budget; // reserve the join layer
+        std::string tail_a = src;
+        if (!direct) {
+            --budget; // reserve tail_b's minimum path
+            tail_a = emitComponent(b, rng, src, src_width, branch_width,
+                                   depth - 1, budget, counter);
+            ++budget; // release the reservation
+        }
+        const std::string tail_b =
+            emitComponent(b, rng, src, src_width, branch_width,
+                          depth - 1, budget, counter);
+        const std::string join = fresh();
+        b.fc(join, out_width).edge(tail_a, join).edge(tail_b, join);
+        return join;
+    }
+
+    // Series composition of two components, resources permitting.
+    if (depth > 0 && budget >= 3 && rng.coin()) {
+        const std::size_t mid_width = randWidth(rng);
+        --budget; // reserve the second component's minimum path
+        const std::string mid =
+            emitComponent(b, rng, src, src_width, mid_width, depth - 1,
+                          budget, counter);
+        ++budget; // release the reservation
+        return emitComponent(b, rng, mid, mid_width, out_width,
+                             depth - 1, budget, counter);
+    }
+
+    // Base case: a path of 1..2 fc layers.
+    const std::size_t hops =
+        budget >= 2 && rng.coin() ? std::size_t{2} : std::size_t{1};
+    std::string prev = src;
+    for (std::size_t i = 0; i < hops; ++i) {
+        const std::size_t width =
+            i + 1 == hops ? out_width : randWidth(rng);
+        const std::string name = fresh();
+        --budget;
+        b.fc(name, width).edge(prev, name);
+        prev = name;
+    }
+    return prev;
+}
+
+} // namespace detail
+
+/**
+ * Seed-deterministic series-parallel DAG of 3..9 fc layers. Never a
+ * chain (the top-level composition is parallel). The same seed always
+ * produces the same network, layer for layer and edge for edge.
+ */
+inline dnn::Network
+makeRandomSpDag(std::uint64_t seed)
+{
+    SplitMix64 rng{seed ^ 0x5bd1e995u};
+    // Warm the stream so nearby seeds diverge immediately.
+    rng.next();
+
+    const std::size_t in_width = detail::randWidth(rng);
+    const std::size_t src_width = detail::randWidth(rng);
+    const std::size_t out_width = detail::randWidth(rng);
+
+    dnn::NetworkBuilder b("sp-dag-" + std::to_string(seed),
+                          dnn::SampleShape{in_width, 1, 1});
+    b.fc("L0", src_width);
+    std::size_t budget = rng.range(4, 8); // layers beyond L0, join incl.
+    std::size_t counter = 1;
+
+    // Force a parallel top-level composition so the network is a real
+    // DAG: two branches from L0 into a join of width out_width. Same
+    // reservation discipline as emitComponent's parallel case.
+    const bool direct = rng.coin();
+    const std::size_t branch_width =
+        direct ? src_width : detail::randWidth(rng);
+    --budget; // reserve the join layer
+    std::string tail_a = "L0";
+    if (!direct) {
+        --budget; // reserve tail_b's minimum path
+        tail_a = detail::emitComponent(b, rng, "L0", src_width,
+                                       branch_width, 2, budget, counter);
+        ++budget;
+    }
+    const std::string tail_b = detail::emitComponent(
+        b, rng, "L0", src_width, branch_width, 2, budget, counter);
+    const std::string join = "L" + std::to_string(counter++);
+    b.fc(join, out_width).edge(tail_a, join).edge(tail_b, join);
+    return b.build();
+}
+
+/**
+ * Seed-deterministic CommConfig drawn from exactly-representable
+ * values: integer batch, power-of-two word sizes and exchange factors,
+ * power-of-two level penalties. Keeping every coefficient dyadic keeps
+ * the cost sums order-independent in double, which is what lets the
+ * differential suite demand bit-equality (not closeness) between the
+ * per-component DP and the flat enumeration oracle.
+ */
+inline core::CommConfig
+makeRandomSpConfig(std::uint64_t seed, std::size_t levels)
+{
+    SplitMix64 rng{seed ^ 0xc2b2ae35u};
+    rng.next();
+
+    core::CommConfig cfg;
+    cfg.batch = static_cast<std::size_t>(rng.range(1, 64));
+    const double words[3] = {1.0, 2.0, 4.0};
+    cfg.wordBytes = words[rng.below(3)];
+    cfg.exchangeFactor = rng.coin() ? 2.0 : 1.0;
+    cfg.scaling = rng.coin() ? core::CommConfig::Scaling::kPartitioned
+                             : core::CommConfig::Scaling::kNone;
+    if (rng.coin()) {
+        const double penalties[4] = {1.0, 2.0, 4.0, 0.5};
+        cfg.levelPenalties.resize(levels);
+        for (auto &p : cfg.levelPenalties)
+            p = penalties[rng.below(4)];
+    }
+    return cfg;
+}
+
+} // namespace hypar::tests
+
+#endif // HYPAR_TESTS_SUPPORT_SP_DAG_GEN_HH

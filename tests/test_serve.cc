@@ -901,3 +901,112 @@ TEST(Server, MalformedRequestsAnswerInBand)
     }
     EXPECT_EQ(server.stats().errors, responses.size());
 }
+
+// --- DAG canonicalization ---------------------------------------------------
+
+namespace {
+
+/** A small DAG spec: stem -> {a, b} -> join, then an fc head. */
+constexpr const char *kDagSpec =
+    "network dag\n"
+    "input 1 8 8\n"
+    "conv stem 4 3 pad 1\n"
+    "conv a 4 3 pad 1\n"
+    "conv b 4 3 pad 1\n"
+    "edge stem b\n"
+    "conv join 4 3 pad 1\n"
+    "edge a join\n"
+    "edge b join\n"
+    "fc f1 10\n";
+
+/** Same network, edge directives in a different order and position. */
+constexpr const char *kDagSpecShuffledEdges =
+    "network dag\n"
+    "input 1 8 8\n"
+    "conv stem 4 3 pad 1\n"
+    "conv a 4 3 pad 1\n"
+    "conv b 4 3 pad 1\n"
+    "conv join 4 3 pad 1\n"
+    "fc f1 10\n"
+    "edge b join\n"
+    "edge stem b\n"
+    "edge a join\n";
+
+} // namespace
+
+TEST(Canonical, ChainHashesArePinnedAcrossTheDagGeneralization)
+{
+    // Golden hashes captured before DAG support landed. Chain specs
+    // canonicalize without edge lines, so their context and plan keys
+    // must never move — a warm cache filled by a pre-DAG build keeps
+    // hitting. If this test fails, kCanonicalVersion was effectively
+    // broken for every deployed cache.
+    const dnn::Network net = dnn::makeLenetC();
+    const sim::SimConfig cfg;
+    EXPECT_EQ(serve::contextHash(net, cfg),
+              "6aacb02bd566f49eea451ce9e7ab0723"
+              "e7183076aa4f0a0fd0e21f9a1db2fad9");
+    EXPECT_EQ(serve::planHash(net, cfg, "optimal", core::SearchOptions{}),
+              "ad3c5e512a5a10da30b0d65c894fdac1"
+              "441fca003d6ba7b189b6eaf83e10c4f3");
+}
+
+TEST(Canonical, DagEdgeOrderDoesNotForkTheKey)
+{
+    // toSpec() renders edges in canonical (destination, source)
+    // order, so the directive order of the client's spec is invisible
+    // to the cache key — same invariance the fault list has.
+    const dnn::Network a = dnn::parseNetworkSpec(kDagSpec);
+    const dnn::Network b = dnn::parseNetworkSpec(kDagSpecShuffledEdges);
+    const sim::SimConfig cfg;
+    EXPECT_EQ(serve::canonicalContext(a, cfg),
+              serve::canonicalContext(b, cfg));
+    EXPECT_EQ(serve::contextHash(a, cfg), serve::contextHash(b, cfg));
+
+    // But the wiring itself *is* keyed: dropping the skip edge (so the
+    // layers chain) must fork the key.
+    const dnn::Network chain = dnn::parseNetworkSpec(
+        "network dag\n"
+        "input 1 8 8\n"
+        "conv stem 4 3 pad 1\n"
+        "conv a 4 3 pad 1\n"
+        "conv b 4 3 pad 1\n"
+        "conv join 4 3 pad 1\n"
+        "fc f1 10\n");
+    EXPECT_NE(serve::contextHash(chain, cfg), serve::contextHash(a, cfg));
+}
+
+TEST(Server, CachedDagPlanRoundTripsBitIdentically)
+{
+    // End-to-end on a DAG model: a cold "optimal" search goes through
+    // the series-parallel engine, is stored, and a fresh server over
+    // the same cache directory replays it bit for bit.
+    TempDir tmp("serve_dag");
+    serve::ServeOptions opts;
+    opts.cacheDir = tmp.path;
+    const std::string request =
+        R"({"op":"plan","model":"ResNet-block","strategy":"optimal",)"
+        R"("levels":3})";
+
+    serve::Server cold(opts);
+    const PlanResponse first =
+        PlanResponse::parse(runBatch(cold, {request}).at(0));
+    EXPECT_EQ(first.cacheOutcome, "miss");
+    EXPECT_TRUE(first.certified);
+
+    serve::Server warm(opts);
+    const PlanResponse second =
+        PlanResponse::parse(runBatch(warm, {request}).at(0));
+    EXPECT_EQ(second.cacheOutcome, "hit");
+    EXPECT_EQ(second.planBits, first.planBits);
+    EXPECT_EQ(second.commBytes, first.commBytes); // exact doubles
+    EXPECT_EQ(second.transitions, first.transitions);
+    EXPECT_EQ(second.widthUsed, first.widthUsed);
+    EXPECT_TRUE(second.certified);
+
+    // And the replayed cost is the series-parallel optimum.
+    const dnn::Network net = dnn::makeResNetBlock();
+    const core::CommModel model(net, core::CommConfig{});
+    const auto direct = core::OptimalPartitioner(model).partition(3);
+    EXPECT_EQ(first.commBytes, direct.commBytes);
+}

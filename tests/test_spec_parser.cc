@@ -125,3 +125,123 @@ TEST(SpecParser, MissingFileIsFatal)
     EXPECT_THROW(dnn::parseNetworkSpecFile("/nonexistent/net.hp"),
                  util::FatalError);
 }
+
+// ---- DAG specs ------------------------------------------------------------
+
+namespace {
+
+/** A diamond: stem feeds two parallel convs summed at the join. */
+const char *kDiamondSpec =
+    "network diamond\n"
+    "input 1 8 8\n"
+    "conv stem 4 3 pad 1\n"
+    "conv a 4 3 pad 1\n"
+    "conv b 4 3 pad 1\n"
+    "edge stem b\n"
+    "conv join 4 3 pad 1\n"
+    "edge a join\n"
+    "edge b join\n"
+    "fc f1 10\n";
+
+void
+expectParseErrorAt(const std::string &spec, const std::string &needle,
+                   const std::string &line_tag)
+{
+    try {
+        parseNetworkSpec(spec);
+        FAIL() << "expected FatalError containing '" << needle << "'";
+    } catch (const util::FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(needle), std::string::npos) << what;
+        EXPECT_NE(what.find(line_tag), std::string::npos) << what;
+    }
+}
+
+} // namespace
+
+TEST(SpecParser, ParsesDagEdges)
+{
+    const auto net = parseNetworkSpec(kDiamondSpec);
+    EXPECT_FALSE(net.isChain());
+    ASSERT_EQ(net.size(), 5u);
+    EXPECT_EQ(net.preds(2), (std::vector<std::size_t>{0}));  // b <- stem
+    EXPECT_EQ(net.preds(3), (std::vector<std::size_t>{1, 2})); // join
+    EXPECT_EQ(net.preds(4), (std::vector<std::size_t>{3}));  // chain edge
+    EXPECT_EQ(net.numEdges(), 5u);
+}
+
+TEST(SpecParser, DagRoundTripsExactly)
+{
+    // parse -> toSpec -> parse must preserve layers *and* wiring.
+    const auto original = parseNetworkSpec(kDiamondSpec);
+    const auto reparsed = parseNetworkSpec(dnn::toSpec(original));
+    ASSERT_EQ(reparsed.size(), original.size());
+    EXPECT_FALSE(reparsed.isChain());
+    for (std::size_t l = 0; l < original.size(); ++l) {
+        EXPECT_EQ(original.layer(l).name, reparsed.layer(l).name);
+        EXPECT_EQ(original.layer(l).outPooled, reparsed.layer(l).outPooled);
+        EXPECT_EQ(original.preds(l), reparsed.preds(l)) << "layer " << l;
+    }
+}
+
+TEST(SpecParser, DagZooFixturesRoundTripExactly)
+{
+    for (const char *name : {"ResNet-block", "Inception-branch"}) {
+        const auto original = dnn::modelByName(name);
+        const auto reparsed = parseNetworkSpec(dnn::toSpec(original));
+        ASSERT_EQ(reparsed.size(), original.size()) << name;
+        for (std::size_t l = 0; l < original.size(); ++l) {
+            EXPECT_EQ(original.layer(l).name, reparsed.layer(l).name);
+            EXPECT_EQ(original.preds(l), reparsed.preds(l))
+                << name << " layer " << l;
+        }
+    }
+}
+
+TEST(SpecParser, RejectsBadEdges)
+{
+    const std::string head =
+        "network x\n"  // line 1
+        "input 1 8 8\n" // line 2
+        "fc a 8\n"      // line 3
+        "fc b 8\n";     // line 4
+
+    // Back edge (would close a cycle): b is declared after a.
+    expectParseErrorAt(head + "edge b a\n",
+                       "a back edge would close a cycle", "line 5");
+    // Self edge.
+    expectParseErrorAt(head + "edge a a\n", "self-edge", "line 5");
+    // Dangling edge: unknown layer name.
+    expectParseErrorAt(head + "edge a ghost\n",
+                       "edge references unknown layer 'ghost'", "line 5");
+    // Duplicate edge.
+    expectParseErrorAt(head + "fc c 8\nedge a c\nedge b c\nedge a c\n",
+                       "duplicate edge", "line 8");
+    // Arity.
+    expectParseErrorAt(head + "edge a\n", "usage: edge", "line 5");
+    // Duplicate layer name (the would-be edge target is ambiguous).
+    expectParseErrorAt(head + "fc a 8\n", "duplicate layer name 'a'",
+                       "line 5");
+}
+
+TEST(SpecParser, DagValidationCatchesShapeAndStructure)
+{
+    // Join with mismatched predecessor shapes (8 vs 6 wide).
+    EXPECT_THROW(parseNetworkSpec("network x\n"
+                                  "input 4 1 1\n"
+                                  "fc a 8\n"
+                                  "fc b 6\n"
+                                  "edge a b\n"
+                                  "fc j 10\n"
+                                  "edge a j\n"
+                                  "edge b j\n"),
+                 util::FatalError);
+    // Dangling branch: layer b feeds nothing and is not the sink.
+    EXPECT_THROW(parseNetworkSpec("network x\n"
+                                  "input 4 1 1\n"
+                                  "fc a 8\n"
+                                  "fc b 8\n"
+                                  "fc c 10\n"
+                                  "edge a c\n"),
+                 util::FatalError);
+}

@@ -89,10 +89,17 @@ makeStrategyPlan(const Options &opts, const core::CommModel &model,
 int
 cmdModels(std::ostream &os)
 {
-    util::Table t({"name", "layers", "params"});
+    util::Table t({"name", "layers", "params", "wiring"});
     for (const auto &net : dnn::allModels()) {
         t.addRow({net.name(), std::to_string(net.size()),
-                  std::to_string(net.totalParamElems())});
+                  std::to_string(net.totalParamElems()), "chain"});
+    }
+    // The DAG fixtures live outside allModels() (chain-only consumers
+    // iterate that list) but resolve through --model like the rest.
+    for (const auto &net :
+         {dnn::makeResNetBlock(), dnn::makeInceptionBranch()}) {
+        t.addRow({net.name(), std::to_string(net.size()),
+                  std::to_string(net.totalParamElems()), "dag"});
     }
     t.print(os);
     return 0;
