@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Concurrent serving throughput: N simulated clients issue mixed
+ * plan / evaluate / sweep traffic against one server, one request per
+ * client per admission batch. The reference run executes the same
+ * byte stream through a 0-worker pool (strictly serial); the measured
+ * run fans the batch's context groups over the process pool. Since
+ * the parallel executor is byte-identical to serial execution (the
+ * tentpole invariant, pinned by tests/test_serve_concurrent.cc), the
+ * only thing allowed to change is the clock — this bench records it.
+ *
+ * With an output path argument, writes a google-benchmark-compatible
+ * BENCH_serve_concurrent.json: BM_ServeConcurrent/<clients> pairs
+ * with BM_ServeConcurrentReference/<clients> (so bench_report.py
+ * prints the scaling), plus unpaired per-op p50/p99 latency rows from
+ * the server's own histograms.
+ *
+ * Exit status gates CI: on a multi-core box (pool parallelism >= 4)
+ * concurrent throughput must beat single-stream by >= 2x; at
+ * parallelism 2-3 the floor relaxes to 1.15x; on a single core the
+ * run is record-only (fan-out degenerates to the serial path).
+ */
+
+#include "bench_common.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/server.hh"
+#include "util/latency_histogram.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+using namespace hypar;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kClients = 8;
+constexpr std::size_t kWarmupBatches = 3;
+constexpr std::size_t kTimedBatches = 24;
+
+/**
+ * One client's request for one admission round. Every client owns a
+ * distinct context (model x mini-batch), so the admission batch fans
+ * out into kClients independent groups; the op rotates through the
+ * three session ops so the mix exercises search, simulation, and the
+ * sweep fast path.
+ */
+std::string
+request(std::size_t client, std::size_t round)
+{
+    static const char *models[] = {"Lenet-c", "SFC"};
+    const std::string model = models[client % 2];
+    const std::string context =
+        "\"model\":\"" + model +
+        "\",\"batch\":" + std::to_string(256 >> (client / 2));
+    // H = 8 keeps each request around a millisecond of real work —
+    // heavy enough that group fan-out, not protocol overhead, decides
+    // the clock.
+    switch (round % 3) {
+      case 0:
+        return "{\"op\":\"evaluate\"," + context +
+               ",\"levels\":8,\"steps\":32}";
+      case 1:
+        return "{\"op\":\"plan\"," + context +
+               ",\"strategy\":\"optimal\",\"levels\":8}";
+      default:
+        return "{\"op\":\"sweep\"," + context + ",\"levels\":8,\"level\":1}";
+    }
+}
+
+/** Drive kWarmupBatches + kTimedBatches admission rounds; returns the
+ *  wall-clock seconds of the timed rounds. */
+double
+drive(serve::Server &server)
+{
+    std::ostringstream sink;
+    for (std::size_t round = 0; round < kWarmupBatches; ++round) {
+        std::vector<std::string> batch;
+        for (std::size_t c = 0; c < kClients; ++c)
+            batch.push_back(request(c, round));
+        server.processBatch(batch, sink);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t round = 0; round < kTimedBatches; ++round) {
+        std::vector<std::string> batch;
+        for (std::size_t c = 0; c < kClients; ++c)
+            batch.push_back(request(c, round));
+        server.processBatch(batch, sink);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    if (sink.str().find("\"ok\":false") != std::string::npos) {
+        std::cerr << "bench_serve_concurrent: a request failed\n";
+        std::exit(1);
+    }
+    return std::chrono::duration<double>(end - start).count();
+}
+
+void
+writeJson(double serialSec, double concurrentSec,
+          const serve::Server &concurrent, std::size_t parallelism,
+          std::ostream &os)
+{
+    const double requests =
+        static_cast<double>(kTimedBatches * kClients);
+    char buf[256];
+    os << "{\"context\":{\"bench\":\"serve_concurrent\",\"clients\":"
+       << kClients << ",\"batches\":" << kTimedBatches
+       << ",\"pool_parallelism\":" << parallelism
+       << "},\"benchmarks\":[";
+    // Reference = single-stream (serial pool); optimized = concurrent,
+    // so bench_report.py's ratio is the throughput scaling.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"BM_ServeConcurrentReference/%zu\","
+                  "\"run_type\":\"iteration\",\"real_time\":%.17g,"
+                  "\"cpu_time\":%.17g,\"time_unit\":\"ns\"}",
+                  kClients, serialSec / requests * 1e9,
+                  serialSec / requests * 1e9);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"BM_ServeConcurrent/%zu\","
+                  "\"run_type\":\"iteration\",\"real_time\":%.17g,"
+                  "\"cpu_time\":%.17g,\"time_unit\":\"ns\"}",
+                  kClients, concurrentSec / requests * 1e9,
+                  concurrentSec / requests * 1e9);
+    os << buf;
+    // Unpaired observability rows: the concurrent server's own per-op
+    // latency quantiles (bench_report.py ignores rows without a
+    // Reference partner).
+    for (std::size_t k = 0; k < serve::Server::kOps.size(); ++k) {
+        const util::LatencyHistogram &h = concurrent.latency(k);
+        if (h.count() == 0)
+            continue;
+        for (const auto &[tag, q] :
+             {std::pair<const char *, double>{"p50", 0.50},
+              std::pair<const char *, double>{"p99", 0.99}}) {
+            std::snprintf(buf, sizeof(buf),
+                          ",{\"name\":\"BM_ServeLatency_%s_%s\","
+                          "\"run_type\":\"iteration\","
+                          "\"real_time\":%.17g,\"cpu_time\":%.17g,"
+                          "\"time_unit\":\"ns\"}",
+                          serve::Server::kOps[k], tag,
+                          h.quantile(q) * 1e9, h.quantile(q) * 1e9);
+            os << buf;
+        }
+    }
+    os << "]}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Concurrent serving: parallel batches vs single stream",
+                  "the hyparc serve throughput scaling");
+
+    util::ThreadPool &pool = util::ThreadPool::global();
+    util::ThreadPool serialPool(0);
+    const std::size_t parallelism = pool.parallelism();
+
+    const fs::path cacheDir =
+        fs::temp_directory_path() /
+        ("hyparc_bench_conc_" +
+         std::to_string(static_cast<unsigned>(::getpid())));
+    fs::remove_all(cacheDir);
+
+    // --no-cache: every plan/sweep does its real work on every round,
+    // so the bench measures execution scaling, not cache hits.
+    serve::ServeOptions serialOpts;
+    serialOpts.cacheDir = cacheDir;
+    serialOpts.noCache = true;
+    serialOpts.maxSessions = kClients;
+    serialOpts.pool = &serialPool;
+    serve::ServeOptions concOpts = serialOpts;
+    concOpts.pool = &pool;
+
+    serve::Server serial(serialOpts);
+    serve::Server concurrent(concOpts);
+    const double serialSec = drive(serial);
+    const double concurrentSec = drive(concurrent);
+    fs::remove_all(cacheDir);
+
+    const double requests =
+        static_cast<double>(kTimedBatches * kClients);
+    const double scaling = serialSec / concurrentSec;
+    util::Table t({"mode", "total (s)", "req/s"});
+    t.addRow({"single-stream", bench::sig3(serialSec),
+              bench::sig3(requests / serialSec)});
+    t.addRow({"concurrent", bench::sig3(concurrentSec),
+              bench::sig3(requests / concurrentSec)});
+    t.print(std::cout);
+
+    const double floor =
+        parallelism >= 4 ? 2.0 : (parallelism >= 2 ? 1.15 : 0.0);
+    std::cout << "\n" << kClients << " clients x " << kTimedBatches
+              << " admission batches, pool parallelism " << parallelism
+              << "\nthroughput scaling: " << bench::ratio(scaling)
+              << " (floor: "
+              << (floor > 0.0 ? bench::ratio(floor) + "x"
+                              : std::string("record-only"))
+              << ")\n";
+
+    if (argc > 1) {
+        std::ofstream out(argv[1]);
+        writeJson(serialSec, concurrentSec, concurrent, parallelism,
+                  out);
+        std::cout << "\nwrote " << argv[1] << "\n";
+    }
+    return scaling >= floor ? 0 : 1;
+}

@@ -419,4 +419,15 @@ CommModel::planBytes(const HierarchicalPlan &plan) const
     return total;
 }
 
+std::size_t
+CommModel::approxTableBytes() const
+{
+    const std::size_t doubles =
+        levelWeights_.capacity() + weightBytes_.capacity() +
+        outRawBytes_.capacity() + boundaryBytes_.capacity() +
+        scaledWeightBytes_.capacity() + scaledOutRawBytes_.capacity() +
+        scaledBoundaryBytes_.capacity();
+    return sizeof(CommModel) + doubles * sizeof(double);
+}
+
 } // namespace hypar::core

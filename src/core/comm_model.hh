@@ -254,6 +254,13 @@ class CommModel
     double interBytesReference(std::size_t l, Parallelism prev,
                                Parallelism cur, const History &hist) const;
 
+    /**
+     * Approximate resident size of the precomputed byte tables (the
+     * serving tier's memory-budgeted session LRU charges warm
+     * Evaluators by this plus the simulator's tables).
+     */
+    std::size_t approxTableBytes() const;
+
   private:
     /** 2^-n, via lookup table (exact for every representable n). */
     static double halvings(unsigned n);

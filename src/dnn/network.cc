@@ -295,4 +295,19 @@ Network::describe() const
     return os.str();
 }
 
+std::size_t
+Network::approxBytes() const
+{
+    std::size_t bytes = sizeof(Network) + name_.capacity();
+    bytes += layers_.capacity() * sizeof(Layer);
+    for (const Layer &layer : layers_)
+        bytes += layer.name.capacity();
+    bytes += preds_.capacity() * sizeof(std::vector<std::size_t>);
+    bytes += succs_.capacity() * sizeof(std::vector<std::size_t>);
+    for (std::size_t l = 0; l < layers_.size(); ++l)
+        bytes += (preds_[l].capacity() + succs_[l].capacity()) *
+                 sizeof(std::size_t);
+    return bytes;
+}
+
 } // namespace hypar::dnn

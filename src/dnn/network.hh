@@ -109,6 +109,14 @@ class Network
     /** Multi-line summary of all layers (for reports and examples). */
     std::string describe() const;
 
+    /**
+     * Approximate resident size of this object in bytes (layers, edge
+     * lists, name strings). Used by the serving tier's memory-budgeted
+     * session LRU; an estimate, not an allocator-exact figure, but
+     * deterministic for equal networks.
+     */
+    std::size_t approxBytes() const;
+
   private:
     void inferShapes();
     void wireEdges(std::vector<std::vector<std::size_t>> preds);

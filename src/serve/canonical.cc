@@ -175,7 +175,23 @@ canonicalPlanRequest(const dnn::Network &network,
     appendKV(out, "beam_width", search.beamWidth);
     appendKV(out, "adaptive_beam",
              std::string(search.adaptiveBeam ? "1" : "0"));
-    appendKV(out, "beam_width_start", search.beamWidthStart);
+    // SearchOptions::beamWidthStart (the request's width_hint) is
+    // deliberately NOT keyed: the warm start only skips the adaptive
+    // beam's ramp, the plan and cost are bit-identical with or without
+    // it — keying it forked duplicate cache entries per hint value.
+    return out;
+}
+
+std::string
+canonicalSweepRequest(const dnn::Network &network,
+                      const sim::SimConfig &config,
+                      const std::string &strategy,
+                      const core::SearchOptions &search, std::size_t level)
+{
+    std::string out = canonicalPlanRequest(network, config, strategy,
+                                           search);
+    out += "[sweep]\n";
+    appendKV(out, "level", level);
     return out;
 }
 
@@ -191,6 +207,15 @@ planHash(const dnn::Network &network, const sim::SimConfig &config,
 {
     return sha256Hex(
         canonicalPlanRequest(network, config, strategy, search));
+}
+
+std::string
+sweepHash(const dnn::Network &network, const sim::SimConfig &config,
+          const std::string &strategy, const core::SearchOptions &search,
+          std::size_t level)
+{
+    return sha256Hex(
+        canonicalSweepRequest(network, config, strategy, search, level));
 }
 
 } // namespace hypar::serve

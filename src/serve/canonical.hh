@@ -30,6 +30,13 @@
  *    payload plus the strategy and core::SearchOptions. The on-disk
  *    plan cache keys on it, because the searched plan (and its
  *    SearchStats certificate) depends on the engine knobs too.
+ *    SearchOptions::beamWidthStart (the protocol's width_hint) is
+ *    excluded: it is a pure warm start — results are bit-identical
+ *    with or without it — so it must not fork cache entries.
+ *
+ * sweepHash(network, config, strategy, search, level) extends the plan
+ * payload with the swept hierarchy level; the on-disk sweep-result
+ * cache keys on it.
  */
 
 #ifndef HYPAR_SERVE_CANONICAL_HH
@@ -72,6 +79,20 @@ std::string planHash(const dnn::Network &network,
                      const sim::SimConfig &config,
                      const std::string &strategy,
                      const core::SearchOptions &search);
+
+/** Canonical text of one sweep request (plan payload + level). */
+std::string canonicalSweepRequest(const dnn::Network &network,
+                                  const sim::SimConfig &config,
+                                  const std::string &strategy,
+                                  const core::SearchOptions &search,
+                                  std::size_t level);
+
+/** SHA-256 hex of canonicalSweepRequest. */
+std::string sweepHash(const dnn::Network &network,
+                      const sim::SimConfig &config,
+                      const std::string &strategy,
+                      const core::SearchOptions &search,
+                      std::size_t level);
 
 /** Canonical short name of a topology kind ("htree"/"torus"/"mesh"). */
 const char *topologyKindName(sim::TopologyKind kind);

@@ -123,6 +123,77 @@ decodeEntry(const std::string &text, const std::string &planHash)
     return result;
 }
 
+/** Required numeric field of a JSON object (fatal when absent). */
+double
+requireNumber(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        util::fatal(std::string("sweep cache: missing metrics field '") +
+                    key + "'");
+    return v->asNumber();
+}
+
+/**
+ * Decode a sweep entry body. Fatal (util::FatalError) on any
+ * structural problem — the caller turns that into quarantine-and-miss.
+ */
+SweepResult
+decodeSweepEntry(const std::string &text, const std::string &sweepHash)
+{
+    const JsonValue root = JsonValue::parse(text);
+    const JsonValue *format = root.find("format");
+    if (format == nullptr || format->asString() != kSweepCacheFormat)
+        util::fatal("sweep cache: missing or wrong format tag");
+    const JsonValue *version = root.find("version");
+    if (version == nullptr ||
+        asCount(*version, "version") !=
+            static_cast<std::uint64_t>(kPlanCacheVersion))
+        util::fatal("sweep cache: unsupported version");
+    const JsonValue *hash = root.find("sweep_hash");
+    if (hash == nullptr || hash->asString() != sweepHash)
+        util::fatal("sweep cache: entry hash does not match its key");
+
+    SweepResult r;
+    const JsonValue *level = root.find("level");
+    if (level == nullptr)
+        util::fatal("sweep cache: missing level");
+    r.level = static_cast<std::size_t>(asCount(*level, "level"));
+    const JsonValue *evaluated = root.find("evaluated");
+    if (evaluated == nullptr)
+        util::fatal("sweep cache: missing evaluated");
+    r.evaluated = asCount(*evaluated, "evaluated");
+    const JsonValue *mask = root.find("best_mask");
+    if (mask == nullptr)
+        util::fatal("sweep cache: missing best_mask");
+    r.bestMask = asCount(*mask, "best_mask");
+    const JsonValue *bits = root.find("best_bits");
+    if (bits == nullptr)
+        util::fatal("sweep cache: missing best_bits");
+    r.bestBits = bits->asString();
+    for (const char c : r.bestBits)
+        if (c != '0' && c != '1')
+            util::fatal("sweep cache: bad best_bits string");
+
+    const JsonValue *metrics = root.find("metrics");
+    if (metrics == nullptr || !metrics->isObject())
+        util::fatal("sweep cache: missing metrics");
+    r.best.stepSeconds = requireNumber(*metrics, "step_seconds");
+    r.best.computeBusySeconds =
+        requireNumber(*metrics, "compute_busy_seconds");
+    r.best.networkBusySeconds =
+        requireNumber(*metrics, "network_busy_seconds");
+    r.best.commBytes = requireNumber(*metrics, "comm_bytes");
+    r.best.phases.forward = requireNumber(*metrics, "forward");
+    r.best.phases.backward = requireNumber(*metrics, "backward");
+    r.best.phases.gradient = requireNumber(*metrics, "gradient");
+    r.best.energy.computeJ = requireNumber(*metrics, "compute_j");
+    r.best.energy.sramJ = requireNumber(*metrics, "sram_j");
+    r.best.energy.dramJ = requireNumber(*metrics, "dram_j");
+    r.best.energy.commJ = requireNumber(*metrics, "comm_j");
+    return r;
+}
+
 } // namespace
 
 PlanCache::PlanCache(fs::path dir, bool enabled)
@@ -150,6 +221,13 @@ PlanCache::entryPath(const std::string &planHash) const
     return dir_ / (planHash + ".json");
 }
 
+fs::path
+PlanCache::sweepPath(const std::string &sweepHash) const
+{
+    // Ends in ".json" so evict()'s suffix filter covers both kinds.
+    return dir_ / (sweepHash + ".sweep.json");
+}
+
 void
 PlanCache::quarantine(const fs::path &path)
 {
@@ -165,6 +243,7 @@ PlanCache::quarantine(const fs::path &path)
 std::optional<core::HierarchicalResult>
 PlanCache::lookup(const std::string &planHash)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!enabled_) {
         ++stats_.misses;
         return std::nullopt;
@@ -181,6 +260,34 @@ PlanCache::lookup(const std::string &planHash)
         core::HierarchicalResult result = decodeEntry(*text, planHash);
         ++stats_.hits;
         return result;
+    } catch (const util::FatalError &) {
+        quarantine(path);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+}
+
+std::optional<SweepResult>
+PlanCache::lookupSweep(const std::string &sweepHash)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    if (!validHash(sweepHash))
+        util::fatal("sweep cache: malformed sweep hash '" + sweepHash +
+                    "'");
+    const fs::path path = sweepPath(sweepHash);
+    const std::optional<std::string> text = readFile(path);
+    if (!text) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    try {
+        SweepResult r = decodeSweepEntry(*text, sweepHash);
+        ++stats_.hits;
+        return r;
     } catch (const util::FatalError &) {
         quarantine(path);
         ++stats_.misses;
@@ -220,39 +327,97 @@ PlanCache::entryJson(const std::string &planHash,
 }
 
 void
-PlanCache::store(const std::string &planHash,
-                 const core::HierarchicalResult &result)
+PlanCache::storeFile(const fs::path &tmp, const fs::path &final,
+                     const std::string &payload)
 {
-    if (!enabled_)
-        return;
-    if (!validHash(planHash))
-        util::fatal("plan cache: malformed plan hash '" + planHash + "'");
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec)
         util::fatal("plan cache: cannot create '" + dir_.string() +
                     "': " + ec.message());
-    const fs::path tmp = dir_ / (planHash + ".tmp");
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             util::fatal("plan cache: cannot write '" + tmp.string() + "'");
-        out << entryJson(planHash, result);
+        out << payload;
         out.flush();
         if (!out)
             util::fatal("plan cache: short write to '" + tmp.string() +
                         "'");
     }
-    fs::rename(tmp, entryPath(planHash), ec);
+    fs::rename(tmp, final, ec);
     if (ec)
         util::fatal("plan cache: cannot publish '" + tmp.string() +
                     "': " + ec.message());
     ++stats_.stores;
 }
 
+void
+PlanCache::store(const std::string &planHash,
+                 const core::HierarchicalResult &result)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_)
+        return;
+    if (!validHash(planHash))
+        util::fatal("plan cache: malformed plan hash '" + planHash + "'");
+    storeFile(dir_ / (planHash + ".tmp"), entryPath(planHash),
+              entryJson(planHash, result));
+}
+
+void
+PlanCache::storeSweep(const std::string &sweepHash, const SweepResult &r)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_)
+        return;
+    if (!validHash(sweepHash))
+        util::fatal("sweep cache: malformed sweep hash '" + sweepHash +
+                    "'");
+    storeFile(dir_ / (sweepHash + ".sweep.tmp"), sweepPath(sweepHash),
+              sweepEntryJson(sweepHash, r));
+}
+
+std::string
+PlanCache::sweepEntryJson(const std::string &sweepHash,
+                          const SweepResult &r)
+{
+    const sim::StepMetrics &m = r.best;
+    std::string out = "{\n";
+    out += "  \"format\": \"";
+    out += kSweepCacheFormat;
+    out += "\",\n";
+    out += "  \"version\": " + std::to_string(kPlanCacheVersion) + ",\n";
+    out += "  \"sweep_hash\": \"" + sweepHash + "\",\n";
+    out += "  \"level\": " + std::to_string(r.level) + ",\n";
+    out += "  \"evaluated\": " + std::to_string(r.evaluated) + ",\n";
+    out += "  \"best_mask\": " + std::to_string(r.bestMask) + ",\n";
+    out += "  \"best_bits\": \"" + r.bestBits + "\",\n";
+    // Every double as %.17g: a hit must re-render the response the
+    // miss produced, byte for byte.
+    out += "  \"metrics\": {";
+    out += "\"step_seconds\": " + canonicalDouble(m.stepSeconds);
+    out += ", \"compute_busy_seconds\": " +
+           canonicalDouble(m.computeBusySeconds);
+    out += ", \"network_busy_seconds\": " +
+           canonicalDouble(m.networkBusySeconds);
+    out += ", \"comm_bytes\": " + canonicalDouble(m.commBytes);
+    out += ", \"forward\": " + canonicalDouble(m.phases.forward);
+    out += ", \"backward\": " + canonicalDouble(m.phases.backward);
+    out += ", \"gradient\": " + canonicalDouble(m.phases.gradient);
+    out += ", \"compute_j\": " + canonicalDouble(m.energy.computeJ);
+    out += ", \"sram_j\": " + canonicalDouble(m.energy.sramJ);
+    out += ", \"dram_j\": " + canonicalDouble(m.energy.dramJ);
+    out += ", \"comm_j\": " + canonicalDouble(m.energy.commJ);
+    out += "}\n";
+    out += "}\n";
+    return out;
+}
+
 std::size_t
 PlanCache::evict()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::error_code ec;
     if (!fs::exists(dir_, ec) || ec)
         return 0;

@@ -25,29 +25,46 @@
  *  - A disabled cache (--no-cache) never reads or writes the
  *    directory; lookups miss and stores are dropped.
  *
- * The cache is accessed from the server's admission thread only; it is
- * not internally synchronized. Cross-*process* safety comes from the
- * atomic rename (concurrent servers may redundantly re-plan, never
- * corrupt).
+ * Sweep results are cached alongside plans with the same discipline:
+ * entries live at `<dir>/<sweepHash>.sweep.json` (format tag
+ * kSweepCacheFormat), store the argmin of the level sweep plus its
+ * full StepMetrics with %.17g doubles, and share the quarantine /
+ * atomic-rename / evict machinery. The hit/miss/store/quarantine
+ * counters are shared across both entry kinds.
+ *
+ * Thread safety: every operation takes an internal mutex, so the
+ * server's parallel request groups may look up and store
+ * concurrently; counter totals still only make sense at the server's
+ * serial points. Cross-*process* safety comes from the atomic rename
+ * (concurrent servers may redundantly re-plan, never corrupt).
  */
 
 #ifndef HYPAR_SERVE_PLAN_CACHE_HH
 #define HYPAR_SERVE_PLAN_CACHE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "core/hierarchical_partitioner.hh"
+#include "sim/metrics.hh"
 
 namespace hypar::serve {
 
-/** On-disk format version; bump on any layout change. */
-inline constexpr int kPlanCacheVersion = 1;
+/** On-disk format version; bump on any layout change. Version 2:
+ *  width_hint left the canonical plan-key text (ISSUE 10), so version-1
+ *  entries — keyed under the old text — quarantine instead of lingering
+ *  as unreachable stale files. */
+inline constexpr int kPlanCacheVersion = 2;
 
-/** Format tag every entry must carry. */
+/** Format tag every plan entry must carry. */
 inline constexpr const char *kPlanCacheFormat = "hyparc-plan-cache";
+
+/** Format tag every sweep entry must carry. */
+inline constexpr const char *kSweepCacheFormat = "hyparc-sweep-cache";
 
 /** Lookup/store counters (reported by the server's `stats` op). */
 struct PlanCacheStats
@@ -56,6 +73,18 @@ struct PlanCacheStats
     std::size_t misses = 0;
     std::size_t stores = 0;
     std::size_t quarantined = 0;
+};
+
+/** Cached outcome of a `sweep` op: the argmin over one level's masks.
+ *  bestBits is stored (not recomputed) so a hit renders byte-identical
+ *  responses without rebuilding the base plan. */
+struct SweepResult
+{
+    std::size_t level = 0;
+    std::uint64_t evaluated = 0;
+    std::uint64_t bestMask = 0;
+    std::string bestBits;
+    sim::StepMetrics best;
 };
 
 class PlanCache
@@ -88,6 +117,15 @@ class PlanCache
     void store(const std::string &planHash,
                const core::HierarchicalResult &result);
 
+    /**
+     * Fetch the sweep entry for `sweepHash` (same hit/miss/quarantine
+     * semantics as lookup()).
+     */
+    std::optional<SweepResult> lookupSweep(const std::string &sweepHash);
+
+    /** Atomically persist a sweep result under `sweepHash`. */
+    void storeSweep(const std::string &sweepHash, const SweepResult &r);
+
     /** Delete every entry (including .tmp/.quarantine debris); returns
      *  the number of files removed. Works even when disabled — eviction
      *  is an explicit administrative request. */
@@ -97,16 +135,26 @@ class PlanCache
     static std::string entryJson(const std::string &planHash,
                                  const core::HierarchicalResult &result);
 
+    /** Same for a sweep entry. */
+    static std::string sweepEntryJson(const std::string &sweepHash,
+                                      const SweepResult &r);
+
+    /** Counters; read at serial points only (no lock is taken). */
     const PlanCacheStats &stats() const { return stats_; }
     const std::filesystem::path &dir() const { return dir_; }
     bool enabled() const { return enabled_; }
 
   private:
     std::filesystem::path entryPath(const std::string &planHash) const;
+    std::filesystem::path sweepPath(const std::string &sweepHash) const;
     void quarantine(const std::filesystem::path &path);
+    void storeFile(const std::filesystem::path &tmp,
+                   const std::filesystem::path &final,
+                   const std::string &payload);
 
     std::filesystem::path dir_;
     bool enabled_;
+    std::mutex mu_; //!< guards stats_ and the entry files
     PlanCacheStats stats_;
 };
 

@@ -1,8 +1,10 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <istream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <vector>
@@ -15,10 +17,19 @@
 #include "serve/canonical.hh"
 #include "serve/json.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace hypar::serve {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(const Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 /** One parsed request, CLI-default-aligned where fields overlap. */
 struct Request
@@ -54,6 +65,13 @@ struct Pending
     core::HierarchicalPlan evalPlan; //!< evaluate: the plan to score
     bool coalesce = false;           //!< joins a shared evaluateBatch
     bool done = false;               //!< response already written
+    bool errored = false;     //!< folded into ServeStats::errors at a
+                              //!< serial point (never touched in a
+                              //!< pool body — counters must not race)
+    bool sharedBatch = false; //!< folded into ServeStats::coalesced
+    std::shared_ptr<Session> session; //!< reserved at admission
+    double seconds = 0.0;             //!< measured execution latency
+    bool timed = false;
 };
 
 std::size_t
@@ -80,27 +98,32 @@ parseFaultEntries(const JsonValue &list, const char *what)
     return out;
 }
 
-Request
-parseRequest(const std::string &line)
+/**
+ * Parse into `req` in place (rather than returning one) so that when
+ * parsing fails mid-way, whatever already parsed — in particular `op`
+ * and `id`, which are pulled out first — still reaches the error
+ * response. Clients correlating a mixed batch get the op echoed even
+ * on failures.
+ */
+void
+parseRequest(const std::string &line, Request &req)
 {
     const JsonValue root = JsonValue::parse(line);
     if (!root.isObject())
         util::fatal("request must be a JSON object");
+    if (const JsonValue *id = root.find("id")) {
+        req.id = id->asString();
+        req.hasId = true;
+    }
+    if (const JsonValue *op = root.find("op"))
+        req.op = op->asString();
     for (const auto &[key, value] : root.asObject()) {
         if (!requestFieldKnown(key))
             util::fatal("unknown request field '" + key + "'");
         (void)value;
     }
-
-    Request req;
-    const JsonValue *op = root.find("op");
-    if (op == nullptr)
+    if (root.find("op") == nullptr)
         util::fatal("request needs an \"op\" field");
-    req.op = op->asString();
-    if (const JsonValue *id = root.find("id")) {
-        req.id = id->asString();
-        req.hasId = true;
-    }
     if (const JsonValue *v = root.find("model"))
         req.model = v->asString();
     if (const JsonValue *v = root.find("spec"))
@@ -147,7 +170,6 @@ parseRequest(const std::string &line)
         if (req.steps == 0)
             util::fatal("request field 'steps' must be at least 1");
     }
-    return req;
 }
 
 dnn::Network
@@ -193,9 +215,19 @@ buildSearch(const Request &req)
     // straight to the measured plateau. Exactness is unaffected — the
     // adaptive loop still certifies (and keeps growing) from
     // whatever width it starts at — so the plan and cost stay
-    // bit-identical with or without the hint.
+    // bit-identical with or without the hint (which is also why the
+    // hint is excluded from the plan-cache key).
     search.beamWidthStart = req.widthHint;
     return search;
+}
+
+void
+validateStrategyName(const std::string &strategy)
+{
+    if (strategy != "hypar" && strategy != "dp" && strategy != "mp" &&
+        strategy != "owt" && strategy != "optimal")
+        util::fatal("unknown strategy '" + strategy +
+                    "' (hypar|dp|mp|owt|optimal)");
 }
 
 /** Build the plan a request names (mirrors the CLI's strategy set). */
@@ -248,7 +280,9 @@ responseHead(const Request &req, bool ok)
     if (req.hasId)
         out += "\"id\":\"" + jsonEscape(req.id) + "\",";
     out += ok ? "\"ok\":true" : "\"ok\":false";
-    if (ok && !req.op.empty())
+    // Echo the op whenever one parsed — including on failures, so a
+    // client correlating a mixed batch never has to rely on id alone.
+    if (!req.op.empty())
         out += ",\"op\":\"" + jsonEscape(req.op) + "\"";
     return out;
 }
@@ -310,6 +344,21 @@ planLevelsJson(const core::HierarchicalPlan &plan)
     return out;
 }
 
+bool
+needsSession(const std::string &op)
+{
+    return op == "plan" || op == "evaluate" || op == "sweep";
+}
+
+std::size_t
+opIndex(const std::string &op)
+{
+    for (std::size_t k = 0; k < Server::kOps.size(); ++k)
+        if (op == Server::kOps[k])
+            return k;
+    return 0; // unreachable for requests that execute
+}
+
 } // namespace
 
 bool
@@ -325,7 +374,9 @@ Server::Server(const ServeOptions &options)
     : cache_(options.cacheDir.empty() ? PlanCache::defaultDir()
                                       : options.cacheDir,
              !options.noCache),
-      sessions_(options.maxSessions)
+      sessions_(options.maxSessions, options.maxSessionBytes),
+      pool_(options.pool != nullptr ? options.pool
+                                    : &util::ThreadPool::global())
 {}
 
 bool
@@ -338,17 +389,14 @@ Server::processBatch(const std::vector<std::string> &lines,
     std::vector<std::string> responses(n);
     bool shutdown = false;
 
-    // Pass 1 — parse and prepare. Network, config, context hash, and
-    // (for evaluate) the concrete plan are resolved up front so the
-    // coalescing pass below only has to group by context hash.
+    // Pass 1 — parse and validate the *whole* request up front, before
+    // the session registry is touched: a request that will answer with
+    // an in-band error must never build — or evict — a warm session.
     for (std::size_t i = 0; i < n; ++i) {
         Pending &p = pending[i];
         try {
-            p.req = parseRequest(lines[i]);
-            const bool needsSession = p.req.op == "plan" ||
-                                      p.req.op == "evaluate" ||
-                                      p.req.op == "sweep";
-            if (!needsSession) {
+            parseRequest(lines[i], p.req);
+            if (!needsSession(p.req.op)) {
                 if (p.req.op != "stats" && p.req.op != "evict" &&
                     p.req.op != "shutdown")
                     util::fatal("unknown op '" + p.req.op + "'");
@@ -356,10 +404,11 @@ Server::processBatch(const std::vector<std::string> &lines,
             }
             p.network = buildNetwork(p.req);
             p.config = buildConfig(p.req);
+            validateStrategyName(p.req.strategy);
+            buildSearch(p.req); // rejects unknown engines
+            sim::validateFaults(p.config);
             p.ctxHash = contextHash(*p.network, p.config);
             if (p.req.op == "evaluate") {
-                Session &session =
-                    sessions_.acquire(*p.network, p.config, p.ctxHash);
                 if (p.req.hasPlan) {
                     p.evalPlan = decodePlanBits(p.req.planBits);
                     if (p.evalPlan.numLevels() != p.req.levels)
@@ -367,13 +416,13 @@ Server::processBatch(const std::vector<std::string> &lines,
                                     std::to_string(p.evalPlan.numLevels()) +
                                     " levels but \"levels\" is " +
                                     std::to_string(p.req.levels));
-                    core::validatePlan(p.evalPlan, session.network);
-                } else {
-                    p.evalPlan = buildStrategyPlan(
-                        p.req, session.evaluator->model());
+                    core::validatePlan(p.evalPlan, *p.network);
                 }
                 p.coalesce = p.req.steps == 1;
             }
+            if (p.req.op == "sweep" && !p.req.hasLevel)
+                util::fatal("sweep needs a \"level\" field "
+                            "(0-based hierarchy level)");
         } catch (const std::exception &e) {
             responses[i] = errorResponse(p.req, e.what());
             ++stats_.errors;
@@ -381,130 +430,250 @@ Server::processBatch(const std::vector<std::string> &lines,
         }
     }
 
-    // Pass 2 — batched admission: evaluate requests sharing a context
-    // run through one Evaluator::evaluateBatch fan-out, results
-    // written back by request index (deterministic response order).
-    std::map<std::string, std::vector<std::size_t>> groups;
-    for (std::size_t i = 0; i < n; ++i)
-        if (!pending[i].done && pending[i].coalesce)
-            groups[pending[i].ctxHash].push_back(i);
-    for (const auto &[hash, members] : groups) {
-        const Pending &first = pending[members.front()];
-        try {
-            Session &session =
-                sessions_.acquire(*first.network, first.config, hash);
-            std::vector<core::HierarchicalPlan> plans;
-            plans.reserve(members.size());
-            for (const std::size_t i : members)
-                plans.push_back(pending[i].evalPlan);
-            const std::vector<sim::StepMetrics> metrics =
-                session.evaluator->evaluateBatch(plans);
-            for (std::size_t k = 0; k < members.size(); ++k) {
-                const std::size_t i = members[k];
-                responses[i] =
-                    responseHead(pending[i].req, true) +
-                    ",\"context_hash\":\"" + hash + "\"" +
-                    ",\"batched\":" + std::to_string(members.size()) +
-                    ",\"steps\":1,\"metrics\":" + metricsJson(metrics[k]) +
-                    "}";
-                pending[i].done = true;
-            }
-            if (members.size() > 1)
-                stats_.coalesced += members.size();
-        } catch (const std::exception &e) {
-            for (const std::size_t i : members) {
-                if (pending[i].done)
-                    continue;
-                responses[i] = errorResponse(pending[i].req, e.what());
-                ++stats_.errors;
-                pending[i].done = true;
-            }
-        }
+    // Pass 2 — admission: reserve every session on this thread, in
+    // request order, so LRU motion (touch, create, evict) is identical
+    // whether execution below runs serial or parallel. Builds happen
+    // lazily in the execution pass, under the per-session mutex.
+    for (std::size_t i = 0; i < n; ++i) {
+        Pending &p = pending[i];
+        if (!p.done && needsSession(p.req.op))
+            p.session = sessions_.reserve(*p.network, p.config, p.ctxHash);
     }
 
-    // Pass 3 — everything else, in request order.
+    // One context-hash group of session ops, executed in request order
+    // under the session's mutex. Runs as a pool body: no server-wide
+    // counter may be touched here — per-request flags are folded at
+    // the serial points below instead.
+    auto runGroup = [&](const std::vector<std::size_t> &members) {
+        Session &session = *pending[members.front()].session;
+        std::lock_guard<std::mutex> lock(session.mu);
+
+        // Single-step evaluates first, coalesced through one
+        // evaluateBatch fan-out (the order is observable only through
+        // per-op metrics, which are order-independent).
+        std::vector<std::size_t> co;
+        for (const std::size_t i : members)
+            if (pending[i].coalesce)
+                co.push_back(i);
+        if (!co.empty()) {
+            const auto t0 = Clock::now();
+            try {
+                session.ensure();
+                std::vector<core::HierarchicalPlan> plans;
+                plans.reserve(co.size());
+                for (const std::size_t i : co) {
+                    Pending &p = pending[i];
+                    if (!p.req.hasPlan)
+                        p.evalPlan = buildStrategyPlan(
+                            p.req, session.evaluator->model());
+                    plans.push_back(p.evalPlan);
+                }
+                const std::vector<sim::StepMetrics> metrics =
+                    session.evaluator->evaluateBatch(plans);
+                for (std::size_t k = 0; k < co.size(); ++k) {
+                    const std::size_t i = co[k];
+                    responses[i] =
+                        responseHead(pending[i].req, true) +
+                        ",\"context_hash\":\"" + session.contextHash +
+                        "\"" +
+                        ",\"batched\":" + std::to_string(co.size()) +
+                        ",\"steps\":1,\"metrics\":" +
+                        metricsJson(metrics[k]) + "}";
+                    pending[i].done = true;
+                    pending[i].sharedBatch = co.size() > 1;
+                }
+            } catch (const std::exception &e) {
+                for (const std::size_t i : co) {
+                    if (pending[i].done)
+                        continue;
+                    responses[i] = errorResponse(pending[i].req, e.what());
+                    pending[i].errored = true;
+                    pending[i].done = true;
+                }
+            }
+            // The shared call's duration is attributed to every member
+            // (that is each request's observed service time).
+            const double secs = secondsSince(t0);
+            for (const std::size_t i : co) {
+                pending[i].seconds = secs;
+                pending[i].timed = true;
+            }
+        }
+
+        for (const std::size_t i : members) {
+            Pending &p = pending[i];
+            if (p.done)
+                continue;
+            const auto t0 = Clock::now();
+            try {
+                if (p.req.op == "plan") {
+                    const std::string hash =
+                        planHash(*p.network, p.config, p.req.strategy,
+                                 buildSearch(p.req));
+                    std::optional<core::HierarchicalResult> cached =
+                        cache_.lookup(hash);
+                    const char *outcome =
+                        cached ? "hit"
+                               : (cache_.enabled() ? "miss" : "bypass");
+                    core::HierarchicalResult result;
+                    if (cached) {
+                        result = std::move(*cached);
+                    } else {
+                        session.ensure();
+                        result.plan = buildStrategyPlan(
+                            p.req, session.evaluator->model(), &result);
+                        if (result.commBytes == 0.0 &&
+                            p.req.strategy != "optimal")
+                            result.commBytes =
+                                session.evaluator->model().planBytes(
+                                    result.plan);
+                        cache_.store(hash, result);
+                    }
+                    responses[i] =
+                        responseHead(p.req, true) +
+                        ",\"context_hash\":\"" + p.ctxHash + "\"" +
+                        ",\"plan_hash\":\"" + hash + "\"" +
+                        ",\"cache\":\"" + outcome + "\"" +
+                        ",\"plan\":" + planLevelsJson(result.plan) +
+                        ",\"comm_bytes\":" +
+                        canonicalDouble(result.commBytes) +
+                        ",\"search\":" + searchJson(result) + "}";
+                } else if (p.req.op == "evaluate") {
+                    // Steady-state evaluations are served inline (the
+                    // cadence loop is not a batch entry point).
+                    session.ensure();
+                    if (!p.req.hasPlan)
+                        p.evalPlan = buildStrategyPlan(
+                            p.req, session.evaluator->model());
+                    const sim::StepMetrics m =
+                        session.evaluator->evaluateSteadyState(
+                            p.evalPlan, p.req.steps);
+                    responses[i] =
+                        responseHead(p.req, true) +
+                        ",\"context_hash\":\"" + p.ctxHash + "\"" +
+                        ",\"batched\":1,\"steps\":" +
+                        std::to_string(p.req.steps) +
+                        ",\"metrics\":" + metricsJson(m) + "}";
+                } else if (p.req.op == "sweep") {
+                    const std::string hash =
+                        sweepHash(*p.network, p.config, p.req.strategy,
+                                  buildSearch(p.req), p.req.level);
+                    std::optional<SweepResult> cached =
+                        cache_.lookupSweep(hash);
+                    const char *outcome =
+                        cached ? "hit"
+                               : (cache_.enabled() ? "miss" : "bypass");
+                    SweepResult r;
+                    if (cached) {
+                        r = std::move(*cached);
+                    } else {
+                        session.ensure();
+                        const core::HierarchicalPlan base =
+                            buildStrategyPlan(p.req,
+                                              session.evaluator->model());
+                        r.level = p.req.level;
+                        session.evaluator->sweepNeighborhood(
+                            base, p.req.level,
+                            [&](std::uint64_t mask,
+                                const sim::StepMetrics &m) {
+                                if (r.evaluated == 0 ||
+                                    m.stepSeconds < r.best.stepSeconds) {
+                                    r.bestMask = mask;
+                                    r.best = m;
+                                }
+                                ++r.evaluated;
+                            });
+                        r.bestBits = core::toBitString(
+                            core::levelPlanFromMask(r.bestMask,
+                                                    base.numLayers()));
+                        cache_.storeSweep(hash, r);
+                    }
+                    responses[i] =
+                        responseHead(p.req, true) +
+                        ",\"context_hash\":\"" + p.ctxHash + "\"" +
+                        ",\"cache\":\"" + outcome + "\"" +
+                        ",\"level\":" + std::to_string(r.level) +
+                        ",\"evaluated\":" + std::to_string(r.evaluated) +
+                        ",\"best_mask\":" + std::to_string(r.bestMask) +
+                        ",\"best_bits\":\"" + r.bestBits +
+                        "\",\"metrics\":" + metricsJson(r.best) + "}";
+                }
+            } catch (const std::exception &e) {
+                responses[i] = errorResponse(p.req, e.what());
+                p.errored = true;
+            }
+            p.seconds = secondsSince(t0);
+            p.timed = true;
+            p.done = true;
+        }
+    };
+
+    // Pass 3 — execute in segments. Consecutive session ops form a
+    // segment whose context-hash groups fan out over the pool (groups
+    // are independent: disjoint sessions, disjoint cache keys).
+    // Control ops (stats/evict/shutdown) are serial barriers, so the
+    // counters they observe — and the totals folded below — are
+    // deterministic for any thread count.
+    std::vector<std::size_t> segment;
+    auto flushSegment = [&]() {
+        if (segment.empty())
+            return;
+        std::map<std::string, std::vector<std::size_t>> groups;
+        for (const std::size_t i : segment)
+            groups[pending[i].ctxHash].push_back(i);
+        std::vector<const std::vector<std::size_t> *> order;
+        order.reserve(groups.size());
+        for (const auto &[hash, members] : groups)
+            order.push_back(&members);
+        pool_->parallelFor(0, order.size(), 1,
+                           [&](std::size_t b, std::size_t e) {
+                               for (std::size_t g = b; g < e; ++g)
+                                   runGroup(*order[g]);
+                           });
+        // Serial fold, in request order: counter and histogram totals
+        // are identical whether the groups above ran serial or fanned
+        // out.
+        for (const std::size_t i : segment) {
+            Pending &p = pending[i];
+            if (p.errored)
+                ++stats_.errors;
+            if (p.sharedBatch)
+                ++stats_.coalesced;
+            if (p.timed)
+                latency_[opIndex(p.req.op)].record(p.seconds);
+        }
+        segment.clear();
+    };
+
     for (std::size_t i = 0; i < n; ++i) {
         Pending &p = pending[i];
         if (p.done)
             continue;
+        if (needsSession(p.req.op)) {
+            segment.push_back(i);
+            continue;
+        }
+        flushSegment();
+        const auto t0 = Clock::now();
         try {
-            if (p.req.op == "plan") {
-                const std::string hash =
-                    planHash(*p.network, p.config, p.req.strategy,
-                             buildSearch(p.req));
-                std::optional<core::HierarchicalResult> cached =
-                    cache_.lookup(hash);
-                const char *outcome =
-                    cached ? "hit" : (cache_.enabled() ? "miss" : "bypass");
-                core::HierarchicalResult result;
-                if (cached) {
-                    result = std::move(*cached);
-                } else {
-                    Session &session =
-                        sessions_.acquire(*p.network, p.config, p.ctxHash);
-                    result.plan = buildStrategyPlan(
-                        p.req, session.evaluator->model(), &result);
-                    if (result.commBytes == 0.0 &&
-                        p.req.strategy != "optimal")
-                        result.commBytes =
-                            session.evaluator->model().planBytes(
-                                result.plan);
-                    cache_.store(hash, result);
-                }
-                responses[i] = responseHead(p.req, true) +
-                               ",\"context_hash\":\"" + p.ctxHash + "\"" +
-                               ",\"plan_hash\":\"" + hash + "\"" +
-                               ",\"cache\":\"" + outcome + "\"" +
-                               ",\"plan\":" + planLevelsJson(result.plan) +
-                               ",\"comm_bytes\":" +
-                               canonicalDouble(result.commBytes) +
-                               ",\"search\":" + searchJson(result) + "}";
-            } else if (p.req.op == "evaluate") {
-                // Steady-state evaluations are served inline (the
-                // cadence loop is not a batch entry point).
-                Session &session =
-                    sessions_.acquire(*p.network, p.config, p.ctxHash);
-                const sim::StepMetrics m =
-                    session.evaluator->evaluateSteadyState(p.evalPlan,
-                                                           p.req.steps);
-                responses[i] = responseHead(p.req, true) +
-                               ",\"context_hash\":\"" + p.ctxHash + "\"" +
-                               ",\"batched\":1,\"steps\":" +
-                               std::to_string(p.req.steps) +
-                               ",\"metrics\":" + metricsJson(m) + "}";
-            } else if (p.req.op == "sweep") {
-                if (!p.req.hasLevel)
-                    util::fatal("sweep needs a \"level\" field "
-                                "(0-based hierarchy level)");
-                Session &session =
-                    sessions_.acquire(*p.network, p.config, p.ctxHash);
-                const core::HierarchicalPlan base = buildStrategyPlan(
-                    p.req, session.evaluator->model());
-                std::uint64_t bestMask = 0;
-                sim::StepMetrics best;
-                std::size_t evaluated = 0;
-                session.evaluator->sweepNeighborhood(
-                    base, p.req.level,
-                    [&](std::uint64_t mask, const sim::StepMetrics &m) {
-                        if (evaluated == 0 ||
-                            m.stepSeconds < best.stepSeconds) {
-                            bestMask = mask;
-                            best = m;
-                        }
-                        ++evaluated;
-                    });
-                responses[i] =
-                    responseHead(p.req, true) +
-                    ",\"context_hash\":\"" + p.ctxHash + "\"" +
-                    ",\"level\":" + std::to_string(p.req.level) +
-                    ",\"evaluated\":" + std::to_string(evaluated) +
-                    ",\"best_mask\":" + std::to_string(bestMask) +
-                    ",\"best_bits\":\"" +
-                    core::toBitString(core::levelPlanFromMask(
-                        bestMask, base.numLayers())) +
-                    "\",\"metrics\":" + metricsJson(best) + "}";
-            } else if (p.req.op == "stats") {
+            if (p.req.op == "stats") {
                 const PlanCacheStats &c = cache_.stats();
+                std::string latency = "{";
+                for (std::size_t k = 0; k < kOps.size(); ++k) {
+                    const util::LatencyHistogram &h = latency_[k];
+                    if (k > 0)
+                        latency += ",";
+                    latency += std::string("\"") + kOps[k] +
+                               "\":{\"count\":" +
+                               std::to_string(h.count()) + ",\"p50_us\":" +
+                               canonicalDouble(h.quantile(0.50) * 1e6) +
+                               ",\"p95_us\":" +
+                               canonicalDouble(h.quantile(0.95) * 1e6) +
+                               ",\"p99_us\":" +
+                               canonicalDouble(h.quantile(0.99) * 1e6) +
+                               "}";
+                }
+                latency += "}";
                 responses[i] =
                     responseHead(p.req, true) + ",\"cache\":{\"enabled\":" +
                     (cache_.enabled() ? "true" : "false") + ",\"dir\":\"" +
@@ -516,6 +685,9 @@ Server::processBatch(const std::vector<std::string> &lines,
                     "},\"sessions\":{\"size\":" +
                     std::to_string(sessions_.size()) +
                     ",\"capacity\":" + std::to_string(sessions_.capacity()) +
+                    ",\"bytes\":" + std::to_string(sessions_.totalBytes()) +
+                    ",\"max_bytes\":" +
+                    std::to_string(sessions_.maxBytes()) +
                     ",\"built\":" + std::to_string(sessions_.built()) +
                     ",\"reused\":" + std::to_string(sessions_.reused()) +
                     "},\"server\":{\"requests\":" +
@@ -523,7 +695,10 @@ Server::processBatch(const std::vector<std::string> &lines,
                     ",\"errors\":" + std::to_string(stats_.errors) +
                     ",\"batches\":" + std::to_string(stats_.batches) +
                     ",\"coalesced\":" + std::to_string(stats_.coalesced) +
-                    "}}";
+                    // Latency last: the concurrent-serving differential
+                    // masks this one (inherently timing-dependent)
+                    // object when comparing serial vs parallel output.
+                    "},\"latency\":" + latency + "}";
             } else if (p.req.op == "evict") {
                 responses[i] = responseHead(p.req, true) +
                                ",\"removed\":" +
@@ -532,11 +707,18 @@ Server::processBatch(const std::vector<std::string> &lines,
                 shutdown = true;
                 responses[i] = responseHead(p.req, true) + "}";
             }
+            latency_[opIndex(p.req.op)].record(secondsSince(t0));
         } catch (const std::exception &e) {
             responses[i] = errorResponse(p.req, e.what());
             ++stats_.errors;
         }
     }
+    flushSegment();
+
+    // End-of-batch serial point: built Evaluators have materialized
+    // their sizes, so the byte budget can act (never mid-batch — a
+    // pool body may still hold a session reference until here).
+    sessions_.enforceBudget();
 
     for (const std::string &response : responses) {
         out << response << "\n";

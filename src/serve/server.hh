@@ -17,6 +17,15 @@
  *    counterpart of the sweep fast path. Results are written back by
  *    request index, so coalescing is invisible except for latency
  *    (and the `batched` count in the response, exposed for tests).
+ *  - Parallel execution: the independent requests of a batch fan out
+ *    over a util::ThreadPool, grouped by context hash (requests
+ *    sharing a warm session serialize on its mutex; LRU motion and
+ *    counter folds stay on the admission thread, in request order).
+ *    Responses are still written strictly by request index, and every
+ *    response byte is identical to serial execution — pinned by
+ *    tests/test_serve_concurrent.cc. `stats`/`evict`/`shutdown` are
+ *    serial barriers within a batch. See docs/SERVING.md
+ *    "Concurrency & memory budget".
  *  - Warm state: sessions (network + SimConfig + Evaluator) are
  *    content-addressed by serve::contextHash and kept in an LRU
  *    (serve::SessionRegistry); `plan` results are additionally
@@ -34,6 +43,7 @@
 #ifndef HYPAR_SERVE_SERVER_HH
 #define HYPAR_SERVE_SERVER_HH
 
+#include <array>
 #include <cstddef>
 #include <filesystem>
 #include <iosfwd>
@@ -41,6 +51,11 @@
 
 #include "serve/plan_cache.hh"
 #include "serve/session.hh"
+#include "util/latency_histogram.hh"
+
+namespace hypar::util {
+class ThreadPool;
+}
 
 namespace hypar::serve {
 
@@ -80,6 +95,15 @@ struct ServeOptions
      *  to the serving mix so distinct contexts don't thrash warm
      *  Evaluators. */
     std::size_t maxSessions = SessionRegistry::kDefaultCapacity;
+    /** Warm-session byte budget (`--max-session-bytes`, 0 =
+     *  unlimited): evicts least-recently-acquired sessions by
+     *  approximate resident size (Session::approxBytes) at the end of
+     *  each batch, never below one session. */
+    std::size_t maxSessionBytes = 0;
+    /** Pool the batch executor fans request groups over; nullptr =
+     *  util::ThreadPool::global(). Tests and benches inject fixed-size
+     *  pools to pin the serial/concurrent differential. */
+    util::ThreadPool *pool = nullptr;
 };
 
 /** Serving counters reported by the `stats` op. */
@@ -115,10 +139,23 @@ class Server
     SessionRegistry &sessions() { return sessions_; }
     const ServeStats &stats() const { return stats_; }
 
+    /** Ops with a latency histogram, in kOps/stats-response order. */
+    static constexpr std::array<const char *, 6> kOps = {
+        "plan", "evaluate", "sweep", "stats", "evict", "shutdown"};
+
+    /** Per-op latency histogram (folded at batch serial points; the
+     *  `stats` op reports p50/p95/p99 from these). */
+    const util::LatencyHistogram &latency(std::size_t op) const
+    {
+        return latency_[op];
+    }
+
   private:
     PlanCache cache_;
     SessionRegistry sessions_;
     ServeStats stats_;
+    util::ThreadPool *pool_;
+    std::array<util::LatencyHistogram, kOps.size()> latency_;
 };
 
 /** Fields allowed per op, validated before execution. */

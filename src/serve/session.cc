@@ -5,13 +5,34 @@
 
 namespace hypar::serve {
 
-Session::Session(std::string hash, dnn::Network net, sim::SimConfig cfg)
+Session::Session(std::string hash, dnn::Network net, sim::SimConfig cfg,
+                 std::atomic<std::size_t> *built_counter)
     : contextHash(std::move(hash)), network(std::move(net)),
-      config(std::move(cfg)),
-      evaluator(std::make_unique<sim::Evaluator>(network, config))
+      config(std::move(cfg)), builtCounter_(built_counter)
 {}
 
-SessionRegistry::SessionRegistry(std::size_t capacity) : capacity_(capacity)
+void
+Session::ensure()
+{
+    if (evaluator)
+        return;
+    evaluator = std::make_unique<sim::Evaluator>(network, config);
+    if (builtCounter_ != nullptr)
+        builtCounter_->fetch_add(1);
+}
+
+std::size_t
+Session::approxBytes() const
+{
+    std::size_t bytes = sizeof(Session) + contextHash.capacity() +
+                        network.approxBytes();
+    if (evaluator)
+        bytes += evaluator->approxBytes();
+    return bytes;
+}
+
+SessionRegistry::SessionRegistry(std::size_t capacity, std::size_t maxBytes)
+    : capacity_(capacity), maxBytes_(maxBytes)
 {
     if (capacity_ == 0)
         util::fatal("session registry capacity must be positive");
@@ -29,6 +50,17 @@ SessionRegistry::acquire(const dnn::Network &network,
                          const sim::SimConfig &config,
                          const std::string &hash)
 {
+    const std::shared_ptr<Session> session =
+        reserve(network, config, hash);
+    session->ensure();
+    return *session;
+}
+
+std::shared_ptr<Session>
+SessionRegistry::reserve(const dnn::Network &network,
+                         const sim::SimConfig &config,
+                         const std::string &hash)
+{
     const auto it = byHash_.find(hash);
     if (it != byHash_.end()) {
         // Touch: move to the front of the LRU.
@@ -36,14 +68,34 @@ SessionRegistry::acquire(const dnn::Network &network,
         ++reused_;
         return *it->second;
     }
-    lru_.emplace_front(hash, network, config);
+    lru_.emplace_front(
+        std::make_shared<Session>(hash, network, config, &built_));
     byHash_[hash] = lru_.begin();
-    ++built_;
     while (lru_.size() > capacity_) {
-        byHash_.erase(lru_.back().contextHash);
+        byHash_.erase(lru_.back()->contextHash);
         lru_.pop_back();
     }
     return lru_.front();
+}
+
+void
+SessionRegistry::enforceBudget()
+{
+    if (maxBytes_ == 0)
+        return;
+    while (lru_.size() > 1 && totalBytes() > maxBytes_) {
+        byHash_.erase(lru_.back()->contextHash);
+        lru_.pop_back();
+    }
+}
+
+std::size_t
+SessionRegistry::totalBytes() const
+{
+    std::size_t total = 0;
+    for (const std::shared_ptr<Session> &session : lru_)
+        total += session->approxBytes();
+    return total;
 }
 
 } // namespace hypar::serve

@@ -94,6 +94,15 @@ faultedOptions(const SimConfig &config, const noc::Topology &topo)
 
 } // namespace
 
+void
+validateFaults(const SimConfig &config)
+{
+    if (config.faults.empty())
+        return;
+    const std::unique_ptr<noc::Topology> topo = makeFaultedTopology(config);
+    (void)faultedCommConfig(config, *topo);
+}
+
 Evaluator::Evaluator(const dnn::Network &network, const SimConfig &config)
     : network_(network), config_(config),
       topology_(makeFaultedTopology(config_)),
@@ -184,6 +193,13 @@ double
 Evaluator::commBytes(const core::HierarchicalPlan &plan) const
 {
     return model_.planBytes(plan);
+}
+
+std::size_t
+Evaluator::approxBytes() const
+{
+    return sizeof(Evaluator) + network_.approxBytes() +
+           model_.approxTableBytes() + simulator_->approxTableBytes();
 }
 
 double

@@ -69,6 +69,16 @@ std::unique_ptr<noc::Topology> makeTopology(TopologyKind kind,
                                             const noc::TopologyConfig &cfg);
 
 /**
+ * Validate a config's fault map against its own topology — id ranges,
+ * link-fault support, no level left without surviving bandwidth —
+ * without building a full Evaluator. Fatal on exactly the errors the
+ * Evaluator constructor would raise for the map; a no-op for an empty
+ * map. The serving tier pre-validates requests with this before
+ * touching the warm-session LRU.
+ */
+void validateFaults(const SimConfig &config);
+
+/**
  * Bundles model + topology + simulator for one (network, config) pair.
  *
  * Build-once / evaluate-many contract: constructing an Evaluator does
@@ -161,6 +171,14 @@ class Evaluator
     const noc::Topology &topology() const { return *topology_; }
     const SimConfig &config() const { return config_; }
     const dnn::Network &network() const { return network_; }
+
+    /**
+     * Approximate resident size of the warm state this Evaluator owns
+     * (network copy, CommModel byte tables, simulator tables). The
+     * serving tier's memory-budgeted session LRU evicts by this; an
+     * estimate, but deterministic for equal (network, config) pairs.
+     */
+    std::size_t approxBytes() const;
 
   private:
     dnn::Network network_;

@@ -201,6 +201,18 @@ class TrainingSimulator
     /** Trace of the most recent simulate() (needs recordTrace). */
     const std::vector<TraceEntry> &lastTrace() const { return trace_; }
 
+    /**
+     * Approximate resident size of the simulator's precomputed state
+     * (the prefix-count table and any retained trace). Feeds the
+     * serving tier's memory-budgeted session LRU.
+     */
+    std::size_t approxTableBytes() const
+    {
+        return sizeof(TrainingSimulator) +
+               prefixDp_.capacity() * sizeof(std::uint8_t) +
+               trace_.capacity() * sizeof(TraceEntry);
+    }
+
   private:
     struct Task
     {

@@ -1,0 +1,53 @@
+#include "util/latency_histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hypar::util {
+
+double
+LatencyHistogram::bound(std::size_t b)
+{
+    // bound(0) = kFirstBoundSec, growing geometrically. Computed with
+    // pow so the bounds are identical however record() walked to the
+    // bucket.
+    return kFirstBoundSec * std::pow(kBucketRatio, static_cast<double>(b));
+}
+
+void
+LatencyHistogram::record(double seconds)
+{
+    const double v = seconds > 0.0 ? seconds : 0.0;
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    std::size_t b = 0;
+    while (b + 1 < kBuckets && v >= bound(b))
+        ++b;
+    ++counts_[b];
+    ++count_;
+}
+
+double
+LatencyHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested observation, 1-based, at least 1.
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(clamped * static_cast<double>(count_))));
+    std::size_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        seen += counts_[b];
+        if (seen >= rank)
+            return std::clamp(bound(b), min_, max_);
+    }
+    return max_;
+}
+
+} // namespace hypar::util

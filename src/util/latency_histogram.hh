@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-bucket latency histogram for the serving tier's `stats` op.
+ *
+ * Geometric buckets (ratio kBucketRatio, first bound kFirstBoundSec)
+ * cover 100 ns .. ~100 s with ~5 % resolution at a few dozen counters,
+ * so a long-lived server can report p50/p95/p99 per op without storing
+ * samples. Everything is deterministic for a given record() sequence:
+ * quantile() returns the *upper bound* of the bucket in which the
+ * requested rank falls (clamped to the exact observed min/max), so two
+ * servers that saw the same latencies report the same percentiles.
+ *
+ * Not internally synchronized: the server records at serial points
+ * (batch folds), which is also what keeps the counts deterministic
+ * under parallel request execution.
+ */
+
+#ifndef HYPAR_UTIL_LATENCY_HISTOGRAM_HH
+#define HYPAR_UTIL_LATENCY_HISTOGRAM_HH
+
+#include <array>
+#include <cstddef>
+
+namespace hypar::util {
+
+class LatencyHistogram
+{
+  public:
+    /** Upper bound of the first finite bucket (seconds). */
+    static constexpr double kFirstBoundSec = 1e-7;
+
+    /** Geometric growth factor between bucket bounds. */
+    static constexpr double kBucketRatio = 1.25;
+
+    /** Bucket count: [0, b0), [b0, b0*r), ... plus a catch-all tail. */
+    static constexpr std::size_t kBuckets = 96;
+
+    /** Fold one observation in. Negative values clamp to zero. */
+    void record(double seconds);
+
+    /** Observations recorded so far. */
+    std::size_t count() const { return count_; }
+
+    /**
+     * The q-quantile (q in [0, 1]) as the upper bound of the bucket
+     * holding the ceil(q * count)-th smallest observation, clamped to
+     * [min(), max()]. 0.0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Exact smallest / largest recorded value (0.0 when empty). */
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  private:
+    /** Upper bound of bucket b (the tail bucket is unbounded). */
+    static double bound(std::size_t b);
+
+    std::array<std::size_t, kBuckets> counts_{};
+    std::size_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace hypar::util
+
+#endif // HYPAR_UTIL_LATENCY_HISTOGRAM_HH

@@ -4,6 +4,29 @@
 
 namespace hypar::util {
 
+namespace {
+
+/**
+ * The pool whose batch the current thread is executing a chunk of, if
+ * any. parallelFor consults it to detect nested calls into the same
+ * pool (which must run inline: the batch state holds exactly one loop,
+ * and a worker blocking on its own pool would deadlock).
+ */
+thread_local const ThreadPool *tls_active_pool = nullptr;
+
+/** RAII save/restore of tls_active_pool across runChunks. */
+struct ActivePoolScope
+{
+    const ThreadPool *saved;
+    explicit ActivePoolScope(const ThreadPool *pool) : saved(tls_active_pool)
+    {
+        tls_active_pool = pool;
+    }
+    ~ActivePoolScope() { tls_active_pool = saved; }
+};
+
+} // namespace
+
 ThreadPool::ThreadPool(std::size_t workers)
 {
     workers_.reserve(workers);
@@ -25,6 +48,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::runChunks()
 {
+    const ActivePoolScope scope(this);
     std::unique_lock<std::mutex> lock(mu_);
     while (next_ < end_) {
         const std::size_t b = next_;
@@ -79,13 +103,20 @@ ThreadPool::parallelFor(
     if (grain == 0)
         grain = 1;
 
-    // Serial pool, or too little work to amortize a wakeup: run inline.
-    if (workers_.empty() || end - begin <= grain) {
+    // Serial pool, too little work to amortize a wakeup, or a nested
+    // call from inside one of this pool's own batch bodies: run inline.
+    // The fixed chunk grid makes the inline walk bit-identical to a
+    // fanned-out run, so nesting costs parallelism, never correctness.
+    if (workers_.empty() || end - begin <= grain ||
+        tls_active_pool == this) {
         for (std::size_t b = begin; b < end; b += grain)
             body(b, std::min(end, b + grain));
         return;
     }
 
+    // One top-level batch in flight at a time; concurrent submitters
+    // (e.g. the serving tier's request groups) queue up here.
+    std::lock_guard<std::mutex> submit(submit_mu_);
     {
         std::lock_guard<std::mutex> lock(mu_);
         body_ = &body;

@@ -20,6 +20,21 @@
  * with 0 extra workers degrades to a plain serial loop with no
  * synchronization overhead — important on single-core hosts where
  * spawning threads would only slow the search down.
+ *
+ * Composition rules (the serving tier runs whole request groups as
+ * pool bodies, and those bodies call the search engines, which use the
+ * pool themselves):
+ *
+ *  - Nested: a body running on pool P that calls P.parallelFor again
+ *    executes the nested loop inline on its own thread, chunk by chunk
+ *    in ascending order. Because the chunk grid is fixed, the nested
+ *    results are bit-identical to a top-level run — the nested caller
+ *    just doesn't recruit help.
+ *  - Concurrent: top-level parallelFor calls from different threads
+ *    serialize on an internal submission mutex (one batch in flight at
+ *    a time). Safe, deterministic per call site, but the batches run
+ *    back to back — concurrency should come from one outer
+ *    parallelFor, not from racing submitters.
  */
 
 #ifndef HYPAR_UTIL_THREAD_POOL_HH
@@ -73,7 +88,9 @@ class ThreadPool
      * iterations covering [begin, end). Chunks never overlap and their
      * boundaries are independent of the thread count. The first
      * exception thrown by a body is rethrown on the calling thread.
-     * Not reentrant: a body must not call back into the same pool.
+     * Reentrant and thread-safe per the file comment: a body calling
+     * back into the same pool runs its nested loop inline; top-level
+     * calls from several threads serialize on submit_mu_.
      */
     void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                      const std::function<void(std::size_t, std::size_t)>
@@ -117,6 +134,11 @@ class ThreadPool
     void runChunks();
 
     std::vector<std::thread> workers_;
+
+    /** Held for the whole lifetime of a top-level batch so concurrent
+     *  submitters (the serving tier's request groups) line up instead
+     *  of corrupting the single-batch state below. */
+    std::mutex submit_mu_;
 
     std::mutex mu_;
     std::condition_variable work_cv_; //!< signals a new batch / shutdown

@@ -639,6 +639,14 @@ TEST(HyparcArgs, ParsesServeFlags)
                   std::string::npos)
             << e.what();
     }
+
+    // The byte budget is a plain size; 0 (the default) = unlimited.
+    EXPECT_EQ(defaults.maxSessionBytes, 0u);
+    const auto budgeted =
+        parseArgs({"serve", "--max-session-bytes", "1048576"});
+    EXPECT_EQ(budgeted.maxSessionBytes, 1048576u);
+    EXPECT_NE(tools::usage().find("--max-session-bytes"),
+              std::string::npos);
 }
 
 TEST(HyparcCommands, ServeAnswersRequestsFromAStream)

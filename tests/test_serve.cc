@@ -286,6 +286,18 @@ TEST(Canonical, PlanHashKeysStrategyAndSearchKnobs)
     width.beamWidth = 32;
     EXPECT_NE(serve::planHash(net, cfg, "optimal", width), base);
 
+    // width_hint is a pure warm start — results are bit-identical
+    // with or without it — so it must NOT fork the key: hinted
+    // requests share the unhinted request's on-disk entry.
+    core::SearchOptions hinted = search;
+    hinted.beamWidthStart = 8;
+    EXPECT_EQ(serve::planHash(net, cfg, "optimal", hinted), base);
+
+    // The sweep key embeds the plan payload plus the swept level.
+    EXPECT_NE(serve::sweepHash(net, cfg, "hypar", search, 1), base);
+    EXPECT_NE(serve::sweepHash(net, cfg, "hypar", search, 1),
+              serve::sweepHash(net, cfg, "hypar", search, 2));
+
     // ... and the context payload is embedded: same knobs, different
     // batch, different plan key.
     sim::SimConfig other = cfg;
@@ -709,15 +721,17 @@ TEST(Server, BatchKeepsResponseOrderAndCoalescesSharedContexts)
     const std::vector<std::string> responses = runBatch(server, batch);
     ASSERT_EQ(responses.size(), batch.size());
 
-    // Responses come back in request order, ids echoed, the malformed
-    // request answered in-band in its slot. (The bad request is
-    // rejected at the unknown-field gate, before "id" is extracted, so
-    // its error response carries no id.)
-    for (const std::size_t i : {0u, 2u, 3u}) {
+    // Responses come back in request order, ids and ops echoed, the
+    // malformed request answered in-band in its slot. "id" and "op"
+    // are extracted before the unknown-field gate, so even the bad
+    // request's error response carries both.
+    for (const std::size_t i : {0u, 1u, 2u, 3u}) {
         const serve::JsonValue v = serve::JsonValue::parse(responses[i]);
         ASSERT_NE(v.find("id"), nullptr) << responses[i];
         EXPECT_EQ(v.find("id")->asString(),
                   serve::JsonValue::parse(batch[i]).find("id")->asString());
+        ASSERT_NE(v.find("op"), nullptr) << responses[i];
+        EXPECT_EQ(v.find("op")->asString(), "evaluate");
     }
     const serve::JsonValue bad = serve::JsonValue::parse(responses[1]);
     EXPECT_FALSE(bad.find("ok")->asBool());
@@ -902,6 +916,221 @@ TEST(Server, MalformedRequestsAnswerInBand)
     EXPECT_EQ(server.stats().errors, responses.size());
 }
 
+TEST(Server, ErrorResponsesEchoTheOpWhenItParsed)
+{
+    serve::ServeOptions opts;
+    opts.noCache = true;
+    serve::Server server(opts);
+
+    const std::vector<std::string> responses = runBatch(
+        server,
+        {R"({"op":"plan"})",                    // parsed op, no network
+         R"({"op":"sweep","model":"Lenet-c"})", // parsed op, no level
+         "not json",                            // op never parsed
+         R"({"model":"Lenet-c"})"});            // object without an op
+    const serve::JsonValue plan = serve::JsonValue::parse(responses[0]);
+    EXPECT_FALSE(plan.find("ok")->asBool());
+    ASSERT_NE(plan.find("op"), nullptr) << responses[0];
+    EXPECT_EQ(plan.find("op")->asString(), "plan");
+    const serve::JsonValue sweep = serve::JsonValue::parse(responses[1]);
+    ASSERT_NE(sweep.find("op"), nullptr) << responses[1];
+    EXPECT_EQ(sweep.find("op")->asString(), "sweep");
+    // When no op ever parsed there is nothing to echo — the error
+    // response simply omits the field instead of inventing one.
+    EXPECT_EQ(serve::JsonValue::parse(responses[2]).find("op"), nullptr);
+    EXPECT_EQ(serve::JsonValue::parse(responses[3]).find("op"), nullptr);
+}
+
+TEST(Server, WidthHintDoesNotForkTheOnDiskCacheEntry)
+{
+    // Satellite of the cache-key fix: a hinted and an unhinted plan
+    // request are the same search (bit-identical results), so they
+    // must share one on-disk entry — the hinted request *hits*.
+    TempDir tmp("serve_hint_key");
+    serve::ServeOptions opts;
+    opts.cacheDir = tmp.path;
+    serve::Server server(opts);
+
+    const std::string cold =
+        R"({"op":"plan","model":"Lenet-c","strategy":"optimal",)"
+        R"("engine":"beam"})";
+    const std::string hinted =
+        R"({"op":"plan","model":"Lenet-c","strategy":"optimal",)"
+        R"("engine":"beam","width_hint":8})";
+    const PlanResponse first =
+        PlanResponse::parse(runBatch(server, {cold}).at(0));
+    EXPECT_EQ(first.cacheOutcome, "miss");
+    const PlanResponse second =
+        PlanResponse::parse(runBatch(server, {hinted}).at(0));
+    EXPECT_EQ(second.cacheOutcome, "hit");
+    EXPECT_EQ(second.planBits, first.planBits);
+    EXPECT_EQ(second.commBytes, first.commBytes);
+    EXPECT_EQ(server.cache().stats().stores, 1u);
+
+    std::size_t entries = 0;
+    for (const auto &e : fs::directory_iterator(tmp.path))
+        entries += e.path().extension() == ".json" ? 1u : 0u;
+    EXPECT_EQ(entries, 1u);
+}
+
+TEST(Server, RejectedRequestsNeverTouchTheSessionRegistry)
+{
+    // Satellite of the admission fix: a request that answers with an
+    // in-band error must not build a session — and, worse, must not
+    // evict a warm one. Whole-request validation runs before the LRU
+    // is touched.
+    serve::ServeOptions opts;
+    opts.noCache = true;
+    opts.maxSessions = 1; // a single zombie admission would evict
+    serve::Server server(opts);
+
+    runBatch(server, {R"({"op":"evaluate","model":"Lenet-c"})"});
+    ASSERT_EQ(server.sessions().built(), 1u);
+    const std::size_t reused = server.sessions().reused();
+
+    const std::vector<std::string> responses = runBatch(
+        server,
+        {// same context, but the plan bits fail validation
+         R"({"op":"evaluate","model":"Lenet-c","plan":["01"]})",
+         // bad fault map: node id out of range for 2^4 nodes
+         R"({"op":"evaluate","model":"Lenet-c",)"
+         R"("faults":{"nodes":[[99,0.5]]}})",
+         // distinct context that would evict, but the strategy is bad
+         R"({"op":"evaluate","model":"SFC","strategy":"bogus"})",
+         // distinct context with an unknown engine
+         R"({"op":"plan","model":"SFC","strategy":"optimal",)"
+         R"("engine":"warp"})"});
+    for (const std::string &line : responses)
+        EXPECT_FALSE(serve::JsonValue::parse(line).find("ok")->asBool())
+            << line;
+    EXPECT_EQ(server.sessions().built(), 1u);   // nothing new built
+    EXPECT_EQ(server.sessions().reused(), reused); // nothing touched
+    EXPECT_EQ(server.sessions().size(), 1u);
+
+    // The warm session survived: the next good request reuses it.
+    runBatch(server, {R"({"op":"evaluate","model":"Lenet-c"})"});
+    EXPECT_EQ(server.sessions().built(), 1u);
+    EXPECT_EQ(server.sessions().reused(), reused + 1);
+}
+
+TEST(Server, SweepResultsArePersistedInTheCache)
+{
+    TempDir tmp("serve_sweep_cache");
+    serve::ServeOptions opts;
+    opts.cacheDir = tmp.path;
+    const std::string line =
+        R"({"op":"sweep","model":"Lenet-c","level":1})";
+
+    serve::Server server(opts);
+    const serve::JsonValue cold =
+        serve::JsonValue::parse(runBatch(server, {line}).at(0));
+    ASSERT_TRUE(cold.find("ok")->asBool());
+    EXPECT_EQ(cold.find("cache")->asString(), "miss");
+
+    // A fresh server (no warm session) answers from disk,
+    // byte-identically — without ever building an Evaluator.
+    serve::Server fresh(opts);
+    const std::vector<std::string> warmLines = runBatch(fresh, {line});
+    const serve::JsonValue warm =
+        serve::JsonValue::parse(warmLines.at(0));
+    EXPECT_EQ(warm.find("cache")->asString(), "hit");
+    EXPECT_EQ(fresh.sessions().built(), 0u);
+    EXPECT_EQ(warm.find("best_mask")->asNumber(),
+              cold.find("best_mask")->asNumber());
+    EXPECT_EQ(warm.find("best_bits")->asString(),
+              cold.find("best_bits")->asString());
+    EXPECT_EQ(warm.find("metrics")->find("step_seconds")->asNumber(),
+              cold.find("metrics")->find("step_seconds")->asNumber());
+
+    // Corrupting the sweep entry quarantines and re-sweeps in band,
+    // exactly like plan entries.
+    fs::path entry;
+    for (const auto &e : fs::directory_iterator(tmp.path))
+        if (e.path().string().ends_with(".sweep.json"))
+            entry = e.path();
+    ASSERT_FALSE(entry.empty());
+    writeFile(entry, "{\"evaluated\":");
+    serve::Server again(opts);
+    const serve::JsonValue reswept =
+        serve::JsonValue::parse(runBatch(again, {line}).at(0));
+    EXPECT_EQ(reswept.find("cache")->asString(), "miss");
+    EXPECT_EQ(again.cache().stats().quarantined, 1u);
+    EXPECT_EQ(reswept.find("best_mask")->asNumber(),
+              cold.find("best_mask")->asNumber());
+}
+
+TEST(Server, MaxSessionBytesEvictsByResidentSize)
+{
+    serve::ServeOptions opts;
+    opts.noCache = true;
+    serve::Server unlimited(opts);
+    const auto req = [](const char *model) {
+        return std::string(R"({"op":"evaluate","model":")") + model +
+               R"(","strategy":"dp","levels":2})";
+    };
+    runBatch(unlimited, {req("Lenet-c")});
+    const std::size_t oneSession = unlimited.sessions().totalBytes();
+    ASSERT_GT(oneSession, 0u);
+
+    // A budget that holds one session but not two: the second context
+    // evicts the first at the end of its batch.
+    serve::ServeOptions tight = opts;
+    tight.maxSessionBytes = oneSession + oneSession / 2;
+    serve::Server server(tight);
+    EXPECT_EQ(server.sessions().maxBytes(), tight.maxSessionBytes);
+    runBatch(server, {req("Lenet-c")});
+    EXPECT_EQ(server.sessions().size(), 1u);
+    runBatch(server, {req("SFC")});
+    EXPECT_EQ(server.sessions().size(), 1u); // evicted by bytes
+    EXPECT_EQ(server.sessions().built(), 2u);
+    EXPECT_LE(server.sessions().totalBytes(), tight.maxSessionBytes);
+
+    // The budget never evicts below one session, however small.
+    serve::ServeOptions tiny = opts;
+    tiny.maxSessionBytes = 1;
+    serve::Server floor(tiny);
+    runBatch(floor, {req("Lenet-c")});
+    EXPECT_EQ(floor.sessions().size(), 1u);
+}
+
+TEST(Server, StatsReportsPerOpLatencyHistograms)
+{
+    serve::ServeOptions opts;
+    opts.noCache = true;
+    serve::Server server(opts);
+
+    runBatch(server, {R"({"op":"evaluate","model":"Lenet-c"})",
+                      R"({"op":"evaluate","model":"Lenet-c","steps":2})"});
+    const std::vector<std::string> responses =
+        runBatch(server, {R"({"op":"stats"})"});
+    const serve::JsonValue v = serve::JsonValue::parse(responses.at(0));
+    ASSERT_TRUE(v.find("ok")->asBool());
+
+    const serve::JsonValue *latency = v.find("latency");
+    ASSERT_NE(latency, nullptr);
+    for (const char *op : serve::Server::kOps)
+        ASSERT_NE(latency->find(op), nullptr) << op;
+    EXPECT_EQ(latency->find("evaluate")->find("count")->asNumber(), 2.0);
+    EXPECT_EQ(latency->find("plan")->find("count")->asNumber(), 0.0);
+    EXPECT_GT(latency->find("evaluate")->find("p99_us")->asNumber(), 0.0);
+    EXPECT_LE(latency->find("evaluate")->find("p50_us")->asNumber(),
+              latency->find("evaluate")->find("p99_us")->asNumber());
+
+    // The registry's byte accounting is visible alongside.
+    EXPECT_GT(v.find("sessions")->find("bytes")->asNumber(), 0.0);
+    EXPECT_EQ(v.find("sessions")->find("max_bytes")->asNumber(), 0.0);
+
+    // Histograms accumulate at serial points — the stats op itself is
+    // timed too, so a second stats call sees the first.
+    const serve::JsonValue second = serve::JsonValue::parse(
+        runBatch(server, {R"({"op":"stats"})"}).at(0));
+    EXPECT_EQ(second.find("latency")
+                  ->find("stats")
+                  ->find("count")
+                  ->asNumber(),
+              1.0);
+}
+
 // --- DAG canonicalization ---------------------------------------------------
 
 namespace {
@@ -936,19 +1165,21 @@ constexpr const char *kDagSpecShuffledEdges =
 
 TEST(Canonical, ChainHashesArePinnedAcrossTheDagGeneralization)
 {
-    // Golden hashes captured before DAG support landed. Chain specs
-    // canonicalize without edge lines, so their context and plan keys
-    // must never move — a warm cache filled by a pre-DAG build keeps
-    // hitting. If this test fails, kCanonicalVersion was effectively
-    // broken for every deployed cache.
+    // Golden hashes. The context hash was captured before DAG support
+    // landed: chain specs canonicalize without edge lines, so context
+    // keys must never move — a warm session registry filled by a
+    // pre-DAG build keeps hitting. If the first expectation fails,
+    // kCanonicalVersion was effectively broken for every deployment.
+    // The plan hash was re-pinned when width_hint left the key text
+    // (kPlanCacheVersion 2); it moves only with the cache version.
     const dnn::Network net = dnn::makeLenetC();
     const sim::SimConfig cfg;
     EXPECT_EQ(serve::contextHash(net, cfg),
               "6aacb02bd566f49eea451ce9e7ab0723"
               "e7183076aa4f0a0fd0e21f9a1db2fad9");
     EXPECT_EQ(serve::planHash(net, cfg, "optimal", core::SearchOptions{}),
-              "ad3c5e512a5a10da30b0d65c894fdac1"
-              "441fca003d6ba7b189b6eaf83e10c4f3");
+              "c89e508e8dee83c5059877a1e5dfb4d4"
+              "d41b9f8fa62c4061aef9ab7248071ab9");
 }
 
 TEST(Canonical, DagEdgeOrderDoesNotForkTheKey)

@@ -112,3 +112,53 @@ TEST(ThreadPool, GlobalPoolIsUsable)
     });
     EXPECT_EQ(sum.load(), 5050);
 }
+
+TEST(ThreadPool, NestedCallsOnTheSamePoolRunInline)
+{
+    // A body that re-enters its own pool must not deadlock waiting for
+    // workers it is itself occupying: nested calls run inline, and the
+    // fixed chunk grid keeps the result bit-identical either way.
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallelFor(0, 8, 1, [&](std::size_t ob, std::size_t oe) {
+        for (std::size_t o = ob; o < oe; ++o)
+            pool.parallelFor(0, 8, 2,
+                             [&](std::size_t b, std::size_t e) {
+                                 for (std::size_t i = b; i < e; ++i)
+                                     hits[o * 8 + i].fetch_add(1);
+                             });
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+
+    // A *different* pool inside the body is not nested and keeps its
+    // own parallelism.
+    ThreadPool outer(2);
+    ThreadPool inner(2);
+    std::atomic<int> count{0};
+    outer.parallelFor(0, 4, 1, [&](std::size_t, std::size_t) {
+        inner.parallelFor(0, 4, 1,
+                          [&](std::size_t, std::size_t) { ++count; });
+    });
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelSubmissionsSerialize)
+{
+    // Two threads submitting to the same pool at once (the serving
+    // tier's request groups do this) must both complete with full
+    // coverage — the submission mutex lines the batches up.
+    ThreadPool shared(3);
+    ThreadPool driver(4);
+    std::vector<std::atomic<int>> hits(4 * 100);
+    driver.parallelFor(0, 4, 1, [&](std::size_t tb, std::size_t te) {
+        for (std::size_t t = tb; t < te; ++t)
+            shared.parallelFor(0, 100, 7,
+                               [&](std::size_t b, std::size_t e) {
+                                   for (std::size_t i = b; i < e; ++i)
+                                       hits[t * 100 + i].fetch_add(1);
+                               });
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}

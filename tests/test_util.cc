@@ -1,12 +1,14 @@
 /**
  * @file
- * Unit tests for the util module: logging, stats, strings, table.
+ * Unit tests for the util module: logging, stats, strings, table, and
+ * the serving tier's latency histogram.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "util/latency_histogram.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/strings.hh"
@@ -142,4 +144,56 @@ TEST(Units, Conversions)
     EXPECT_DOUBLE_EQ(util::mbitsPerSec(1600.0), 200e6);
     EXPECT_DOUBLE_EQ(util::gbitsPerSec(12.8), 1.6e9);
     EXPECT_DOUBLE_EQ(util::gbytesPerSec(320.0), 320e9);
+}
+
+// --- LatencyHistogram -------------------------------------------------------
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros)
+{
+    const util::LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, QuantilesBracketTheSamples)
+{
+    util::LatencyHistogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.record(i * 1e-4); // 0.1ms .. 10ms
+    EXPECT_EQ(h.count(), 100u);
+    // Bucket bounds are upper bounds with ~25% resolution, clamped to
+    // the observed range: every quantile lies within [min, max] and
+    // the ordering p50 <= p95 <= p99 holds.
+    const double p50 = h.quantile(0.50);
+    const double p95 = h.quantile(0.95);
+    const double p99 = h.quantile(0.99);
+    EXPECT_GE(p50, h.min());
+    EXPECT_LE(p99, h.max());
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    // ...and the p50 estimate is within one bucket ratio of the true
+    // median (5.05ms), the histogram's accuracy contract.
+    EXPECT_GE(p50, 100e-4 * 0.5 / 1.25);
+    EXPECT_LE(p50, 100e-4 * 0.5 * 1.25);
+}
+
+TEST(LatencyHistogram, SingleSampleCollapsesEveryQuantile)
+{
+    util::LatencyHistogram h;
+    h.record(3.5e-3);
+    EXPECT_EQ(h.quantile(0.0), h.quantile(1.0));
+    EXPECT_EQ(h.quantile(0.5), h.min());
+    EXPECT_EQ(h.min(), h.max());
+}
+
+TEST(LatencyHistogram, OutOfRangeValuesClampToTheEdgeBuckets)
+{
+    util::LatencyHistogram h;
+    h.record(-1.0);    // negative: clamped to zero, lands lowest
+    h.record(1e-12);   // below the first bound
+    h.record(1e6);     // far beyond the last bound
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_GE(h.quantile(0.99), 0.0);
+    EXPECT_LE(h.quantile(0.01), h.quantile(0.99));
 }

@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
 """Gate google-benchmark rows against recorded baselines.
 
-Reads a google-benchmark JSON file (as written by the
-`bench_partitioner_json` CMake target) and a baseline file
-(tools/bench_baseline.json) listing gated rows with their recorded
-times and failure thresholds. Exits non-zero when a gated row is
-missing, errored, or slower than its threshold — so the CI Release
-job fails on a perf regression instead of just printing a dimmer
-report.
+Reads one or more google-benchmark JSON files (as written by the
+`bench_partitioner_json` / `bench_serve_concurrent_json` CMake
+targets) plus a baseline file (tools/bench_baseline.json) listing
+gated rows with their recorded times and failure thresholds. Exits
+non-zero when a gated row is missing, errored, or slower than its
+threshold — so the CI Release job fails on a perf regression instead
+of just printing a dimmer report.
 
 Usage:
-    tools/check_bench.py [BENCH_partitioner.json] [bench_baseline.json]
+    tools/check_bench.py [FILE.json ...]
+
+Positional files may appear in any order: a JSON file with a
+top-level "gates" key is the baseline, everything else is a bench
+result. Defaults: build/BENCH_partitioner.json +
+tools/bench_baseline.json. A gate's optional "file" field names the
+bench result (by basename) its row must come from; gates without one
+match against BENCH_partitioner.json for compatibility with older
+baselines.
 """
 
 import json
@@ -20,6 +28,8 @@ from pathlib import Path
 # google-benchmark time units -> seconds.
 UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 
+DEFAULT_BENCH = "BENCH_partitioner.json"
+
 
 def load(path: Path) -> dict:
     with path.open() as fh:
@@ -27,30 +37,49 @@ def load(path: Path) -> dict:
 
 
 def main(argv: list[str]) -> int:
-    bench_path = Path(argv[1]) if len(argv) > 1 else Path(
-        "build/BENCH_partitioner.json")
-    baseline_path = Path(argv[2]) if len(argv) > 2 else Path(
-        "tools/bench_baseline.json")
-    for path in (bench_path, baseline_path):
+    paths = [Path(a) for a in argv[1:]] or [
+        Path("build/BENCH_partitioner.json"),
+        Path("tools/bench_baseline.json"),
+    ]
+    for path in paths:
         if not path.exists():
             print(f"error: {path} not found", file=sys.stderr)
             return 1
 
-    benchmarks = load(bench_path).get("benchmarks", [])
-    gates = load(baseline_path)["gates"]
+    baseline = None
+    benches: dict[str, list[dict]] = {}
+    for path in paths:
+        data = load(path)
+        if "gates" in data:
+            if baseline is not None:
+                print("error: more than one baseline file (top-level "
+                      f"'gates' key): {path}", file=sys.stderr)
+                return 1
+            baseline = data
+        else:
+            benches[path.name] = data.get("benchmarks", [])
+    if baseline is None:
+        print("error: no baseline file among the inputs (expected a "
+              "top-level 'gates' key)", file=sys.stderr)
+        return 1
 
     failures = []
-    for gate in gates:
+    for gate in baseline["gates"]:
         name = gate["benchmark"]
+        bench_file = gate.get("file", DEFAULT_BENCH)
+        if bench_file not in benches:
+            failures.append(f"{name}: bench file {bench_file} not among "
+                            f"the inputs")
+            continue
         # Match the registered name with or without run-config suffixes
         # google-benchmark appends (e.g. "/iterations:1").
         rows = [
-            b for b in benchmarks
+            b for b in benches[bench_file]
             if (b["name"] == name or b["name"].startswith(name + "/"))
             and b.get("run_type") != "aggregate"
         ]
         if not rows:
-            failures.append(f"{name}: no row in {bench_path}")
+            failures.append(f"{name}: no row in {bench_file}")
             continue
         for row in rows:
             if row.get("error_occurred"):
@@ -61,13 +90,13 @@ def main(argv: list[str]) -> int:
             seconds = row["real_time"] * UNIT_SECONDS[row["time_unit"]]
             limit = gate["max_seconds"]
             verdict = "OK" if seconds <= limit else "REGRESSION"
-            print(f"{row['name']}: {seconds:.2f} s "
-                  f"(recorded {gate['recorded_seconds']:.2f} s, "
-                  f"limit {limit:.2f} s) {verdict}")
+            print(f"{row['name']}: {seconds:.6f} s "
+                  f"(recorded {gate['recorded_seconds']:.6f} s, "
+                  f"limit {limit:.6f} s) {verdict}")
             if seconds > limit:
                 failures.append(
-                    f"{row['name']}: {seconds:.2f} s exceeds the "
-                    f"{limit:.2f} s gate")
+                    f"{row['name']}: {seconds:.6f} s exceeds the "
+                    f"{limit:.6f} s gate")
 
     if failures:
         print(f"\n{len(failures)} bench gate failure(s):",
@@ -75,7 +104,7 @@ def main(argv: list[str]) -> int:
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"\nall {len(gates)} bench gate(s) pass")
+    print(f"\nall {len(baseline['gates'])} bench gate(s) pass")
     return 0
 
 

@@ -708,6 +708,7 @@ cmdServe(const Options &opts, std::ostream &os, std::istream &in)
     sopts.noCache = opts.noCache;
     if (opts.maxSessions != 0)
         sopts.maxSessions = opts.maxSessions;
+    sopts.maxSessionBytes = opts.maxSessionBytes;
     serve::Server server(sopts);
     if (opts.evict) {
         os << "evicted " << server.cache().evict()
@@ -764,7 +765,7 @@ usage()
            "    the expected step time over K fault maps drawn at\n"
            "    --rate R (all modes deterministic for a fixed --seed)\n"
            "  serve: [--cache-dir <dir>] [--no-cache] [--evict]\n"
-           "         [--max-sessions N]\n"
+           "         [--max-sessions N] [--max-session-bytes B]\n"
            "    long-lived planner service: newline-delimited JSON\n"
            "    requests on stdin, one JSON response line each, blank\n"
            "    line flushes an admission batch (docs/SERVING.md has\n"
@@ -772,7 +773,12 @@ usage()
            "    under --cache-dir (default ~/.cache/hyparc/plans);\n"
            "    --no-cache bypasses reads and writes; --evict clears\n"
            "    the cache and exits; --max-sessions sizes the warm\n"
-           "    Evaluator LRU (>= 1, default 8) to the serving mix";
+           "    Evaluator LRU (>= 1, default 8) to the serving mix;\n"
+           "    --max-session-bytes caps the LRU's approximate\n"
+           "    resident size instead (0 = unlimited, never evicts\n"
+           "    below one session); independent requests of a batch\n"
+           "    execute in parallel over the process thread pool,\n"
+           "    byte-identical to serial execution";
 }
 
 Options
@@ -832,6 +838,8 @@ parseArgs(const std::vector<std::string> &args)
             opts.maxSessions = std::stoul(value(i));
             if (opts.maxSessions == 0)
                 util::fatal("--max-sessions must be at least 1");
+        } else if (arg == "--max-session-bytes") {
+            opts.maxSessionBytes = std::stoul(value(i));
         } else if (arg == "--no-cache") {
             opts.noCache = true;
         } else if (arg == "--evict") {

@@ -52,6 +52,8 @@ struct Options
     std::size_t samples = 8;  //!< faults: fault maps per rate point
     std::size_t maxSessions = 0; //!< serve: warm-session capacity
                                  //!< (0 = registry default)
+    std::size_t maxSessionBytes = 0; //!< serve: warm-session byte
+                                     //!< budget (0 = unlimited)
     bool faultSweep = false;  //!< faults: sweep a rate range (--sweep)
     bool overlap = false;     //!< overlap gradient reductions (async)
     bool verbose = false;     //!< extra search diagnostics (plan)
